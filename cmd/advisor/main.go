@@ -1,0 +1,40 @@
+// Command advisor recommends the best system composition for a workload —
+// the paper's §VI future-work framework, built on the simulator. It
+// evaluates the candidate topologies, ranks them by throughput, and
+// explains the outcome in terms of gradient-synchronization overlap.
+//
+// Usage:
+//
+//	advisor -model BERT-L
+//	advisor -model ResNet-50 -iters 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"composable/internal/advisor"
+	"composable/internal/dlmodel"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "BERT-L", "benchmark (Table II name)")
+		iters     = flag.Int("iters", 12, "iterations per evaluation epoch")
+		epochs    = flag.Int("epochs", 2, "evaluation epochs")
+	)
+	flag.Parse()
+
+	w, err := dlmodel.BenchmarkByName(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "advisor:", err)
+		os.Exit(2)
+	}
+	rec, err := advisor.Recommend(w, nil, advisor.Options{ItersPerEpoch: *iters, Epochs: *epochs})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "advisor:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rec.Report())
+}

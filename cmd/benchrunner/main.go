@@ -1,0 +1,78 @@
+// Command benchrunner regenerates the paper's evaluation: every table
+// (I–IV) and figure (9–16), printed as text reports with the published
+// values alongside for comparison.
+//
+// Usage:
+//
+//	benchrunner                 # run everything at standard scale
+//	benchrunner -exp F11,F12    # selected experiments
+//	benchrunner -scale quick    # faster, noisier
+//	benchrunner -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"composable/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		scaleFlag = flag.String("scale", "standard", "simulation scale: quick or standard")
+		listFlag  = flag.Bool("list", false, "list experiment IDs and exit")
+		extFlag   = flag.Bool("ext", false, "also run ablations/extensions (A1-A4, X1)")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range append(experiments.All(), experiments.Extensions()...) {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale := experiments.Standard
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "standard":
+	default:
+		fmt.Fprintf(os.Stderr, "benchrunner: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	var selected []experiments.Experiment
+	if *expFlag == "" {
+		selected = experiments.All()
+		if *extFlag {
+			selected = append(selected, experiments.Extensions()...)
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner:", err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	session := experiments.NewSession(scale)
+	fmt.Printf("composable benchrunner — scale %s (%d iters/epoch, ≤%d epochs)\n\n",
+		scale.Name, scale.ItersPerEpoch, scale.MaxEpochs)
+	for _, e := range selected {
+		start := time.Now()
+		out, err := e.Run(session)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s: %s (ran in %v)\n%s\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond), out)
+	}
+}

@@ -1,0 +1,132 @@
+// Command composer composes one of the paper's host configurations and
+// runs a deep-learning training job on it, printing the measured summary —
+// the CLI equivalent of one cell of the paper's evaluation grid.
+//
+// Usage:
+//
+//	composer -config falconGPUs -model BERT-L -iters 30
+//	composer -config localGPUs  -model ResNet-50 -precision fp32 -strategy DP
+//	composer -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"composable/internal/core"
+	"composable/internal/dlmodel"
+	"composable/internal/gpu"
+	"composable/internal/train"
+)
+
+func main() {
+	var (
+		cfgName   = flag.String("config", "localGPUs", "host configuration (Table III label)")
+		modelName = flag.String("model", "ResNet-50", "benchmark (Table II name)")
+		precision = flag.String("precision", "fp16", "fp16 or fp32")
+		strategy  = flag.String("strategy", "DDP", "DDP or DP")
+		sharded   = flag.Bool("sharded", false, "enable ZeRO-2 sharded training")
+		batch     = flag.Int("batch", 0, "per-GPU batch (0 = paper default)")
+		epochs    = flag.Int("epochs", 0, "epochs (0 = paper default)")
+		iters     = flag.Int("iters", 30, "iterations per (scaled) epoch")
+		list      = flag.Bool("list", false, "list configurations and models")
+		topo      = flag.Bool("topology", false, "print chassis topology before running")
+		dot       = flag.Bool("dot", false, "print the fabric as Graphviz and exit")
+		csvSeries = flag.String("csv", "", "after training, dump this telemetry series as CSV (e.g. gpu_util)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("configurations (Table III):")
+		for _, c := range core.Configs() {
+			fmt.Printf("  %-12s %s\n", c.Name, c.Description())
+		}
+		fmt.Println("models (Table II):")
+		for _, w := range dlmodel.Benchmarks() {
+			fmt.Printf("  %-12s %-16s %5.1fM params, batch %d, %d epochs\n",
+				w.Name, w.Domain, float64(w.Graph.Params())/1e6, w.BatchPerGPU, w.Epochs)
+		}
+		return
+	}
+
+	var cfg core.Config
+	found := false
+	for _, c := range core.Configs() {
+		if c.Name == *cfgName {
+			cfg, found = c, true
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown configuration %q (see -list)", *cfgName))
+	}
+	w, err := dlmodel.BenchmarkByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+
+	prec := gpu.FP16
+	if *precision == "fp32" {
+		prec = gpu.FP32
+	}
+
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *topo {
+		fmt.Print(sys.ChassisTopology())
+	}
+	if *dot {
+		fmt.Print(sys.Net.Dot(cfg.Name))
+		return
+	}
+
+	res, err := sys.Train(train.Options{
+		Workload:      w,
+		Precision:     prec,
+		Strategy:      train.Strategy(*strategy),
+		Sharded:       *sharded,
+		BatchPerGPU:   *batch,
+		Epochs:        *epochs,
+		ItersPerEpoch: *iters,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s on %s (%s/%v%s, batch %d/GPU)\n",
+		res.Workload, res.System, res.Strategy, res.Precision, shardedTag(res.Sharded), res.BatchPerGPU)
+	fmt.Printf("  total time      %v (%d iters, avg %v/iter)\n", res.TotalTime, res.Iters, res.AvgIter)
+	for i, e := range res.EpochTimes {
+		fmt.Printf("  epoch %-2d        %v\n", i+1, e)
+	}
+	fmt.Printf("  GPU util        %.1f%%   GPU mem %.1f%% (peak %v)\n",
+		res.AvgGPUUtil*100, res.AvgGPUMemUtil*100, res.PeakGPUMem)
+	fmt.Printf("  CPU util        %.1f%%   host mem %.1f%%\n", res.AvgCPUUtil*100, res.AvgHostMemUtil*100)
+	if res.FalconPCIeGBps > 0 {
+		fmt.Printf("  falcon PCIe     %.2f GB/s (slot ports, in+out)\n", res.FalconPCIeGBps)
+	}
+	if s := res.Recorder.Series(train.SeriesGPUUtil); s != nil && s.Len() > 0 {
+		fmt.Printf("  GPU util trace  |%s|\n", s.Sparkline(60))
+	}
+	if *csvSeries != "" {
+		s := res.Recorder.Series(*csvSeries)
+		if s == nil {
+			fatal(fmt.Errorf("no telemetry series %q (have %v)", *csvSeries, res.Recorder.Names()))
+		}
+		fmt.Print(s.CSV())
+	}
+}
+
+func shardedTag(s bool) string {
+	if s {
+		return "+sharded"
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "composer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,152 @@
+// Command falconctl is the chassis management CLI: the command-line analog
+// of the Falcon 4016 management GUI (§II-B). It operates on a chassis
+// state file (JSON, the same format the chassis import/export uses), so
+// admins can script configuration changes and inspect state.
+//
+// Usage:
+//
+//	falconctl -f state.json init                         # new empty chassis
+//	falconctl -f state.json cable H1 host1
+//	falconctl -f state.json mode 0 advanced
+//	falconctl -f state.json install 0 3 GPU "Tesla V100-PCIE-16GB"
+//	falconctl -f state.json attach 0 3 H1
+//	falconctl -f state.json detach 0 3
+//	falconctl -f state.json topology
+//	falconctl -f state.json summary
+//	falconctl -f state.json sensors
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"composable/internal/falcon"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: falconctl -f <state.json> <command> [args]
+commands:
+  init                                   create an empty chassis
+  cable <port> <host>                    cable a host to a port (H1-H4)
+  mode <drawer> <mode>                   standard-1host | standard-2host | advanced
+  install <drawer> <slot> <type> <model> seat a device (GPU|NVMe|NIC|Custom)
+  remove <drawer> <slot>                 unseat a device
+  attach <drawer> <slot> <port>          attach device to a host port
+  detach <drawer> <slot>                 detach device
+  reassign <drawer> <slot> <port>        dynamic re-allocation (advanced mode)
+  topology                               print the topology view
+  summary                                print the resource list counters
+  sensors                                print BMC sensor readings
+  events                                 print the event log`)
+	os.Exit(2)
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) < 3 || args[0] != "-f" {
+		usage()
+	}
+	stateFile := args[1]
+	cmd := args[2]
+	rest := args[3:]
+
+	ch := falcon.New("falcon-1")
+	if cmd != "init" {
+		data, err := os.ReadFile(stateFile)
+		if err != nil {
+			fatal(fmt.Errorf("reading state: %w (run 'falconctl -f %s init' first)", err, stateFile))
+		}
+		if err := ch.ImportConfig(data); err != nil {
+			fatal(err)
+		}
+	}
+
+	save := true
+	switch cmd {
+	case "init":
+		// Nothing: empty chassis is serialized below.
+	case "cable":
+		need(rest, 2)
+		check(ch.CableHost(rest[0], rest[1]))
+	case "mode":
+		need(rest, 2)
+		check(ch.SetMode(atoi(rest[0]), falcon.Mode(rest[1])))
+	case "install":
+		need(rest, 4)
+		ref := falcon.SlotRef{Drawer: atoi(rest[0]), Slot: atoi(rest[1])}
+		dev := falcon.DeviceInfo{
+			ID:    fmt.Sprintf("dev-%d-%d", ref.Drawer, ref.Slot),
+			Type:  falcon.DeviceType(rest[2]),
+			Model: rest[3], LinkGen: 4, Lanes: 16,
+		}
+		check(ch.Install(ref, dev))
+	case "remove":
+		need(rest, 2)
+		check(ch.Remove(falcon.SlotRef{Drawer: atoi(rest[0]), Slot: atoi(rest[1])}))
+	case "attach":
+		need(rest, 3)
+		check(ch.Attach(falcon.SlotRef{Drawer: atoi(rest[0]), Slot: atoi(rest[1])}, rest[2]))
+	case "detach":
+		need(rest, 2)
+		check(ch.Detach(falcon.SlotRef{Drawer: atoi(rest[0]), Slot: atoi(rest[1])}))
+	case "reassign":
+		need(rest, 3)
+		check(ch.Reassign(falcon.SlotRef{Drawer: atoi(rest[0]), Slot: atoi(rest[1])}, rest[2]))
+	case "topology":
+		fmt.Print(ch.Topology())
+		save = false
+	case "summary":
+		s := ch.Summary()
+		fmt.Printf("GPUs %d  NVMe %d  NICs %d  Custom %d | attached %d free %d | host links %d\n",
+			s.GPUs, s.NVMes, s.NICs, s.Custom, s.Attached, s.Free, s.HostLinks)
+		save = false
+	case "sensors":
+		r := ch.Sensors()
+		fmt.Printf("chassis %.1fC  drawer0 %.1fC  drawer1 %.1fC  fans %.0f%%\n",
+			r.ChassisTempC, r.DrawerTempC[0], r.DrawerTempC[1], r.FanDutyPct)
+		save = false
+	case "events":
+		for _, e := range ch.Events() {
+			fmt.Printf("[%s] %s\n", e.Severity, e.Message)
+		}
+		save = false
+	default:
+		usage()
+	}
+
+	if save {
+		data, err := ch.ExportConfig()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(stateFile, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func need(rest []string, n int) {
+	if len(rest) != n {
+		usage()
+	}
+}
+
+func atoi(s string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		fatal(fmt.Errorf("bad number %q", s))
+	}
+	return v
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "falconctl:", err)
+	os.Exit(1)
+}

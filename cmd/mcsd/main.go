@@ -1,0 +1,96 @@
+// Command mcsd runs the Management Center Server (§II-D): the multi-tenant
+// HTTP control plane for a Falcon chassis. It seats the paper's device
+// inventory (16 V100s + NVMe across two drawers), cables the configured
+// hosts, and serves the management API.
+//
+// Usage:
+//
+//	mcsd -addr :8080 -users users.json
+//
+// where users.json is a list of {"name","role","token","hosts":[...]}.
+// Without -users a demo tenant set is used (tokens printed at startup).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"composable/internal/falcon"
+	"composable/internal/gpu"
+	"composable/internal/mcs"
+	"composable/internal/storage"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		usersFile = flag.String("users", "", "JSON file with the tenant list")
+	)
+	flag.Parse()
+
+	ch := falcon.New("falcon-1")
+	seedInventory(ch)
+
+	users := demoUsers()
+	if *usersFile != "" {
+		data, err := os.ReadFile(*usersFile)
+		if err != nil {
+			log.Fatalf("mcsd: %v", err)
+		}
+		users = nil
+		if err := json.Unmarshal(data, &users); err != nil {
+			log.Fatalf("mcsd: parsing %s: %v", *usersFile, err)
+		}
+	} else {
+		fmt.Println("mcsd: using demo tenants:")
+		for _, u := range users {
+			fmt.Printf("  %-8s role=%-6s token=%s hosts=%v\n", u.Name, u.Role, u.Token, u.Hosts)
+		}
+	}
+
+	srv := mcs.NewServer(ch, users)
+	fmt.Printf("mcsd: serving Falcon management API on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// seedInventory populates the chassis with the paper's device set
+// (§V-A-1): V100s in both drawers plus the drawer-2 NVMe, hosts cabled to
+// all four ports, both drawers in advanced mode for dynamic provisioning.
+func seedInventory(ch *falcon.Chassis) {
+	must := func(err error) {
+		if err != nil {
+			log.Fatalf("mcsd: seeding chassis: %v", err)
+		}
+	}
+	must(ch.CableHost("H1", "host1"))
+	must(ch.CableHost("H2", "host1"))
+	must(ch.CableHost("H3", "host2"))
+	must(ch.CableHost("H4", "host2"))
+	must(ch.SetMode(0, falcon.ModeAdvanced))
+	must(ch.SetMode(1, falcon.ModeAdvanced))
+	for d := 0; d < falcon.NumDrawers; d++ {
+		for s := 0; s < 4; s++ {
+			must(ch.Install(falcon.SlotRef{Drawer: d, Slot: s}, falcon.DeviceInfo{
+				ID:    fmt.Sprintf("v100-d%d-s%d", d, s),
+				Type:  falcon.DeviceGPU,
+				Model: gpu.TeslaV100PCIe.Name, VendorID: "10de", LinkGen: 4, Lanes: 16,
+			}))
+		}
+	}
+	must(ch.Install(falcon.SlotRef{Drawer: 1, Slot: 7}, falcon.DeviceInfo{
+		ID: "nvme-0", Type: falcon.DeviceNVMe,
+		Model: storage.IntelNVMe4TB.Name, VendorID: "8086", LinkGen: 3, Lanes: 4,
+	}))
+}
+
+func demoUsers() []mcs.User {
+	return []mcs.User{
+		{Name: "admin", Role: mcs.RoleAdmin, Token: "demo-admin-token"},
+		{Name: "alice", Role: mcs.RoleUser, Token: "demo-alice-token", Hosts: []string{"host1"}},
+		{Name: "bob", Role: mcs.RoleUser, Token: "demo-bob-token", Hosts: []string{"host2"}},
+	}
+}

@@ -1,0 +1,12 @@
+// Package composable is a full-system simulation of the IBM Research
+// composable infrastructure test bed described in "Performance Analysis of
+// Deep Learning Workloads on a Composable System" (El Maghraoui et al.,
+// IPDPS Workshops 2021, arXiv:2103.10911), together with the deep-learning
+// software stack and benchmark suite needed to regenerate every table and
+// figure of the paper's evaluation.
+//
+// The public entry points live in internal/core (composition + training),
+// internal/experiments (the paper's tables and figures) and the commands
+// under cmd/. See README.md for a tour and DESIGN.md for the architecture
+// and the paper-to-module substitution map.
+package composable

@@ -1,0 +1,86 @@
+// Dynamic: advanced-mode device provisioning (§III-B-3) through the
+// management plane — three hosts share a drawer, devices are re-allocated
+// on the fly, the configuration is exported/imported, and the event log
+// and sensors track everything. Demonstrates the chassis control plane
+// that the other examples use implicitly.
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"composable/internal/falcon"
+	"composable/internal/gpu"
+)
+
+func main() {
+	ch := falcon.New("falcon-1")
+	must(ch.CableHost("H1", "trainer-a"))
+	must(ch.CableHost("H2", "trainer-b"))
+	must(ch.CableHost("H3", "inference"))
+	must(ch.SetMode(0, falcon.ModeAdvanced))
+
+	// Seat eight V100s in drawer 0.
+	for s := 0; s < falcon.SlotsPerDrawer; s++ {
+		must(ch.Install(falcon.SlotRef{Drawer: 0, Slot: s}, falcon.DeviceInfo{
+			ID:    fmt.Sprintf("v100-%d", s),
+			Type:  falcon.DeviceGPU,
+			Model: gpu.TeslaV100PCIe.Name, VendorID: "10de", LinkGen: 4, Lanes: 16,
+		}))
+	}
+
+	// Phase 1: daytime layout — trainer-a gets 4 GPUs, trainer-b 2,
+	// inference 2.
+	layout := []string{"H1", "H1", "H1", "H1", "H2", "H2", "H3", "H3"}
+	for s, port := range layout {
+		must(ch.Attach(falcon.SlotRef{Drawer: 0, Slot: s}, port))
+	}
+	fmt.Println("=== phase 1: daytime layout")
+	fmt.Print(ch.Topology())
+	r := ch.Sensors()
+	fmt.Printf("sensors: drawer0 %.1fC, fans %.0f%%\n\n", r.DrawerTempC[0], r.FanDutyPct)
+
+	// Phase 2: the nightly big-model job needs all the GPUs trainer-b and
+	// inference can spare. Advanced mode allows on-the-fly re-allocation —
+	// no detach/re-cable cycle.
+	for _, s := range []int{4, 5, 6} {
+		must(ch.Reassign(falcon.SlotRef{Drawer: 0, Slot: s}, "H1"))
+	}
+	fmt.Println("=== phase 2: nightly layout (3 GPUs re-allocated to trainer-a)")
+	fmt.Printf("trainer-a now owns %d devices\n", len(ch.AttachedToHost("trainer-a")))
+
+	// Export the nightly layout so it can be replayed tomorrow.
+	cfg, err := ch.ExportConfig()
+	must(err)
+	replay := falcon.New("falcon-2")
+	must(replay.ImportConfig(cfg))
+	fmt.Printf("exported %d bytes of config; replayed onto %s: trainer-a owns %d devices\n\n",
+		len(cfg), replay.Name, len(replay.AttachedToHost("trainer-a")))
+
+	// The mode machinery protects tenants: a fourth host is refused.
+	must(ch.CableHost("H4", "stray-host"))
+	if err := ch.Reassign(falcon.SlotRef{Drawer: 0, Slot: 7}, "H4"); err != nil {
+		fmt.Println("fourth host correctly refused:", err)
+	}
+
+	fmt.Println("\n=== event log (last 6)")
+	evs := ch.Events()
+	for _, e := range evs[max(0, len(evs)-6):] {
+		fmt.Printf("[%s] %s\n", e.Severity, e.Message)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

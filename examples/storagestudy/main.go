@@ -1,0 +1,49 @@
+// Storagestudy: the paper's Figure 15 experiment — the effect of the
+// storage subsystem (baseline local store vs local NVMe vs Falcon-attached
+// NVMe) on training time, per benchmark. Demonstrates storage composition
+// and the page-cache/checkpoint mechanics behind the result.
+//
+//	go run ./examples/storagestudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"composable/internal/core"
+	"composable/internal/dlmodel"
+	"composable/internal/gpu"
+	"composable/internal/train"
+)
+
+func main() {
+	configs := []core.Config{core.LocalGPUs(), core.LocalNVMe(), core.FalconNVMe()}
+	fmt.Printf("%-12s %-12s %14s %16s\n", "Model", "Storage", "total", "vs local store")
+	for _, w := range dlmodel.Benchmarks() {
+		var base float64
+		for _, cfg := range configs {
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sys.Train(train.Options{
+				Workload:      w,
+				Precision:     gpu.FP16,
+				Epochs:        2,
+				ItersPerEpoch: 15,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			secs := res.TotalTime.Seconds()
+			if cfg.Name == "localGPUs" {
+				base = secs
+			}
+			fmt.Printf("%-12s %-12s %14v %+15.1f%%\n",
+				w.Name, cfg.Name, res.TotalTime.Round(1e6), (secs/base-1)*100)
+		}
+	}
+	fmt.Println("\nThe paper's finding (§V-C-3): NVMe accelerates the models with")
+	fmt.Println("heavy checkpoint/data traffic (BERT, YOLOv5); Falcon-attached NVMe")
+	fmt.Println("performs within a few percent of host-attached NVMe.")
+}

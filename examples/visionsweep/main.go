@@ -1,0 +1,56 @@
+// Visionsweep: the paper's Figure 11 experiment for the vision benchmarks —
+// how much does moving GPUs from NVLink (local) to the Falcon chassis
+// (PCIe-switched) cost each model? Demonstrates sweeping one workload
+// across system compositions.
+//
+//	go run ./examples/visionsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"composable/internal/core"
+	"composable/internal/dlmodel"
+	"composable/internal/gpu"
+	"composable/internal/train"
+)
+
+func main() {
+	configs := []core.Config{core.LocalGPUs(), core.HybridGPUs(), core.FalconGPUs()}
+	models := []dlmodel.Workload{
+		dlmodel.MobileNetV2Workload(),
+		dlmodel.ResNet50Workload(),
+		dlmodel.YOLOv5LWorkload(),
+	}
+
+	fmt.Printf("%-12s %-12s %14s %12s %14s\n", "Model", "Config", "total", "avg iter", "vs localGPUs")
+	for _, w := range models {
+		var base float64
+		for _, cfg := range configs {
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sys.Train(train.Options{
+				Workload:      w,
+				Precision:     gpu.FP16,
+				Epochs:        2,
+				ItersPerEpoch: 20,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			secs := res.TotalTime.Seconds()
+			if cfg.Name == "localGPUs" {
+				base = secs
+			}
+			fmt.Printf("%-12s %-12s %14v %12v %+13.1f%%\n",
+				w.Name, cfg.Name, res.TotalTime.Round(1e6), res.AvgIter.Round(1e5),
+				(secs/base-1)*100)
+		}
+	}
+	fmt.Println("\nThe paper's finding (§V-C-2): vision training is <7% slower on")
+	fmt.Println("Falcon-attached GPUs — the PCIe-switching overhead is hidden by")
+	fmt.Println("DDP's bucket overlap because vision gradients are small.")
+}

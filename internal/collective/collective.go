@@ -1,0 +1,339 @@
+// Package collective is an NCCL-style multi-GPU communication library for
+// the simulated fabric: topology-aware ring construction, ring all-reduce,
+// reduce-scatter, all-gather and broadcast, with dual counter-rotating
+// channels (as NCCL builds on DGX-class machines) and per-protocol
+// efficiency factors.
+//
+// Collectives both *move simulated time* (their flows contend on the fabric,
+// which is where the paper's PCIe-switching overhead comes from) and, when
+// used through the *Values variants, actually compute the reduction, so the
+// algorithms are testable for correctness, not just for timing.
+package collective
+
+import (
+	"fmt"
+	"time"
+
+	"composable/internal/fabric"
+	"composable/internal/gpu"
+	"composable/internal/nvlink"
+	"composable/internal/sim"
+	"composable/internal/units"
+)
+
+// Protocol efficiency: the fraction of path bandwidth a NCCL-style ring
+// sustains, beyond raw link efficiency (already in the link calibration).
+// These two constants are calibrated jointly against Figure 11 (BERT-large
+// ≈ 2× slower on falconGPUs) and Figure 12 (≈ 76 GB/s falcon PCIe traffic
+// for BERT-large): protocol handshakes and chunk scheduling cost more on
+// PCIe rings (no dedicated copy engines per peer, relaxed-ordering stalls)
+// than on NVLink rings.
+const (
+	NVLinkRingEfficiency = 0.90
+	PCIeRingEfficiency   = 0.55
+)
+
+// DefaultChannels is the number of counter-rotating rings a communicator
+// uses. Two rings in opposite directions use both directions of every
+// full-duplex edge, mirroring NCCL's channel pairs. See the A2 ablation
+// experiment for the cost of running a single ring.
+const DefaultChannels = 2
+
+// Communicator coordinates collectives over a fixed group of GPUs.
+// All ranks must join each operation; operations execute in join order
+// (NCCL stream semantics).
+type Communicator struct {
+	net      *fabric.Network
+	env      *sim.Env
+	gpus     []*gpu.Device
+	ring     []int // ring order as indices into gpus
+	eff      float64
+	channels int
+	queue    []*op // FIFO of operations being assembled/executed
+}
+
+// SetChannels overrides the counter-rotating ring count (ablation knob;
+// must be >= 1). Channels beyond the first pair re-use ring directions.
+func (c *Communicator) SetChannels(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.channels = n
+}
+
+// op is one in-flight collective.
+type op struct {
+	kind    string
+	bytes   units.Bytes
+	root    int
+	ranks   []bool // which ranks have joined
+	joined  int
+	started bool
+	done    sim.Signal
+	prev    *op
+}
+
+// New builds a communicator with a topology-aware ring: host-local GPUs
+// are ordered along the NVLink cube-mesh Hamiltonian cycle, Falcon GPUs
+// follow in slot order, so a hybrid ring crosses the host boundary exactly
+// twice — matching how NCCL's graph search places PCIe hops.
+func New(net *fabric.Network, gpus []*gpu.Device) (*Communicator, error) {
+	if len(gpus) < 2 {
+		return nil, fmt.Errorf("collective: need at least 2 GPUs, have %d", len(gpus))
+	}
+	var locals, falcons []int
+	for i, g := range gpus {
+		if g.Local {
+			locals = append(locals, i)
+		} else {
+			falcons = append(falcons, i)
+		}
+	}
+	ring := make([]int, 0, len(gpus))
+	for _, pos := range nvlink.RingOrder(len(locals)) {
+		ring = append(ring, locals[pos])
+	}
+	ring = append(ring, falcons...)
+	return NewWithRing(net, gpus, ring)
+}
+
+// NewWithRing builds a communicator with an explicit ring order (indices
+// into gpus, each exactly once). Used by the ring-topology ablation; New
+// is the production constructor.
+func NewWithRing(net *fabric.Network, gpus []*gpu.Device, ring []int) (*Communicator, error) {
+	if len(ring) != len(gpus) {
+		return nil, fmt.Errorf("collective: ring has %d entries for %d GPUs", len(ring), len(gpus))
+	}
+	seen := make([]bool, len(gpus))
+	for _, r := range ring {
+		if r < 0 || r >= len(gpus) || seen[r] {
+			return nil, fmt.Errorf("collective: invalid ring %v", ring)
+		}
+		seen[r] = true
+	}
+
+	c := &Communicator{net: net, env: net.Env(), gpus: gpus, ring: ring, channels: DefaultChannels}
+	c.eff = NVLinkRingEfficiency
+	for i := range ring {
+		a := gpus[ring[i]].Node
+		b := gpus[ring[(i+1)%len(ring)]].Node
+		proto, err := net.PathProtocol(a, b)
+		if err != nil {
+			return nil, fmt.Errorf("collective: ring edge unreachable: %w", err)
+		}
+		if proto != nvlink.Protocol {
+			c.eff = PCIeRingEfficiency
+		}
+	}
+	return c, nil
+}
+
+// Size returns the number of ranks.
+func (c *Communicator) Size() int { return len(c.gpus) }
+
+// Ring returns the ring order (indices into the GPU group).
+func (c *Communicator) Ring() []int { return append([]int(nil), c.ring...) }
+
+// RingEfficiency returns the protocol efficiency chosen for this group.
+func (c *Communicator) RingEfficiency() float64 { return c.eff }
+
+// join registers a rank's arrival at its next op of the given kind,
+// creating the op if this rank is first. When the last rank arrives,
+// execution starts (chained after the previous op, preserving NCCL's
+// stream-order semantics). Each rank must issue collectives in the same
+// order — the standard NCCL contract.
+func (c *Communicator) join(kind string, bytes units.Bytes, root, rank int) *op {
+	if rank < 0 || rank >= len(c.gpus) {
+		panic(fmt.Sprintf("collective: rank %d out of range", rank))
+	}
+	// Find the oldest op of this kind this rank has not joined yet.
+	var cur *op
+	for _, o := range c.queue {
+		if !o.started && o.kind == kind && o.bytes == bytes && o.root == root && !o.ranks[rank] {
+			cur = o
+			break
+		}
+	}
+	if cur == nil {
+		var prev *op
+		if len(c.queue) > 0 {
+			prev = c.queue[len(c.queue)-1]
+		}
+		cur = &op{kind: kind, bytes: bytes, root: root, prev: prev, ranks: make([]bool, len(c.gpus))}
+		c.queue = append(c.queue, cur)
+	}
+	cur.ranks[rank] = true
+	cur.joined++
+	if cur.joined == len(c.gpus) {
+		cur.started = true
+		c.launch(cur)
+	}
+	return cur
+}
+
+// launch runs the op's data movement in a fresh process, after its
+// predecessor completes.
+func (c *Communicator) launch(o *op) {
+	c.env.Go("nccl-"+o.kind, func(p *sim.Proc) {
+		if o.prev != nil {
+			o.prev.done.Wait(p)
+		}
+		switch o.kind {
+		case "allreduce":
+			c.runRingPasses(p, o.bytes, 2) // reduce-scatter + all-gather
+		case "reducescatter", "allgather":
+			c.runRingPasses(p, o.bytes, 1)
+		case "broadcast":
+			c.runBroadcast(p, o.root, o.bytes)
+		case "reduceroot":
+			c.runReduceRoot(p, o.root, o.bytes)
+		default:
+			panic("collective: unknown op " + o.kind)
+		}
+		c.gc()
+		o.done.Fire(c.env)
+	})
+}
+
+// gc drops completed ops from the head of the queue.
+func (c *Communicator) gc() {
+	for len(c.queue) > 0 && c.queue[0].started && c.queue[0].done.Fired() {
+		c.queue = c.queue[1:]
+	}
+}
+
+// runRingPasses executes `passes` × (N−1) ring rounds over both channels;
+// each channel moves half the payload in chunks of size/N per rank per
+// round. A pass of 1 is a reduce-scatter or all-gather; 2 is a full
+// all-reduce. Per-round protocol overhead is applied as extra time (the
+// efficiency factor), not extra counted bytes: chassis port counters see
+// payload, matching how the paper measured Figure 12.
+func (c *Communicator) runRingPasses(p *sim.Proc, size units.Bytes, passes int) {
+	n := len(c.ring)
+	rounds := passes * (n - 1)
+	chunk := units.Bytes(float64(size) / float64(n) / float64(c.channels))
+	if chunk <= 0 {
+		chunk = 1
+	}
+	var wg sim.WaitGroup
+	wg.Add(c.channels)
+	for ch := 0; ch < c.channels; ch++ {
+		reverse := ch%2 == 1
+		c.env.Go(fmt.Sprintf("ring-ch%d", ch), func(cp *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				start := cp.Now()
+				specs := make([]fabric.TransferSpec, 0, n)
+				for i := 0; i < n; i++ {
+					src := c.gpus[c.ring[i]].Node
+					var dst fabric.NodeID
+					if reverse {
+						dst = c.gpus[c.ring[(i+n-1)%n]].Node
+					} else {
+						dst = c.gpus[c.ring[(i+1)%n]].Node
+					}
+					specs = append(specs, fabric.TransferSpec{Src: src, Dst: dst, Size: chunk})
+				}
+				if err := c.net.ParallelTransfer(cp, specs); err != nil {
+					panic(err)
+				}
+				// Protocol overhead beyond payload movement.
+				elapsed := cp.Now() - start
+				cp.Sleep(time.Duration(float64(elapsed) * (1/c.eff - 1)))
+			}
+			wg.Done(c.env)
+		})
+	}
+	wg.Wait(p)
+}
+
+// runBroadcast sends the payload root → every other rank as concurrent
+// flows (PyTorch DP's replicate step).
+func (c *Communicator) runBroadcast(p *sim.Proc, root int, size units.Bytes) {
+	specs := make([]fabric.TransferSpec, 0, len(c.gpus)-1)
+	for i := range c.gpus {
+		if i == root {
+			continue
+		}
+		specs = append(specs, fabric.TransferSpec{
+			Src: c.gpus[root].Node, Dst: c.gpus[i].Node, Size: size,
+		})
+	}
+	start := p.Now()
+	if err := c.net.ParallelTransfer(p, specs); err != nil {
+		panic(err)
+	}
+	elapsed := p.Now() - start
+	p.Sleep(time.Duration(float64(elapsed) * (1/c.eff - 1)))
+}
+
+// runReduceRoot gathers every rank's payload into root as concurrent flows
+// (PyTorch DP's gradient reduction onto the master GPU).
+func (c *Communicator) runReduceRoot(p *sim.Proc, root int, size units.Bytes) {
+	specs := make([]fabric.TransferSpec, 0, len(c.gpus)-1)
+	for i := range c.gpus {
+		if i == root {
+			continue
+		}
+		specs = append(specs, fabric.TransferSpec{
+			Src: c.gpus[i].Node, Dst: c.gpus[root].Node, Size: size,
+		})
+	}
+	start := p.Now()
+	if err := c.net.ParallelTransfer(p, specs); err != nil {
+		panic(err)
+	}
+	elapsed := p.Now() - start
+	p.Sleep(time.Duration(float64(elapsed) * (1/c.eff - 1)))
+}
+
+// StartAllReduce joins rank to its next all-reduce of size bytes and
+// returns the completion signal, letting the caller overlap the collective
+// with further compute (DDP bucket overlap).
+func (c *Communicator) StartAllReduce(rank int, size units.Bytes) *sim.Signal {
+	return &c.join("allreduce", size, 0, rank).done
+}
+
+// AllReduce joins rank and blocks until the collective completes.
+func (c *Communicator) AllReduce(p *sim.Proc, rank int, size units.Bytes) {
+	c.join("allreduce", size, 0, rank).done.Wait(p)
+}
+
+// StartReduceScatter joins rank to a reduce-scatter (ZeRO gradient
+// sharding).
+func (c *Communicator) StartReduceScatter(rank int, size units.Bytes) *sim.Signal {
+	return &c.join("reducescatter", size, 0, rank).done
+}
+
+// StartAllGather joins rank to an all-gather (ZeRO parameter reassembly).
+func (c *Communicator) StartAllGather(rank int, size units.Bytes) *sim.Signal {
+	return &c.join("allgather", size, 0, rank).done
+}
+
+// Broadcast joins rank to a root→all broadcast and blocks.
+func (c *Communicator) Broadcast(p *sim.Proc, rank, root int, size units.Bytes) {
+	c.join("broadcast", size, root, rank).done.Wait(p)
+}
+
+// ReduceToRoot joins rank to an all→root gradient reduction and blocks.
+func (c *Communicator) ReduceToRoot(p *sim.Proc, rank, root int, size units.Bytes) {
+	c.join("reduceroot", size, root, rank).done.Wait(p)
+}
+
+// The Exec variants run a collective immediately on behalf of all ranks
+// from a single driver process — the shape microbenchmarks and examples
+// want, where no per-rank processes exist.
+
+// ExecAllReduce performs one all-reduce, blocking the driver.
+func (c *Communicator) ExecAllReduce(p *sim.Proc, size units.Bytes) {
+	c.runRingPasses(p, size, 2)
+}
+
+// ExecBroadcast performs one root→all broadcast, blocking the driver.
+func (c *Communicator) ExecBroadcast(p *sim.Proc, root int, size units.Bytes) {
+	c.runBroadcast(p, root, size)
+}
+
+// ExecReduceToRoot performs one all→root reduction, blocking the driver.
+func (c *Communicator) ExecReduceToRoot(p *sim.Proc, root int, size units.Bytes) {
+	c.runReduceRoot(p, root, size)
+}

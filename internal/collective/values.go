@@ -1,0 +1,107 @@
+package collective
+
+import (
+	"fmt"
+
+	"composable/internal/sim"
+	"composable/internal/units"
+)
+
+// This file implements the data plane of the ring algorithms: the actual
+// chunked reduce-scatter / all-gather arithmetic over real vectors. The
+// timing variants in collective.go move simulated time; these move values.
+// AllReduceValues does both, so tests can assert numerical correctness of
+// exactly the schedule whose cost the simulator charges.
+
+// ringAllReduceValues runs the textbook ring all-reduce in place over
+// vecs[rank], using the given ring order. After it returns, every vector
+// equals the element-wise sum of all inputs.
+func ringAllReduceValues(vecs [][]float64, ring []int) error {
+	n := len(ring)
+	if n == 0 {
+		return fmt.Errorf("collective: empty ring")
+	}
+	ln := len(vecs[ring[0]])
+	for _, r := range ring {
+		if len(vecs[r]) != ln {
+			return fmt.Errorf("collective: rank %d vector length %d != %d", r, len(vecs[r]), ln)
+		}
+	}
+	if n == 1 {
+		return nil
+	}
+	// Chunk c covers [start(c), start(c+1)).
+	start := func(c int) int { return (c%n + n) % n * ln / n }
+	bounds := func(c int) (int, int) {
+		c = (c%n + n) % n
+		return c * ln / n, (c + 1) * ln / n
+	}
+	_ = start
+
+	// Reduce-scatter: in round r, ring position i sends chunk (i-r) to
+	// position i+1, which accumulates it. Buffers snapshot the sent
+	// chunks first so all sends within a round are concurrent.
+	for r := 0; r < n-1; r++ {
+		type msg struct {
+			to    int
+			chunk int
+			data  []float64
+		}
+		msgs := make([]msg, 0, n)
+		for i := 0; i < n; i++ {
+			c := i - r
+			lo, hi := bounds(c)
+			src := vecs[ring[i]][lo:hi]
+			buf := make([]float64, len(src))
+			copy(buf, src)
+			msgs = append(msgs, msg{to: (i + 1) % n, chunk: c, data: buf})
+		}
+		for _, m := range msgs {
+			lo, hi := bounds(m.chunk)
+			dst := vecs[ring[m.to]][lo:hi]
+			for k := range dst {
+				dst[k] += m.data[k]
+			}
+		}
+	}
+	// After reduce-scatter, position i holds the full sum of chunk i+1.
+	// All-gather: in round r, position i sends chunk (i+1-r) onward.
+	for r := 0; r < n-1; r++ {
+		type msg struct {
+			to    int
+			chunk int
+			data  []float64
+		}
+		msgs := make([]msg, 0, n)
+		for i := 0; i < n; i++ {
+			c := i + 1 - r
+			lo, hi := bounds(c)
+			src := vecs[ring[i]][lo:hi]
+			buf := make([]float64, len(src))
+			copy(buf, src)
+			msgs = append(msgs, msg{to: (i + 1) % n, chunk: c, data: buf})
+		}
+		for _, m := range msgs {
+			lo, hi := bounds(m.chunk)
+			copy(vecs[ring[m.to]][lo:hi], m.data)
+		}
+	}
+	return nil
+}
+
+// AllReduceValues all-reduces one vector per rank (element-wise sum
+// everywhere), charging the simulated fabric for the movement. vecs is
+// indexed by rank; the call blocks until both data and simulated transfer
+// complete. elemBytes sizes the wire payload (4 for FP32 gradients,
+// 2 for FP16).
+func (c *Communicator) AllReduceValues(p *sim.Proc, vecs [][]float64, elemBytes int) error {
+	if len(vecs) != len(c.gpus) {
+		return fmt.Errorf("collective: %d vectors for %d ranks", len(vecs), len(c.gpus))
+	}
+	if err := ringAllReduceValues(vecs, c.ring); err != nil {
+		return err
+	}
+	size := units.Bytes(len(vecs[c.ring[0]]) * elemBytes)
+	c.runRingPasses(p, size, 2)
+	return nil
+}

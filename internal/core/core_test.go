@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"composable/internal/dlmodel"
+	"composable/internal/gpu"
+	"composable/internal/train"
+	"composable/internal/units"
+)
+
+func TestComposeAllConfigs(t *testing.T) {
+	for _, cfg := range Configs() {
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if len(sys.GPUs) != 8 {
+			t.Errorf("%s: %d GPUs, want 8", cfg.Name, len(sys.GPUs))
+		}
+	}
+}
+
+func TestSequentialJobsOnOneSystem(t *testing.T) {
+	// The same composed system runs several jobs back to back; the
+	// virtual clock keeps advancing and results stay self-consistent.
+	sys, err := NewSystem(LocalGPUs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := train.Options{
+		Workload:      dlmodel.MobileNetV2Workload(),
+		Precision:     gpu.FP16,
+		Epochs:        1,
+		ItersPerEpoch: 5,
+	}
+	first, err := sys.Train(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sys.Train(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.TotalTime <= 0 || second.TotalTime <= 0 {
+		t.Fatal("job times not recorded")
+	}
+	// The second run is warmer (page cache holds the dataset) but the
+	// same order of magnitude.
+	ratio := second.TotalTime.Seconds() / first.TotalTime.Seconds()
+	if ratio < 0.5 || ratio > 1.1 {
+		t.Fatalf("second run ratio = %.2f, want warm-cache ≤ first", ratio)
+	}
+}
+
+func TestChassisViewsFromCore(t *testing.T) {
+	sys, err := NewSystem(FalconGPUs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := sys.ChassisTopology()
+	if !strings.Contains(topo, "drawer 0") || !strings.Contains(topo, "V100") {
+		t.Fatalf("topology view incomplete:\n%s", topo)
+	}
+	if len(sys.ChassisEvents()) == 0 {
+		t.Fatal("composition should have produced chassis events")
+	}
+}
+
+func TestP2PBenchmarkFromCore(t *testing.T) {
+	rows, err := P2PBenchmark(256 * units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Pair != "L-L" || rows[0].BidirBandwidth.GB() < 70 {
+		t.Fatalf("L-L row = %+v", rows[0])
+	}
+}
+
+func TestStackManifestCoversTableI(t *testing.T) {
+	m := StackManifest()
+	if len(m) != 9 {
+		t.Fatalf("manifest rows = %d, want 9 (Table I)", len(m))
+	}
+	wantLayers := []string{"Operating system", "DL Framework", "CUDA", "NCCL"}
+	for _, w := range wantLayers {
+		found := false
+		for _, c := range m {
+			if c.Layer == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("manifest missing layer %q", w)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package dlmodel
+
+import (
+	"fmt"
+
+	"composable/internal/units"
+)
+
+// bertConfig sizes a BERT encoder (Devlin et al. 2019).
+type bertConfig struct {
+	name      string
+	hidden    int
+	layers    int
+	heads     int
+	ffn       int
+	vocab     int
+	maxPos    int
+	typeVocab int
+	seqLen    int
+}
+
+// BERTBase builds bert-base-uncased with a SQuAD span-extraction head at
+// the given sequence length. Depth (Table II) counts encoder blocks: 12.
+func BERTBase(seqLen int) *Graph {
+	return buildBERT(bertConfig{
+		name: "BERT", hidden: 768, layers: 12, heads: 12, ffn: 3072,
+		vocab: 30522, maxPos: 512, typeVocab: 2, seqLen: seqLen,
+	})
+}
+
+// BERTLarge builds bert-large-uncased with a SQuAD head. Depth: 24.
+func BERTLarge(seqLen int) *Graph {
+	return buildBERT(bertConfig{
+		name: "BERT-L", hidden: 1024, layers: 24, heads: 16, ffn: 4096,
+		vocab: 30522, maxPos: 512, typeVocab: 2, seqLen: seqLen,
+	})
+}
+
+func buildBERT(cfg bertConfig) *Graph {
+	g := &Graph{Name: cfg.name}
+	H := int64(cfg.hidden)
+	S := int64(cfg.seqLen)
+	act := func(n int64) units.Bytes { return units.Bytes(4 * n) }
+
+	// Embeddings: word + position + token-type lookups, then LayerNorm.
+	// Lookups are gathers: negligible FLOPs, large parameter tables.
+	g.add(Layer{Name: "embeddings.word", Kind: "embed",
+		Params: int64(cfg.vocab) * H, ActBytes: act(S * H)})
+	g.add(Layer{Name: "embeddings.position", Kind: "embed",
+		Params: int64(cfg.maxPos) * H, ActBytes: act(S * H)})
+	g.add(Layer{Name: "embeddings.type", Kind: "embed",
+		Params: int64(cfg.typeVocab) * H, ActBytes: act(S * H)})
+	g.add(Layer{Name: "embeddings.ln", Kind: "ln", Params: 2 * H,
+		FwdFLOPs: units.FLOPs(8 * S * H), ActBytes: act(S * H)})
+
+	linear := func(name string, in, out int64) {
+		g.add(Layer{Name: name, Kind: "linear",
+			Params:   in*out + out,
+			FwdFLOPs: units.FLOPs(2 * S * in * out),
+			ActBytes: act(S * out)})
+	}
+	for l := 0; l < cfg.layers; l++ {
+		p := fmt.Sprintf("encoder.%d.", l)
+		// The encoder block is the depth unit of Table II.
+		g.add(Layer{Name: p + "block", Kind: "attn", DepthUnits: 1})
+		linear(p+"attn.q", H, H)
+		linear(p+"attn.k", H, H)
+		linear(p+"attn.v", H, H)
+		// Scaled dot-product attention: QKᵀ then AV, each 2·S²·H MACs
+		// ×2 FLOPs, plus softmax.
+		g.add(Layer{Name: p + "attn.scores", Kind: "attn",
+			FwdFLOPs: units.FLOPs(2 * S * S * H),
+			ActBytes: act(int64(cfg.heads) * S * S)})
+		g.add(Layer{Name: p + "attn.softmax", Kind: "act",
+			FwdFLOPs: units.FLOPs(5 * int64(cfg.heads) * S * S),
+			ActBytes: act(int64(cfg.heads) * S * S)})
+		g.add(Layer{Name: p + "attn.context", Kind: "attn",
+			FwdFLOPs: units.FLOPs(2 * S * S * H),
+			ActBytes: act(S * H)})
+		linear(p+"attn.out", H, H)
+		g.add(Layer{Name: p + "attn.ln", Kind: "ln", Params: 2 * H,
+			FwdFLOPs: units.FLOPs(8 * S * H), ActBytes: act(S * H)})
+		linear(p+"ffn.in", H, int64(cfg.ffn))
+		g.add(Layer{Name: p + "ffn.gelu", Kind: "act",
+			FwdFLOPs: units.FLOPs(8 * S * int64(cfg.ffn)),
+			ActBytes: act(S * int64(cfg.ffn))})
+		linear(p+"ffn.out", int64(cfg.ffn), H)
+		g.add(Layer{Name: p + "ffn.ln", Kind: "ln", Params: 2 * H,
+			FwdFLOPs: units.FLOPs(8 * S * H), ActBytes: act(S * H)})
+	}
+	// Pooler (present in the pretrained checkpoint, hence in the
+	// parameter count) and the SQuAD span head.
+	linear("pooler", H, H)
+	linear("qa_outputs", H, 2)
+	return g
+}

@@ -1,0 +1,53 @@
+package dlmodel
+
+import "fmt"
+
+// MobileNetV2 builds the MobileNetV2 (width 1.0) graph for 224×224
+// ImageNet inputs (Sandler et al. 2018). The 53-layer count is the
+// standard convention: stem conv + 52 block/final convolutions + the
+// classifier... precisely: 1 stem + 2 convs in the first (t=1) block +
+// 3 convs in each of the 16 remaining inverted residuals + the 1×1 head
+// conv + the classifier = 53 weighted layers.
+func MobileNetV2() *Graph {
+	g := &Graph{Name: "MobileNetV2"}
+	b := &cnnBuilder{g: g, h: 224, w: 224, c: 3}
+
+	b.conv("stem", 32, 3, 2, true, true, 1)
+
+	// Inverted residual settings: expansion t, output channels c,
+	// repeats n, first-block stride s (Table 2 of the MobileNetV2 paper).
+	settings := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	blockIdx := 0
+	for _, st := range settings {
+		for i := 0; i < st.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = st.s
+			}
+			name := fmt.Sprintf("block%d", blockIdx)
+			blockIdx++
+			cin := b.c
+			expanded := cin * st.t
+			if st.t != 1 {
+				b.conv(name+".expand", expanded, 1, 1, true, true, 1)
+			}
+			b.dwconv(name+".dw", 3, stride, 1)
+			b.conv(name+".project", st.c, 1, 1, true, false, 1)
+			if stride == 1 && cin == st.c {
+				b.addResidual(name + ".add")
+			}
+		}
+	}
+	b.conv("head", 1280, 1, 1, true, true, 1)
+	b.pool("avgpool", 0, 0, true)
+	b.linear("classifier", 1000, 1)
+	return g
+}

@@ -1,0 +1,51 @@
+package dlmodel
+
+import "fmt"
+
+// ResNet50 builds the ResNet-50 graph for 224×224 ImageNet inputs
+// (He et al. 2016). The 50-layer count follows the paper's convention:
+// 49 convolutions on the main path plus the final classifier; projection
+// shortcuts are parameters but not counted layers.
+func ResNet50() *Graph {
+	g := &Graph{Name: "ResNet-50"}
+	b := &cnnBuilder{g: g, h: 224, w: 224, c: 3}
+
+	b.conv("conv1", 64, 7, 2, true, true, 1)
+	b.pool("maxpool", 3, 2, false)
+
+	stages := []struct {
+		mid, out, blocks, stride int
+	}{
+		{64, 256, 3, 1},
+		{128, 512, 4, 2},
+		{256, 1024, 6, 2},
+		{512, 2048, 3, 2},
+	}
+	for si, st := range stages {
+		for blk := 0; blk < st.blocks; blk++ {
+			stride := 1
+			if blk == 0 {
+				stride = st.stride
+			}
+			name := fmt.Sprintf("layer%d.%d", si+1, blk)
+			cin := b.c
+			hIn, wIn := b.h, b.w
+			b.conv(name+".conv1", st.mid, 1, 1, true, true, 1)
+			b.conv(name+".conv2", st.mid, 3, stride, true, true, 1)
+			b.conv(name+".conv3", st.out, 1, 1, true, false, 1)
+			if blk == 0 {
+				// Projection shortcut: a real conv, but not part of
+				// the canonical 50-layer count.
+				down := &cnnBuilder{g: g, h: hIn, w: wIn, c: cin}
+				down.conv(name+".downsample", st.out, 1, stride, true, false, 0)
+			}
+			b.addResidual(name + ".add")
+			g.add(Layer{Name: name + ".relu", Kind: "act",
+				FwdFLOPs: g.Layers[len(g.Layers)-1].FwdFLOPs,
+				ActBytes: g.Layers[len(g.Layers)-1].ActBytes})
+		}
+	}
+	b.pool("avgpool", 0, 0, true)
+	b.linear("fc", 1000, 1)
+	return g
+}

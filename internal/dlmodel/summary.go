@@ -1,0 +1,67 @@
+package dlmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"composable/internal/units"
+)
+
+// Summary renders a torchsummary-style report of the graph: per-kind
+// aggregates plus the heaviest layers, for inspecting what the cost model
+// is charging.
+func (g *Graph) Summary(topN int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", g)
+
+	type agg struct {
+		kind   string
+		count  int
+		params int64
+		flops  units.FLOPs
+	}
+	byKind := map[string]*agg{}
+	for _, l := range g.Layers {
+		a := byKind[l.Kind]
+		if a == nil {
+			a = &agg{kind: l.Kind}
+			byKind[l.Kind] = a
+		}
+		a.count++
+		a.params += l.Params
+		a.flops += l.FwdFLOPs
+	}
+	kinds := make([]*agg, 0, len(byKind))
+	for _, a := range byKind {
+		kinds = append(kinds, a)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].flops > kinds[j].flops })
+	fmt.Fprintf(&b, "%-10s %7s %14s %16s\n", "kind", "layers", "params", "fwd FLOPs")
+	for _, a := range kinds {
+		fmt.Fprintf(&b, "%-10s %7d %13.2fM %16v\n",
+			a.kind, a.count, float64(a.params)/1e6, a.flops)
+	}
+
+	if topN > 0 {
+		heavy := append([]Layer(nil), g.Layers...)
+		sort.SliceStable(heavy, func(i, j int) bool { return heavy[i].FwdFLOPs > heavy[j].FwdFLOPs })
+		if topN > len(heavy) {
+			topN = len(heavy)
+		}
+		fmt.Fprintf(&b, "heaviest %d layers:\n", topN)
+		for _, l := range heavy[:topN] {
+			fmt.Fprintf(&b, "  %-28s %-8s %12v %12v\n", l.Name, l.Kind, l.FwdFLOPs, l.ActBytes)
+		}
+	}
+	return b.String()
+}
+
+// ParamsByKind returns the parameter count aggregated per layer kind.
+func (g *Graph) ParamsByKind() map[string]int64 {
+	out := map[string]int64{}
+	for _, l := range g.Layers {
+		out[l.Kind] += l.Params
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package dlmodel
+
+import (
+	"fmt"
+
+	"composable/internal/units"
+)
+
+// YOLOv5L builds YOLOv5-L (the 2021 Ultralytics release the paper used:
+// Focus stem, CSP backbone with SPP, PANet head) for 640×640 COCO inputs.
+//
+// Depth convention: Table II reports 392 for YOLOv5-L, which counts the
+// elementary torch modules of the Ultralytics implementation (every Conv2d,
+// BatchNorm, activation, pool, concat, add, upsample and detect head).
+// We count the same elementary module kinds; small differences against 392
+// reflect minor version drift in the 2021 code base and are asserted to
+// within 10% by the Table II test.
+func YOLOv5L() *Graph {
+	g := &Graph{Name: "YOLOv5-L"}
+	y := &yoloBuilder{cnnBuilder{g: g, h: 640, w: 640, c: 3}}
+
+	// Backbone (yolov5l.yaml, width/depth multiple 1.0).
+	// Focus: space-to-depth (3→12 channels, 640→320) then Conv 64.
+	y.h, y.w, y.c = 320, 320, 12
+	g.add(Layer{Name: "focus.slice", Kind: "concat",
+		ActBytes: units.Bytes(4 * 12 * 320 * 320), DepthUnits: 1})
+	y.yconv("focus.conv", 64, 3, 1)
+
+	y.yconv("down1", 128, 3, 2)
+	p3snapshot := y.c3("c3_1", 128, 3, true)
+	_ = p3snapshot
+	y.yconv("down2", 256, 3, 2)
+	p3 := y.c3("c3_2", 256, 9, true) // P3/8 feature
+	y.yconv("down3", 512, 3, 2)
+	p4 := y.c3("c3_3", 512, 9, true) // P4/16 feature
+	y.yconv("down4", 1024, 3, 2)
+	y.spp("spp", 1024)
+	y.c3("c3_4", 1024, 3, false)
+
+	// PANet head.
+	y.yconv("head.conv1", 512, 1, 1)
+	h1 := snap(y) // 20×20×512, reused by the late concat
+	y.upsample("head.up1")
+	y.concat("head.cat1", p4.c) // with P4
+	y.c3("head.c3_1", 512, 3, false)
+	y.yconv("head.conv2", 256, 1, 1)
+	h2 := snap(y)
+	y.upsample("head.up2")
+	y.concat("head.cat2", p3.c)            // with P3
+	d1 := y.c3("head.c3_2", 256, 3, false) // detect P3 input
+	y.yconv("head.conv3", 256, 3, 2)
+	y.concat("head.cat3", h2.c)
+	d2 := y.c3("head.c3_3", 512, 3, false) // detect P4 input
+	y.yconv("head.conv4", 512, 3, 2)
+	y.concat("head.cat4", h1.c)
+	d3 := y.c3("head.c3_4", 1024, 3, false) // detect P5 input
+
+	// Detect: one 1×1 conv per scale to 3 anchors × (80 classes + 5).
+	const detOut = 3 * 85
+	for i, d := range []dims{d1, d2, d3} {
+		det := &cnnBuilder{g: g, h: d.h, w: d.w, c: d.c}
+		det.g = g
+		detName := fmt.Sprintf("detect.m%d", i)
+		det.conv(detName, detOut, 1, 1, false, false, 1)
+	}
+	g.add(Layer{Name: "detect", Kind: "detect", DepthUnits: 1})
+	return g
+}
+
+type dims struct{ h, w, c int }
+
+func snap(y *yoloBuilder) dims { return dims{y.h, y.w, y.c} }
+
+// yoloBuilder adds YOLO composite blocks on top of cnnBuilder. YOLO's depth
+// convention counts every elementary module, so convs here carry 3 depth
+// units (Conv2d + BN + SiLU).
+type yoloBuilder struct{ cnnBuilder }
+
+// yconv is the Ultralytics Conv block: Conv2d + BN + SiLU.
+func (y *yoloBuilder) yconv(name string, cout, k, stride int) {
+	y.conv(name, cout, k, stride, true, true, 1)
+	// conv() assigns 1 depth unit to the conv; credit BN and SiLU too.
+	y.g.Layers[len(y.g.Layers)-2].DepthUnits = 1 // bn
+	y.g.Layers[len(y.g.Layers)-1].DepthUnits = 1 // act
+}
+
+// bottleneck is Conv1×1 → Conv3×3 with optional shortcut.
+func (y *yoloBuilder) bottleneck(name string, c int, shortcut bool) {
+	y.yconv(name+".cv1", c, 1, 1)
+	y.yconv(name+".cv2", c, 3, 1)
+	if shortcut {
+		y.addResidual(name + ".add")
+		y.g.Layers[len(y.g.Layers)-1].DepthUnits = 1
+	}
+}
+
+// c3 is the CSP block: two parallel 1×1 reductions, n bottlenecks on one
+// branch, concat, and a 1×1 fusion conv. Returns the output dimensions.
+func (y *yoloBuilder) c3(name string, cout, n int, shortcut bool) dims {
+	cin := y.c
+	mid := cout / 2
+	// Branch 2 (plain reduction) accounted from the same input.
+	branch := &yoloBuilder{cnnBuilder{g: y.g, h: y.h, w: y.w, c: cin}}
+	branch.yconv(name+".cv2", mid, 1, 1)
+	// Branch 1: reduction + bottleneck stack.
+	y.yconv(name+".cv1", mid, 1, 1)
+	for i := 0; i < n; i++ {
+		y.bottleneck(fmt.Sprintf("%s.m%d", name, i), mid, shortcut)
+	}
+	// Concat the two mid-channel branches, then fuse.
+	y.c = 2 * mid
+	y.g.add(Layer{Name: name + ".cat", Kind: "concat",
+		ActBytes: units.Bytes(4 * y.c * y.h * y.w), DepthUnits: 1})
+	y.yconv(name+".cv3", cout, 1, 1)
+	return dims{y.h, y.w, y.c}
+}
+
+// spp is the spatial pyramid pooling block: 1×1 reduce, three max-pools,
+// concat, 1×1 expand.
+func (y *yoloBuilder) spp(name string, cout int) {
+	mid := cout / 2
+	y.yconv(name+".cv1", mid, 1, 1)
+	for i, k := range []int{5, 9, 13} {
+		// Pools are same-size (stride 1, padded); record cost only.
+		y.g.add(Layer{Name: fmt.Sprintf("%s.pool%d", name, i), Kind: "pool",
+			FwdFLOPs:   units.FLOPs(k * k * mid * y.h * y.w),
+			ActBytes:   units.Bytes(4 * mid * y.h * y.w),
+			DepthUnits: 1})
+	}
+	y.c = mid * 4
+	y.g.add(Layer{Name: name + ".cat", Kind: "concat",
+		ActBytes: units.Bytes(4 * y.c * y.h * y.w), DepthUnits: 1})
+	y.yconv(name+".cv2", cout, 1, 1)
+}
+
+// upsample doubles spatial resolution (nearest neighbor).
+func (y *yoloBuilder) upsample(name string) {
+	y.h *= 2
+	y.w *= 2
+	y.g.add(Layer{Name: name, Kind: "upsample",
+		FwdFLOPs:   units.FLOPs(y.c * y.h * y.w),
+		ActBytes:   units.Bytes(4 * y.c * y.h * y.w),
+		DepthUnits: 1})
+}
+
+// concat merges the current tensor with a skip connection of extraC
+// channels at the same resolution.
+func (y *yoloBuilder) concat(name string, extraC int) {
+	y.c += extraC
+	y.g.add(Layer{Name: name, Kind: "concat",
+		ActBytes: units.Bytes(4 * y.c * y.h * y.w), DepthUnits: 1})
+}

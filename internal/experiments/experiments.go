@@ -1,0 +1,176 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V): Tables I–IV and Figures 9–16. Each experiment renders a
+// text report shaped like the paper's artifact and exposes structured
+// results for tests and benchmarks.
+//
+// Experiments share training runs through a Session: Figures 10–14 are
+// different views of the same fifteen (workload × GPU-configuration) runs,
+// exactly as in the paper.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"composable/internal/cluster"
+	"composable/internal/dlmodel"
+	"composable/internal/gpu"
+	"composable/internal/sim"
+	"composable/internal/train"
+)
+
+// Scale sets how much of each training run is simulated. Simulated epochs
+// are shortened subsets of the real ones (per-epoch fixed costs are scaled
+// accordingly by the training engine), so Quick and Standard produce the
+// same shapes at different statistical quality.
+type Scale struct {
+	Name          string
+	ItersPerEpoch int
+	// MaxEpochs caps the paper's epoch counts (20-epoch ImageNet runs
+	// add nothing to the measured ratios).
+	MaxEpochs      int
+	SampleInterval time.Duration
+}
+
+// Predefined scales.
+var (
+	Quick    = Scale{Name: "quick", ItersPerEpoch: 10, MaxEpochs: 2, SampleInterval: 100 * time.Millisecond}
+	Standard = Scale{Name: "standard", ItersPerEpoch: 30, MaxEpochs: 3, SampleInterval: 100 * time.Millisecond}
+)
+
+func (s Scale) epochs(paper int) int {
+	if paper > s.MaxEpochs {
+		return s.MaxEpochs
+	}
+	return paper
+}
+
+// Session caches training runs across experiments.
+type Session struct {
+	Scale Scale
+	cache map[string]*train.Result
+}
+
+// NewSession creates an empty session at the given scale.
+func NewSession(scale Scale) *Session {
+	return &Session{Scale: scale, cache: make(map[string]*train.Result)}
+}
+
+// GPU configurations used by the GPU-focused figures (Table III top).
+func gpuConfigs() []cluster.Config {
+	return []cluster.Config{
+		cluster.LocalGPUsConfig(), cluster.HybridGPUsConfig(), cluster.FalconGPUsConfig(),
+	}
+}
+
+// storageConfigs used by Figure 15 (Table III bottom; localGPUs is the
+// baseline).
+func storageConfigs() []cluster.Config {
+	return []cluster.Config{cluster.LocalNVMeConfig(), cluster.FalconNVMeConfig()}
+}
+
+// Run returns the (cached) result of training w on cfg with default
+// options at the session scale.
+func (s *Session) Run(cfg cluster.Config, w dlmodel.Workload) (*train.Result, error) {
+	return s.RunOpts(cfg, w, train.Options{})
+}
+
+// RunOpts is Run with strategy/precision overrides. opts.Workload,
+// ItersPerEpoch, Epochs and SampleInterval are filled from the session.
+func (s *Session) RunOpts(cfg cluster.Config, w dlmodel.Workload, opts train.Options) (*train.Result, error) {
+	opts.Workload = w
+	if opts.ItersPerEpoch == 0 {
+		opts.ItersPerEpoch = s.Scale.ItersPerEpoch
+	}
+	if opts.Epochs == 0 {
+		opts.Epochs = s.Scale.epochs(w.Epochs)
+	}
+	if opts.SampleInterval == 0 {
+		opts.SampleInterval = s.Scale.SampleInterval
+	}
+	key := fmt.Sprintf("%s|%v|%s|%s|%v|%v|%d|%d|%d|%d", cfg.Name, cfg.SingleDrawer,
+		w.Name, opts.Strategy, opts.Precision, opts.Sharded,
+		opts.BatchPerGPU, opts.Epochs, opts.Buckets, opts.Channels)
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	env := sim.NewEnv()
+	sys, err := cluster.Compose(env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := train.Run(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[key] = res
+	return res, nil
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run renders the report at the session's scale.
+	Run func(s *Session) (string, error)
+}
+
+// All returns the experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", "Table I: Software Stack Details", func(s *Session) (string, error) { return TableI(), nil }},
+		{"T2", "Table II: Characteristics of the Evaluated DL Benchmarks", func(s *Session) (string, error) { return TableIIReport(), nil }},
+		{"T3", "Table III: Composable Host Configurations", func(s *Session) (string, error) { return TableIIIReport(), nil }},
+		{"T4", "Table IV: GPU-GPU Bandwidth, Latency, and Protocol", func(s *Session) (string, error) { return TableIVReport() }},
+		{"F9", "Figure 9: GPU Utilization Patterns", Figure9},
+		{"F10", "Figure 10: GPU Performance on the Composable Configurations", Figure10},
+		{"F11", "Figure 11: Training-Time Change vs localGPUs (PCIe switching)", Figure11},
+		{"F12", "Figure 12: PCIe Data Transfer Rate for Falcon-attached GPUs", Figure12},
+		{"F13", "Figure 13: CPU Utilization", Figure13},
+		{"F14", "Figure 14: System Memory Utilization", Figure14},
+		{"F15", "Figure 15: Training-Time Change vs localGPUs (storage)", Figure15},
+		{"F16", "Figure 16: Software-level Optimizations on BERT-large", Figure16},
+	}
+}
+
+// ByID finds an experiment among the paper artifacts and the extensions.
+func ByID(id string) (Experiment, error) {
+	for _, e := range append(All(), Extensions()...) {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have T1-T4, F9-F16, A1-A4, X1)", id)
+}
+
+// IDs lists all experiment IDs in paper order.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// PercentChange is the paper's Figure 11/15 metric: how much slower (+) or
+// faster (−) a configuration trains than the localGPUs baseline.
+func PercentChange(base, other *train.Result) float64 {
+	return (other.TotalTime.Seconds()/base.TotalTime.Seconds() - 1) * 100
+}
+
+// sortedKeys helps render deterministic maps.
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fp16DDP is the default software configuration of §V-C: all headline
+// experiments use mixed precision and DistributedDataParallel.
+func fp16DDP() train.Options {
+	return train.Options{Precision: gpu.FP16, Strategy: train.DDP}
+}

@@ -1,0 +1,51 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"composable/internal/sim"
+	"composable/internal/units"
+)
+
+func TestDotExport(t *testing.T) {
+	env := sim.NewEnv()
+	n := NewNetwork(env)
+	a := n.AddNode("gpu0", KindGPU)
+	b := n.AddNode("sw0", KindSwitch)
+	n.Connect(a, b, units.GBps(12), units.GBps(10), time.Microsecond, "PCI-e 4.0")
+	out := n.Dot("test")
+	for _, want := range []string{"graph fabric", `"gpu0"`, `"sw0"`, "hexagon", "PCI-e 4.0", "12.00GB/s/10.00GB/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLinkUtilizationOrdering(t *testing.T) {
+	env := sim.NewEnv()
+	n := NewNetwork(env)
+	a := n.AddNode("a", KindGPU)
+	b := n.AddNode("b", KindSwitch)
+	c := n.AddNode("c", KindGPU)
+	n.ConnectSym(a, b, units.GBps(10), 0, "x")
+	n.ConnectSym(b, c, units.GBps(10), 0, "x")
+	env.Go("t", func(p *sim.Proc) {
+		_ = n.Transfer(p, a, b, 5*units.GB) // only link 0
+		_ = n.Transfer(p, a, c, units.GB)   // both links
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rows := n.LinkUtilization()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].AtoB != 6*units.GB || rows[1].AtoB != units.GB {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].From != "a" || rows[0].To != "b" {
+		t.Fatalf("busiest link = %s--%s", rows[0].From, rows[0].To)
+	}
+}

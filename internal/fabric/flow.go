@@ -1,0 +1,306 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"composable/internal/sim"
+	"composable/internal/units"
+)
+
+// Network is a fabric graph plus an active set of fluid flows. All mutation
+// must happen inside the simulation (from processes or scheduled callbacks);
+// the engine's strict handoff makes that race-free without locks.
+type Network struct {
+	env   *sim.Env
+	nodes []*Node
+	links []*Link
+	adj   map[NodeID][]dirLink
+
+	// EndpointOverhead is added once per transfer to model DMA/driver
+	// setup at the endpoints; it dominates small-message p2p latency.
+	EndpointOverhead time.Duration
+
+	flows      map[*Flow]struct{}
+	lastUpdate sim.Time
+	epoch      uint64
+	routeCache map[[2]NodeID][]dirLink
+}
+
+// NewNetwork creates an empty fabric bound to a simulation environment.
+func NewNetwork(env *sim.Env) *Network {
+	return &Network{
+		env:   env,
+		adj:   make(map[NodeID][]dirLink),
+		flows: make(map[*Flow]struct{}),
+	}
+}
+
+// Env returns the simulation environment.
+func (n *Network) Env() *sim.Env { return n.env }
+
+// Flow is an in-flight transfer. Its instantaneous rate is recomputed by
+// the max-min fair allocator whenever the set of flows changes.
+type Flow struct {
+	Src, Dst  NodeID
+	path      []dirLink
+	remaining float64 // bytes
+	rate      float64 // bytes/sec
+	maxRate   float64 // 0 = unlimited; models endpoint media/DMA limits
+	done      sim.Signal
+	latency   time.Duration
+	net       *Network
+}
+
+// Done returns the signal fired when the flow (including its path latency)
+// completes.
+func (f *Flow) Done() *sim.Signal { return &f.done }
+
+// Rate returns the flow's current allocated rate.
+func (f *Flow) Rate() units.BytesPerSec { return units.BytesPerSec(f.rate) }
+
+// StartFlow begins transferring size bytes src→dst and returns the flow.
+// The returned flow's Done signal fires when the last byte arrives (transfer
+// completion plus one-way path latency). Zero-length or same-node transfers
+// complete after just the path latency.
+func (n *Network) StartFlow(src, dst NodeID, size units.Bytes) (*Flow, error) {
+	return n.StartFlowLimited(src, dst, size, 0)
+}
+
+// StartFlowLimited is StartFlow with a per-flow rate cap (0 = unlimited),
+// used for endpoints whose internal media is slower than their link — an
+// NVMe device's flash, a DMA engine's request rate.
+func (n *Network) StartFlowLimited(src, dst NodeID, size units.Bytes, maxRate units.BytesPerSec) (*Flow, error) {
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	lat := n.EndpointOverhead
+	for _, dl := range path {
+		lat += dl.link.Latency
+	}
+	f := &Flow{Src: src, Dst: dst, path: path, remaining: float64(size),
+		maxRate: float64(maxRate), latency: lat, net: n}
+	n.advance()
+	if f.remaining <= 0 || (len(path) == 0 && f.maxRate <= 0) {
+		n.env.After(lat, func() { f.done.Fire(n.env) })
+		return f, nil
+	}
+	n.flows[f] = struct{}{}
+	n.recompute()
+	return f, nil
+}
+
+// TransferLimited moves size bytes with a per-flow rate cap, blocking until
+// arrival.
+func (n *Network) TransferLimited(p *sim.Proc, src, dst NodeID, size units.Bytes, maxRate units.BytesPerSec) error {
+	f, err := n.StartFlowLimited(src, dst, size, maxRate)
+	if err != nil {
+		return err
+	}
+	f.done.Wait(p)
+	return nil
+}
+
+// Transfer moves size bytes src→dst, blocking the calling process until the
+// data has fully arrived. It is the common case wrapper around StartFlow.
+func (n *Network) Transfer(p *sim.Proc, src, dst NodeID, size units.Bytes) error {
+	f, err := n.StartFlow(src, dst, size)
+	if err != nil {
+		return err
+	}
+	f.done.Wait(p)
+	return nil
+}
+
+// ParallelTransfer starts one flow per (src,dst,size) triple and blocks
+// until all complete: the building block for collective steps.
+func (n *Network) ParallelTransfer(p *sim.Proc, xs []TransferSpec) error {
+	flows := make([]*Flow, 0, len(xs))
+	for _, x := range xs {
+		f, err := n.StartFlow(x.Src, x.Dst, x.Size)
+		if err != nil {
+			return err
+		}
+		flows = append(flows, f)
+	}
+	for _, f := range flows {
+		f.done.Wait(p)
+	}
+	return nil
+}
+
+// TransferSpec names one leg of a parallel transfer.
+type TransferSpec struct {
+	Src, Dst NodeID
+	Size     units.Bytes
+}
+
+// advance integrates all flows from lastUpdate to now at their current
+// rates, crediting per-link byte counters.
+func (n *Network) advance() {
+	now := n.env.Now()
+	dt := (now - n.lastUpdate).Seconds()
+	n.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	for f := range n.flows {
+		moved := f.rate * dt
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		for _, dl := range f.path {
+			dl.addBytes(moved)
+		}
+	}
+}
+
+// recompute runs max-min fair allocation over the active flows and
+// schedules the next completion event. It must be called with counters
+// already advanced to the current instant.
+func (n *Network) recompute() {
+	n.epoch++
+	if len(n.flows) == 0 {
+		return
+	}
+
+	// Progressive filling: repeatedly find the most constrained
+	// constraint (smallest fair share among its unfrozen flows), freeze
+	// those flows at that share, remove their demand, repeat. A
+	// constraint is either one direction of a link or a flow's own rate
+	// cap (a virtual single-flow link).
+	type constraint struct {
+		residual float64
+		flows    []*Flow
+	}
+	var constraints []*constraint
+	byKey := make(map[dirKey]*constraint)
+	flowCons := make(map[*Flow][]*constraint, len(n.flows))
+	for f := range n.flows {
+		f.rate = math.Inf(1)
+		for _, dl := range f.path {
+			k := dirKey{dl.link.ID, dl.forward}
+			st := byKey[k]
+			if st == nil {
+				st = &constraint{residual: dl.capacity()}
+				byKey[k] = st
+				constraints = append(constraints, st)
+			}
+			st.flows = append(st.flows, f)
+			flowCons[f] = append(flowCons[f], st)
+		}
+		if f.maxRate > 0 {
+			st := &constraint{residual: f.maxRate, flows: []*Flow{f}}
+			constraints = append(constraints, st)
+			flowCons[f] = append(flowCons[f], st)
+		}
+	}
+	frozen := make(map[*Flow]bool, len(n.flows))
+	for len(frozen) < len(n.flows) {
+		bestShare := math.Inf(1)
+		var best *constraint
+		for _, st := range constraints {
+			unfrozen := 0
+			for _, f := range st.flows {
+				if !frozen[f] {
+					unfrozen++
+				}
+			}
+			if unfrozen == 0 {
+				continue
+			}
+			share := st.residual / float64(unfrozen)
+			if share < bestShare {
+				bestShare, best = share, st
+			}
+		}
+		if best == nil {
+			break
+		}
+		for _, f := range best.flows {
+			if frozen[f] {
+				continue
+			}
+			frozen[f] = true
+			f.rate = bestShare
+			for _, st := range flowCons[f] {
+				st.residual -= bestShare
+				if st.residual < 0 {
+					st.residual = 0
+				}
+			}
+		}
+	}
+
+	// Schedule the next completion.
+	nextIn := math.Inf(1)
+	for f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if t := f.remaining / f.rate; t < nextIn {
+			nextIn = t
+		}
+	}
+	if math.IsInf(nextIn, 1) {
+		// No flow can make progress: a configuration error (zero-capacity
+		// path). Surface loudly rather than hanging the simulation.
+		panic(fmt.Sprintf("fabric: %d flows with zero allocated rate", len(n.flows)))
+	}
+	epoch := n.epoch
+	n.env.After(durationFromSeconds(nextIn), func() {
+		if n.epoch != epoch {
+			return // superseded by a newer recompute
+		}
+		n.advance()
+		n.finishCompleted()
+	})
+}
+
+type dirKey struct {
+	id      LinkID
+	forward bool
+}
+
+// completionEpsilon absorbs float rounding when deciding a flow is done.
+const completionEpsilon = 1e-3 // bytes
+
+func (n *Network) finishCompleted() {
+	for f := range n.flows {
+		if f.remaining <= completionEpsilon {
+			delete(n.flows, f)
+			lat := f.latency
+			ff := f
+			n.env.After(lat, func() { ff.done.Fire(n.env) })
+		}
+	}
+	n.recompute()
+}
+
+func durationFromSeconds(s float64) time.Duration {
+	if s < 0 {
+		s = 0
+	}
+	d := time.Duration(s * float64(time.Second))
+	// Guard against rounding to zero, which would busy-loop the engine:
+	// always make at least 1ns of progress.
+	if d == 0 {
+		d = time.Nanosecond
+	}
+	return d
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// LinkTrafficSnapshot returns cumulative (A→B, B→A) bytes for a link after
+// integrating flows to the current instant. Monitors diff two snapshots to
+// get a rate, exactly as the Falcon GUI computes per-port GB/s.
+func (n *Network) LinkTrafficSnapshot(id LinkID) (ab, ba units.Bytes) {
+	n.advance()
+	l := n.links[id]
+	return l.BytesAtoB(), l.BytesBtoA()
+}

@@ -1,0 +1,296 @@
+// Package fabric simulates the interconnect of the composable system: a
+// graph of PCIe root complexes, PCIe switches, NVLink meshes and devices,
+// with data transfers modeled as fluid flows that share link bandwidth
+// max-min fairly.
+//
+// This flow-level model is what turns the higher-level workload models into
+// the paper's observed behaviour: when eight Falcon-attached GPUs run a
+// NCCL-style ring all-reduce, their flows contend on the drawer switch and
+// host-adapter links and the achievable bus bandwidth drops — exactly the
+// PCIe-switching overhead the paper measures in Figures 11 and 12.
+//
+// For reference (paper Fig. 5, citing Papaioannou et al.), the latency
+// ladder this fabric spans: CPU-to-memory ~ns, GPU-to-GPU NVLink ~1-2 µs,
+// GPU across a PCIe switch ~2-3 µs, storage ~100 µs. Those orders of
+// magnitude come out of the link parameters in package cluster.
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"composable/internal/units"
+)
+
+// NodeID identifies a node in the fabric graph.
+type NodeID int
+
+// NodeKind classifies fabric nodes; the fabric itself treats all nodes
+// uniformly, but composition and reporting layers use the kind.
+type NodeKind string
+
+// Node kinds used by the composable system model.
+const (
+	KindRootComplex NodeKind = "root-complex" // host CPU PCIe root
+	KindSwitch      NodeKind = "pcie-switch"  // Falcon drawer switch
+	KindHostAdapter NodeKind = "host-adapter" // Falcon host port adapter card
+	KindGPU         NodeKind = "gpu"
+	KindNVMe        NodeKind = "nvme"
+	KindNIC         NodeKind = "nic"
+	KindMemory      NodeKind = "memory" // host DRAM target
+)
+
+// Node is a vertex in the fabric graph.
+type Node struct {
+	ID   NodeID
+	Name string
+	Kind NodeKind
+}
+
+// LinkID identifies an undirected link (a pair of directed channels).
+type LinkID int
+
+// Link is a full-duplex connection between two nodes with independent
+// per-direction capacities, a one-way traversal latency, and a protocol
+// label (surfaced in Table IV).
+type Link struct {
+	ID       LinkID
+	A, B     NodeID
+	CapAtoB  units.BytesPerSec
+	CapBtoA  units.BytesPerSec
+	Latency  time.Duration
+	Protocol string
+
+	// Cumulative bytes moved in each direction, maintained continuously
+	// by the flow engine; these back the Falcon port-traffic monitors
+	// and Figure 12.
+	bytesAtoB float64
+	bytesBtoA float64
+}
+
+// BytesAtoB returns cumulative bytes moved A→B.
+func (l *Link) BytesAtoB() units.Bytes { return units.Bytes(l.bytesAtoB) }
+
+// BytesBtoA returns cumulative bytes moved B→A.
+func (l *Link) BytesBtoA() units.Bytes { return units.Bytes(l.bytesBtoA) }
+
+// dirLink is one direction of a Link.
+type dirLink struct {
+	link    *Link
+	forward bool // true: A→B
+}
+
+func (d dirLink) capacity() float64 {
+	if d.forward {
+		return float64(d.link.CapAtoB)
+	}
+	return float64(d.link.CapBtoA)
+}
+
+func (d dirLink) addBytes(n float64) {
+	if d.forward {
+		d.link.bytesAtoB += n
+	} else {
+		d.link.bytesBtoA += n
+	}
+}
+
+func (d dirLink) from() NodeID {
+	if d.forward {
+		return d.link.A
+	}
+	return d.link.B
+}
+
+func (d dirLink) to() NodeID {
+	if d.forward {
+		return d.link.B
+	}
+	return d.link.A
+}
+
+// addGraphStructures indexes a new link for routing.
+func (n *Network) addGraphStructures(l *Link) {
+	if l.CapAtoB > 0 {
+		n.adj[l.A] = append(n.adj[l.A], dirLink{link: l, forward: true})
+	}
+	if l.CapBtoA > 0 {
+		n.adj[l.B] = append(n.adj[l.B], dirLink{link: l, forward: false})
+	}
+	n.routeCache = nil
+}
+
+// AddNode adds a node and returns its ID.
+func (n *Network) AddNode(name string, kind NodeKind) NodeID {
+	id := NodeID(len(n.nodes))
+	n.nodes = append(n.nodes, &Node{ID: id, Name: name, Kind: kind})
+	n.routeCache = nil
+	return id
+}
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+
+// Nodes returns all nodes in creation order.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// Links returns all links in creation order.
+func (n *Network) Links() []*Link { return n.links }
+
+// Connect adds a full-duplex link between a and b.
+func (n *Network) Connect(a, b NodeID, capAB, capBA units.BytesPerSec, latency time.Duration, protocol string) LinkID {
+	if a == b {
+		panic("fabric: self-link")
+	}
+	l := &Link{
+		ID: LinkID(len(n.links)), A: a, B: b,
+		CapAtoB: capAB, CapBtoA: capBA,
+		Latency: latency, Protocol: protocol,
+	}
+	n.links = append(n.links, l)
+	n.addGraphStructures(l)
+	return l.ID
+}
+
+// ConnectSym adds a link with equal capacity in both directions.
+func (n *Network) ConnectSym(a, b NodeID, cap units.BytesPerSec, latency time.Duration, protocol string) LinkID {
+	return n.Connect(a, b, cap, cap, latency, protocol)
+}
+
+// Link returns the link with the given ID.
+func (n *Network) Link(id LinkID) *Link { return n.links[id] }
+
+// Route returns the directed links on the preferred path src→dst, or an
+// error if dst is unreachable. Paths minimize total latency with a small
+// per-hop penalty (so that, capacities being equal, fewer switch traversals
+// win — matching real PCIe/NVLink route selection) and are cached.
+func (n *Network) Route(src, dst NodeID) ([]dirLink, error) {
+	if src == dst {
+		return nil, nil
+	}
+	if n.routeCache == nil {
+		n.routeCache = make(map[[2]NodeID][]dirLink)
+	}
+	key := [2]NodeID{src, dst}
+	if p, ok := n.routeCache[key]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("fabric: no path %s → %s", n.nodes[src].Name, n.nodes[dst].Name)
+		}
+		return p, nil
+	}
+	p := n.dijkstra(src, dst)
+	n.routeCache[key] = p
+	if p == nil {
+		return nil, fmt.Errorf("fabric: no path %s → %s", n.nodes[src].Name, n.nodes[dst].Name)
+	}
+	return p, nil
+}
+
+// hopPenalty breaks ties between equal-latency paths in favor of fewer hops.
+const hopPenalty = 10 * time.Nanosecond
+
+func (n *Network) dijkstra(src, dst NodeID) []dirLink {
+	const inf = math.MaxInt64
+	dist := make([]int64, len(n.nodes))
+	prev := make([]dirLink, len(n.nodes))
+	hasPrev := make([]bool, len(n.nodes))
+	visited := make([]bool, len(n.nodes))
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	for {
+		// Linear scan: fabric graphs are tens of nodes, so a heap is
+		// not worth the code.
+		best, bestD := NodeID(-1), int64(inf)
+		for i, d := range dist {
+			if !visited[i] && d < bestD {
+				best, bestD = NodeID(i), d
+			}
+		}
+		if best == -1 {
+			break
+		}
+		if best == dst {
+			break
+		}
+		visited[best] = true
+		for _, dl := range n.adj[best] {
+			cost := int64(dl.link.Latency) + int64(hopPenalty)
+			if nd := dist[best] + cost; nd < dist[dl.to()] {
+				dist[dl.to()] = nd
+				prev[dl.to()] = dl
+				hasPrev[dl.to()] = true
+			}
+		}
+	}
+	if !hasPrev[dst] {
+		return nil
+	}
+	var rev []dirLink
+	for at := dst; at != src; at = prev[at].from() {
+		rev = append(rev, prev[at])
+	}
+	path := make([]dirLink, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path
+}
+
+// PathLatency returns the one-way latency of the preferred src→dst path
+// plus the per-endpoint overheads registered on the network (DMA engine
+// setup, driver stack), which is what a p2p latency microbenchmark sees.
+func (n *Network) PathLatency(src, dst NodeID) (time.Duration, error) {
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	total := n.EndpointOverhead
+	for _, dl := range path {
+		total += dl.link.Latency
+	}
+	return total, nil
+}
+
+// PathProtocol describes the protocol of a path: the single protocol if
+// uniform, otherwise the protocol of the bottleneck (lowest-capacity) hop.
+func (n *Network) PathProtocol(src, dst NodeID) (string, error) {
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return "", err
+	}
+	if len(path) == 0 {
+		return "local", nil
+	}
+	proto := path[0].link.Protocol
+	bottleneck := path[0]
+	for _, dl := range path[1:] {
+		if dl.capacity() < bottleneck.capacity() {
+			bottleneck = dl
+		}
+		if dl.link.Protocol != proto {
+			proto = bottleneck.link.Protocol
+		}
+	}
+	return proto, nil
+}
+
+// PathBottleneck returns the minimum directed capacity along src→dst.
+func (n *Network) PathBottleneck(src, dst NodeID) (units.BytesPerSec, error) {
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	best := math.MaxFloat64
+	for _, dl := range path {
+		if c := dl.capacity(); c < best {
+			best = c
+		}
+	}
+	if len(path) == 0 {
+		return 0, nil
+	}
+	return units.BytesPerSec(best), nil
+}

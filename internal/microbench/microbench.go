@@ -1,0 +1,92 @@
+// Package microbench reimplements the GPU peer-to-peer microbenchmark
+// (CUDA's p2pBandwidthLatencyTest) on the simulated fabric. Its output
+// regenerates the paper's Table IV: bidirectional bandwidth, small-write
+// latency and link protocol for Local-Local, Falcon-Local and
+// Falcon-Falcon GPU pairs.
+package microbench
+
+import (
+	"fmt"
+	"time"
+
+	"composable/internal/cluster"
+	"composable/internal/fabric"
+	"composable/internal/sim"
+	"composable/internal/units"
+)
+
+// P2PResult is one measured pair.
+type P2PResult struct {
+	Pair           string // "L-L", "F-L", "F-F"
+	BidirBandwidth units.BytesPerSec
+	WriteLatency   time.Duration
+	Protocol       string
+}
+
+// measure runs the bandwidth and latency phases for one GPU pair inside an
+// already-running simulation process.
+func measure(p *sim.Proc, net *fabric.Network, a, b fabric.NodeID, payload units.Bytes) (units.BytesPerSec, time.Duration, string, error) {
+	// Bidirectional bandwidth: equal payloads both directions at once,
+	// as the CUDA test does.
+	start := p.Now()
+	if err := net.ParallelTransfer(p, []fabric.TransferSpec{
+		{Src: a, Dst: b, Size: payload},
+		{Src: b, Dst: a, Size: payload},
+	}); err != nil {
+		return 0, 0, "", err
+	}
+	elapsed := p.Now() - start
+	bw := units.BytesPerSec(float64(2*payload) / elapsed.Seconds())
+
+	// P2P write latency: a zero-payload transfer completes after exactly
+	// the path latency (DMA setup + per-hop traversals).
+	lat, err := net.PathLatency(a, b)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	proto, err := net.PathProtocol(a, b)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	return bw, lat, proto, nil
+}
+
+// TableIV composes the hybrid system (4 local + 4 Falcon GPUs: the one
+// configuration containing all three pair kinds) and measures the three
+// rows of the paper's Table IV. payload is the per-direction transfer size;
+// 1 GiB reproduces the steady-state numbers.
+func TableIV(payload units.Bytes) ([]P2PResult, error) {
+	env := sim.NewEnv()
+	sys, err := cluster.Compose(env, cluster.HybridGPUsConfig())
+	if err != nil {
+		return nil, err
+	}
+	locals := sys.LocalGPUList()
+	falcons := sys.FalconGPUList()
+	if len(locals) < 2 || len(falcons) < 2 {
+		return nil, fmt.Errorf("microbench: hybrid system missing GPUs")
+	}
+	pairs := []struct {
+		name string
+		a, b fabric.NodeID
+	}{
+		{"L-L", locals[0].Node, locals[1].Node},
+		{"F-L", falcons[0].Node, locals[0].Node},
+		{"F-F", falcons[0].Node, falcons[1].Node},
+	}
+	results := make([]P2PResult, len(pairs))
+	env.Go("p2p-bench", func(p *sim.Proc) {
+		for i, pair := range pairs {
+			bw, lat, proto, err := measure(p, sys.Net, pair.a, pair.b, payload)
+			if err != nil {
+				panic(err)
+			}
+			results[i] = P2PResult{Pair: pair.name, BidirBandwidth: bw, WriteLatency: lat, Protocol: proto}
+		}
+	})
+	if err := env.Run(); err != nil {
+		return nil, err
+	}
+	// Paper order: L-L, F-L, F-F.
+	return results, nil
+}

@@ -1,0 +1,82 @@
+// Package nvlink models second-generation NVLink: per-brick bandwidth and
+// the DGX-1V "hybrid cube mesh" wiring used by the host servers' eight
+// local V100 SXM2 GPUs (paper Figure 7).
+package nvlink
+
+import (
+	"time"
+
+	"composable/internal/units"
+)
+
+// BrickRaw is the raw per-direction bandwidth of one NVLink 2.0 brick.
+// A V100 has six bricks for 300 GB/s total bidirectional bandwidth.
+var BrickRaw = units.GBps(25)
+
+// BrickEfficiency is the achievable fraction of raw brick bandwidth for
+// bulk transfers, calibrated against Table IV: the L-L pair (a double-brick
+// edge) measures 72.37 GB/s bidirectional = 36.185 GB/s per direction over
+// 50 GB/s raw.
+const BrickEfficiency = 0.7237
+
+// EdgeBandwidth returns the effective per-direction bandwidth of an edge
+// with the given brick count.
+func EdgeBandwidth(bricks int) units.BytesPerSec {
+	return units.BytesPerSec(float64(BrickRaw) * BrickEfficiency * float64(bricks))
+}
+
+// EdgeLatency is the one-hop NVLink traversal latency. Together with the
+// fabric's 1.3 µs endpoint overhead it reproduces Table IV's 1.85 µs L-L
+// p2p write latency.
+const EdgeLatency = 550 * time.Nanosecond
+
+// Protocol is the protocol label reported for NVLink paths (Table IV).
+const Protocol = "NVLink"
+
+// Edge is one NVLink connection of the cube mesh.
+type Edge struct {
+	A, B   int // GPU indices
+	Bricks int
+}
+
+// CubeMesh returns the DGX-1V hybrid cube mesh for eight GPUs: two quads
+// (0-3, 4-7), each quad a ring plus one diagonal pair of double links, and
+// double links joining the quads. Every GPU uses exactly six bricks.
+//
+// Edges (bricks): pair partners 0-1, 2-3, 4-5, 6-7 (2); quad rings
+// 0-3, 1-2, 4-7, 5-6 (1); diagonals 0-2, 1-3, 4-6, 5-7 (1); cross links
+// 0-4, 1-5, 2-6, 3-7 (2).
+func CubeMesh() []Edge {
+	return []Edge{
+		{0, 1, 2}, {2, 3, 2}, {4, 5, 2}, {6, 7, 2},
+		{0, 3, 1}, {1, 2, 1}, {4, 7, 1}, {5, 6, 1},
+		{0, 2, 1}, {1, 3, 1}, {4, 6, 1}, {5, 7, 1},
+		{0, 4, 2}, {1, 5, 2}, {2, 6, 2}, {3, 7, 2},
+	}
+}
+
+// BricksPerGPU is the NVLink brick count of a V100.
+const BricksPerGPU = 6
+
+// RingOrder returns a Hamiltonian cycle over the cube mesh used as the
+// primary collective ring for n local GPUs (n must divide into the mesh;
+// supported values are 2, 4 and 8). The 8-GPU ring
+// 0-1-2-3-7-6-5-4-0 uses only existing mesh edges.
+func RingOrder(n int) []int {
+	switch n {
+	case 2:
+		return []int{0, 1}
+	case 4:
+		return []int{0, 1, 2, 3}
+	case 8:
+		return []int{0, 1, 2, 3, 7, 6, 5, 4}
+	default:
+		// Fall back to index order; the fabric will route over
+		// multi-hop paths where no direct edge exists.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order
+	}
+}

@@ -1,0 +1,82 @@
+package nvlink
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCubeMeshBrickBudget(t *testing.T) {
+	// Every GPU in the DGX-1V hybrid cube mesh uses exactly its six
+	// bricks.
+	perGPU := map[int]int{}
+	for _, e := range CubeMesh() {
+		perGPU[e.A] += e.Bricks
+		perGPU[e.B] += e.Bricks
+	}
+	if len(perGPU) != 8 {
+		t.Fatalf("mesh covers %d GPUs, want 8", len(perGPU))
+	}
+	for g, bricks := range perGPU {
+		if bricks != BricksPerGPU {
+			t.Errorf("GPU %d uses %d bricks, want %d", g, bricks, BricksPerGPU)
+		}
+	}
+}
+
+func TestCubeMeshNoDuplicateEdges(t *testing.T) {
+	seen := map[[2]int]bool{}
+	for _, e := range CubeMesh() {
+		k := [2]int{e.A, e.B}
+		if e.A > e.B {
+			k = [2]int{e.B, e.A}
+		}
+		if seen[k] {
+			t.Errorf("duplicate edge %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestEdgeBandwidthCalibration(t *testing.T) {
+	// A double-brick edge must reproduce Table IV's L-L row:
+	// 72.37 GB/s bidirectional = 36.185 per direction.
+	got := EdgeBandwidth(2).GB()
+	if math.Abs(got-36.185) > 0.01 {
+		t.Errorf("double edge = %.3f GB/s per direction, want 36.185", got)
+	}
+	if EdgeBandwidth(1) >= EdgeBandwidth(2) {
+		t.Error("bandwidth must scale with bricks")
+	}
+}
+
+func TestRingOrderTraversesMeshEdges(t *testing.T) {
+	edges := map[[2]int]bool{}
+	for _, e := range CubeMesh() {
+		edges[[2]int{e.A, e.B}] = true
+		edges[[2]int{e.B, e.A}] = true
+	}
+	for _, n := range []int{2, 4, 8} {
+		ring := RingOrder(n)
+		if len(ring) != n {
+			t.Fatalf("RingOrder(%d) has %d entries", n, len(ring))
+		}
+		seen := map[int]bool{}
+		for i, g := range ring {
+			if seen[g] {
+				t.Fatalf("RingOrder(%d) repeats %d", n, g)
+			}
+			seen[g] = true
+			next := ring[(i+1)%n]
+			if n >= 2 && !edges[[2]int{g, next}] {
+				t.Errorf("RingOrder(%d): %d→%d is not a mesh edge", n, g, next)
+			}
+		}
+	}
+}
+
+func TestRingOrderFallback(t *testing.T) {
+	ring := RingOrder(3)
+	if len(ring) != 3 {
+		t.Fatalf("fallback ring = %v", ring)
+	}
+}

@@ -1,0 +1,222 @@
+package sim
+
+import "fmt"
+
+// Resource is a counting semaphore with a FIFO wait queue: the standard
+// model for exclusive or capacity-limited hardware (a GPU's compute engine,
+// a storage controller's queue slots, CPU cores).
+type Resource struct {
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*resWaiter
+	// busy accounting for utilization metrics.
+	busySince  Time
+	accumBusy  Time
+	lastChange Time
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource creates a resource with the given capacity (> 0).
+func NewResource(name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q capacity must be positive", name))
+	}
+	return &Resource{name: name, capacity: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire blocks the process until n units are available, then takes them.
+// Requests are granted strictly FIFO, so a large request cannot be starved
+// by a stream of small ones.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: acquire %d of resource %q (capacity %d)", n, r.name, r.capacity))
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.take(p.env, n)
+		return
+	}
+	r.waiters = append(r.waiters, &resWaiter{p: p, n: n})
+	p.yield("resource " + r.name)
+}
+
+// TryAcquire takes n units if immediately available, reporting success.
+func (r *Resource) TryAcquire(e *Env, n int) bool {
+	if n <= 0 || n > r.capacity {
+		return false
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.take(e, n)
+		return true
+	}
+	return false
+}
+
+// Release returns n units and wakes as many FIFO waiters as now fit.
+func (r *Resource) Release(e *Env, n int) {
+	if n <= 0 || n > r.inUse {
+		panic(fmt.Sprintf("sim: release %d of resource %q (in use %d)", n, r.name, r.inUse))
+	}
+	r.account(e)
+	r.inUse -= n
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.inUse+w.n > r.capacity {
+			break
+		}
+		r.waiters = r.waiters[1:]
+		r.inUse += w.n
+		p := w.p
+		e.Schedule(e.now, func() { e.wake(p) })
+	}
+}
+
+func (r *Resource) take(e *Env, n int) {
+	r.account(e)
+	r.inUse += n
+}
+
+// AddBusy credits the resource with extra busy time without occupying it,
+// for activity the resource performs that is not modeled as a hold (e.g.
+// NCCL kernels keeping a GPU "utilized" while the training process waits
+// on a collective). The credit is clamped so utilization cannot exceed 1.
+func (r *Resource) AddBusy(e *Env, d Time) {
+	if d <= 0 {
+		return
+	}
+	r.account(e)
+	r.accumBusy += d
+	if r.accumBusy > e.now {
+		r.accumBusy = e.now
+	}
+}
+
+// account accrues busy time weighted by occupancy since the last change.
+func (r *Resource) account(e *Env) {
+	dt := e.now - r.lastChange
+	if dt > 0 && r.inUse > 0 {
+		r.accumBusy += Time(float64(dt) * float64(r.inUse) / float64(r.capacity))
+	}
+	r.lastChange = e.now
+}
+
+// Utilization returns the occupancy-weighted busy fraction of the resource
+// over [0, now]. It is what a sampling monitor (nvidia-smi, top) would
+// report as average utilization.
+func (r *Resource) Utilization(e *Env) float64 {
+	if e.now == 0 {
+		return 0
+	}
+	busy := r.accumBusy
+	dt := e.now - r.lastChange
+	if dt > 0 && r.inUse > 0 {
+		busy += Time(float64(dt) * float64(r.inUse) / float64(r.capacity))
+	}
+	return float64(busy) / float64(e.now)
+}
+
+// UtilizationSince returns the busy fraction accrued after mark, where mark
+// is a previous snapshot from BusySnapshot. Used by periodic samplers.
+func (r *Resource) UtilizationSince(e *Env, markTime, markBusy Time) (frac float64) {
+	busy := r.accumBusy
+	dt := e.now - r.lastChange
+	if dt > 0 && r.inUse > 0 {
+		busy += Time(float64(dt) * float64(r.inUse) / float64(r.capacity))
+	}
+	window := e.now - markTime
+	if window <= 0 {
+		return 0
+	}
+	frac = float64(busy-markBusy) / float64(window)
+	// AddBusy credits (e.g. NCCL kernels) can land in the same window as
+	// held-occupancy time; a utilization is still a fraction.
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return frac
+}
+
+// BusySnapshot returns (now, accumulated busy time) for use with
+// UtilizationSince.
+func (r *Resource) BusySnapshot(e *Env) (Time, Time) {
+	busy := r.accumBusy
+	dt := e.now - r.lastChange
+	if dt > 0 && r.inUse > 0 {
+		busy += Time(float64(dt) * float64(r.inUse) / float64(r.capacity))
+	}
+	return e.now, busy
+}
+
+// Queue is an unbounded FIFO channel between processes: producers Put items
+// and consumers Get them, blocking when empty. It models staging buffers
+// such as a data loader's ready-batch queue.
+type Queue struct {
+	name    string
+	items   []interface{}
+	waiters []*Proc
+	closed  bool
+}
+
+// NewQueue creates an empty queue.
+func NewQueue(name string) *Queue { return &Queue{name: name} }
+
+// Len returns the number of buffered items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Put appends an item and wakes one waiting consumer.
+func (q *Queue) Put(e *Env, item interface{}) {
+	if q.closed {
+		panic(fmt.Sprintf("sim: put on closed queue %q", q.name))
+	}
+	q.items = append(q.items, item)
+	q.wakeOne(e)
+}
+
+// Close marks the queue as finished; blocked and future Gets return
+// (nil, false) once drained.
+func (q *Queue) Close(e *Env) {
+	q.closed = true
+	for len(q.waiters) > 0 {
+		q.wakeOne(e)
+	}
+}
+
+func (q *Queue) wakeOne(e *Env) {
+	if len(q.waiters) == 0 {
+		return
+	}
+	p := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	e.Schedule(e.now, func() { e.wake(p) })
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty. ok is false when the queue is closed and drained.
+func (q *Queue) Get(p *Proc) (item interface{}, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.waiters = append(q.waiters, p)
+		p.yield("queue " + q.name)
+	}
+	item = q.items[0]
+	q.items = q.items[1:]
+	return item, true
+}

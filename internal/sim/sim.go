@@ -1,0 +1,285 @@
+// Package sim is a deterministic discrete-event simulation engine.
+//
+// The engine drives goroutine-based processes over a virtual clock with a
+// strict one-at-a-time handoff: exactly one process (or event callback) runs
+// at any instant, and the order of execution is fully determined by
+// (timestamp, scheduling sequence number). This makes simulations of the
+// composable system reproducible bit-for-bit across runs, which the
+// experiment harness relies on.
+//
+// The design follows the SimPy school: a process is an ordinary function
+// that blocks on primitives such as Proc.Sleep, Resource.Acquire or
+// Signal.Wait; behind the scenes each block is a yield back to the event
+// loop. Because handoff is strict, no locking is needed inside models.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Time is virtual simulation time measured from the start of the run.
+type Time = time.Duration
+
+// event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (seq), which keeps the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// Create one with NewEnv, spawn processes with Go, then call Run.
+type Env struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	ack     chan struct{}
+	procs   map[*Proc]struct{}
+	running bool
+	failure error
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{
+		ack:   make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Schedule registers fn to run at absolute virtual time at. Times in the
+// past are clamped to the current instant. Schedule may be called before
+// Run or from inside a running process or event callback.
+func (e *Env) Schedule(at Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After registers fn to run d from now.
+func (e *Env) After(d time.Duration, fn func()) { e.Schedule(e.now+d, fn) }
+
+// Proc is a running simulation process. All blocking primitives take the
+// Proc so that only code executing inside the process can block it.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	done   bool
+	// blockedOn describes what the process is waiting for; used in
+	// deadlock reports.
+	blockedOn string
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Go spawns fn as a new process starting at the current virtual time.
+// It may be called before Run or from within the simulation.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.procs[p] = struct{}{}
+	e.Schedule(e.now, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if e.failure == nil {
+						e.failure = fmt.Errorf("sim: process %q panicked: %v", name, r)
+					}
+				}
+				p.done = true
+				delete(e.procs, p)
+				e.ack <- struct{}{}
+			}()
+			<-p.resume
+			fn(p)
+		}()
+		e.wake(p)
+	})
+	return p
+}
+
+// wake hands control to p and blocks until p yields or finishes.
+func (e *Env) wake(p *Proc) {
+	p.blockedOn = ""
+	p.resume <- struct{}{}
+	<-e.ack
+}
+
+// yield returns control from the process to the event loop and blocks the
+// process until it is woken again. reason is recorded for deadlock reports.
+func (p *Proc) yield(reason string) {
+	p.blockedOn = reason
+	p.env.ack <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time. Negative durations are
+// treated as zero (the process is rescheduled after already-queued events
+// at the same instant).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.env
+	e.Schedule(e.now+d, func() { e.wake(p) })
+	p.yield(fmt.Sprintf("sleep %v", d))
+}
+
+// Run executes events until the queue drains or a process panics. It
+// returns an error if any process panicked or if processes remain blocked
+// with no pending events (a deadlock).
+func (e *Env) Run() error { return e.run(-1) }
+
+// RunUntil executes events up to and including virtual time t.
+// Processes still alive at t simply stop being scheduled; this is the
+// normal way to run an open-ended simulation for a fixed horizon.
+func (e *Env) RunUntil(t Time) error { return e.run(t) }
+
+func (e *Env) run(limit Time) error {
+	if e.running {
+		return fmt.Errorf("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		if e.failure != nil {
+			return e.failure
+		}
+		next := e.events[0]
+		if limit >= 0 && next.at > limit {
+			e.now = limit
+			return nil
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		next.fn()
+	}
+	if e.failure != nil {
+		return e.failure
+	}
+	if limit < 0 && len(e.procs) > 0 {
+		return e.deadlockError()
+	}
+	return nil
+}
+
+func (e *Env) deadlockError() error {
+	var waits []string
+	for p := range e.procs {
+		waits = append(waits, fmt.Sprintf("%s (waiting: %s)", p.name, p.blockedOn))
+	}
+	sort.Strings(waits)
+	return fmt.Errorf("sim: deadlock, %d blocked process(es): %v", len(waits), waits)
+}
+
+// Signal is a broadcast one-shot event. Processes Wait on it; Fire releases
+// all current and future waiters. The zero value is ready to use.
+type Signal struct {
+	fired   bool
+	waiters []*Proc
+}
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire releases all waiters at the current instant. Firing twice is a no-op.
+// Fire must be called from inside the simulation (a process or callback).
+func (s *Signal) Fire(e *Env) {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	ws := s.waiters
+	s.waiters = nil
+	for _, p := range ws {
+		p := p
+		e.Schedule(e.now, func() { e.wake(p) })
+	}
+}
+
+// Wait blocks the process until the signal fires. It returns immediately
+// if the signal already fired.
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.yield("signal")
+}
+
+// WaitGroup counts outstanding work items inside a simulation; Wait blocks
+// until the count returns to zero. Unlike sync.WaitGroup it is not
+// goroutine-safe — by design, since the engine is single-threaded.
+type WaitGroup struct {
+	n       int
+	waiters []*Proc
+}
+
+// Add increments the counter by delta.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: WaitGroup counter went negative")
+	}
+}
+
+// Done decrements the counter, waking waiters when it reaches zero.
+func (w *WaitGroup) Done(e *Env) {
+	w.n--
+	if w.n < 0 {
+		panic("sim: WaitGroup counter went negative")
+	}
+	if w.n == 0 {
+		ws := w.waiters
+		w.waiters = nil
+		for _, p := range ws {
+			p := p
+			e.Schedule(e.now, func() { e.wake(p) })
+		}
+	}
+}
+
+// Wait blocks until the counter is zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.n == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.yield("waitgroup")
+}

@@ -1,0 +1,202 @@
+// Package telemetry samples system-level metrics from a running simulation
+// the way the paper's tooling (Weights & Biases, nvidia-smi, the Falcon
+// port monitors) samples the real test bed: a periodic probe sweep over
+// GPU utilization, GPU memory, CPU, host memory and PCIe port traffic.
+// Series can be summarized, exported as CSV, or rendered as ASCII charts
+// (the repo's stand-in for the paper's utilization figures).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"composable/internal/sim"
+)
+
+// Series is one sampled metric.
+type Series struct {
+	Name   string
+	Times  []time.Duration
+	Values []float64
+}
+
+func (s *Series) append(t time.Duration, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Mean returns the arithmetic mean of the samples (0 if empty).
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Max returns the largest sample (0 if empty).
+func (s *Series) Max() float64 {
+	out := math.Inf(-1)
+	for _, v := range s.Values {
+		if v > out {
+			out = v
+		}
+	}
+	if math.IsInf(out, -1) {
+		return 0
+	}
+	return out
+}
+
+// Min returns the smallest sample (0 if empty).
+func (s *Series) Min() float64 {
+	out := math.Inf(1)
+	for _, v := range s.Values {
+		if v < out {
+			out = v
+		}
+	}
+	if math.IsInf(out, 1) {
+		return 0
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest rank.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.Values...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// sparkRunes are the eight block heights of a sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the series as a fixed-width ASCII chart, resampling by
+// bucket means. It is the textual analog of the paper's Figure 9 panels.
+func (s *Series) Sparkline(width int) string {
+	if width <= 0 || len(s.Values) == 0 {
+		return ""
+	}
+	lo, hi := s.Min(), s.Max()
+	if hi-lo < 1e-12 {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		from := i * len(s.Values) / width
+		to := (i + 1) * len(s.Values) / width
+		if to <= from {
+			to = from + 1
+		}
+		if from >= len(s.Values) {
+			break
+		}
+		if to > len(s.Values) {
+			to = len(s.Values)
+		}
+		sum := 0.0
+		for _, v := range s.Values[from:to] {
+			sum += v
+		}
+		mean := sum / float64(to-from)
+		idx := int((mean - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// CSV renders "time_s,value" lines.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "time_s,%s\n", s.Name)
+	for i := range s.Values {
+		fmt.Fprintf(&b, "%.3f,%.6f\n", s.Times[i].Seconds(), s.Values[i])
+	}
+	return b.String()
+}
+
+// Probe is one metric source sampled each interval.
+type Probe struct {
+	Name   string
+	Sample func() float64
+}
+
+// Recorder periodically sweeps its probes inside a simulation.
+type Recorder struct {
+	env      *sim.Env
+	interval time.Duration
+	probes   []Probe
+	series   map[string]*Series
+	stopped  bool
+}
+
+// NewRecorder creates a recorder sampling every interval of virtual time.
+func NewRecorder(env *sim.Env, interval time.Duration) *Recorder {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	return &Recorder{env: env, interval: interval, series: make(map[string]*Series)}
+}
+
+// AddProbe registers a metric source. Must be called before Start.
+func (r *Recorder) AddProbe(name string, sample func() float64) {
+	r.probes = append(r.probes, Probe{Name: name, Sample: sample})
+	r.series[name] = &Series{Name: name}
+}
+
+// Start spawns the sampling process. It runs until Stop is called.
+func (r *Recorder) Start() {
+	r.env.Go("telemetry", func(p *sim.Proc) {
+		for !r.stopped {
+			p.Sleep(r.interval)
+			if r.stopped {
+				return
+			}
+			now := p.Now()
+			for _, pr := range r.probes {
+				r.series[pr.Name].append(now, pr.Sample())
+			}
+		}
+	})
+}
+
+// Stop ends sampling after the current interval elapses.
+func (r *Recorder) Stop() { r.stopped = true }
+
+// Series returns the named series (nil if unknown).
+func (r *Recorder) Series(name string) *Series { return r.series[name] }
+
+// Names returns the probe names in registration order.
+func (r *Recorder) Names() []string {
+	out := make([]string, 0, len(r.probes))
+	for _, p := range r.probes {
+		out = append(out, p.Name)
+	}
+	return out
+}

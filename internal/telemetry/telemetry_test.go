@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"composable/internal/sim"
+)
+
+func TestRecorderSamplesAtInterval(t *testing.T) {
+	env := sim.NewEnv()
+	rec := NewRecorder(env, 100*time.Millisecond)
+	v := 0.0
+	rec.AddProbe("x", func() float64 { v += 1; return v })
+	rec.Start()
+	env.Go("stopper", func(p *sim.Proc) {
+		p.Sleep(1050 * time.Millisecond)
+		rec.Stop()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Series("x")
+	if s.Len() != 10 {
+		t.Fatalf("samples = %d, want 10", s.Len())
+	}
+	if s.Times[0] != 100*time.Millisecond {
+		t.Fatalf("first sample at %v", s.Times[0])
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := &Series{Name: "t"}
+	for i, v := range []float64{1, 5, 3, 2, 4} {
+		s.append(time.Duration(i)*time.Second, v)
+	}
+	if s.Mean() != 3 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Max() != 5 || s.Min() != 1 {
+		t.Errorf("max/min = %v/%v", s.Max(), s.Min())
+	}
+	if p := s.Percentile(50); p != 3 {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := s.Percentile(100); p != 5 {
+		t.Errorf("p100 = %v", p)
+	}
+}
+
+func TestEmptySeriesSafe(t *testing.T) {
+	s := &Series{Name: "empty"}
+	if s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty series stats should be zero")
+	}
+	if s.Sparkline(10) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+}
+
+func TestSparklineShape(t *testing.T) {
+	s := &Series{Name: "ramp"}
+	for i := 0; i < 100; i++ {
+		s.append(time.Duration(i)*time.Second, float64(i))
+	}
+	sp := []rune(s.Sparkline(10))
+	if len(sp) != 10 {
+		t.Fatalf("width = %d", len(sp))
+	}
+	// A ramp renders monotonically non-decreasing glyphs.
+	for i := 1; i < len(sp); i++ {
+		if sp[i] < sp[i-1] {
+			t.Fatalf("sparkline not monotonic for ramp: %q", string(sp))
+		}
+	}
+	// Constant series renders without dividing by zero.
+	c := &Series{Name: "const"}
+	for i := 0; i < 10; i++ {
+		c.append(time.Duration(i), 7)
+	}
+	if got := c.Sparkline(5); len([]rune(got)) != 5 {
+		t.Fatalf("constant sparkline = %q", got)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	s := &Series{Name: "gpu"}
+	s.append(time.Second, 0.5)
+	out := s.CSV()
+	if !strings.HasPrefix(out, "time_s,gpu\n") {
+		t.Fatalf("csv header: %q", out)
+	}
+	if !strings.Contains(out, "1.000,0.500000") {
+		t.Fatalf("csv row missing: %q", out)
+	}
+}
+
+func TestRecorderNames(t *testing.T) {
+	env := sim.NewEnv()
+	rec := NewRecorder(env, time.Second)
+	rec.AddProbe("a", func() float64 { return 0 })
+	rec.AddProbe("b", func() float64 { return 0 })
+	names := rec.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if rec.Series("nope") != nil {
+		t.Fatal("unknown series should be nil")
+	}
+}

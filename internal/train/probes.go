@@ -1,0 +1,100 @@
+package train
+
+import (
+	"time"
+
+	"composable/internal/cluster"
+	"composable/internal/sim"
+	"composable/internal/telemetry"
+	"composable/internal/units"
+)
+
+// Metric series names recorded by every run.
+const (
+	SeriesGPUUtil    = "gpu_util"
+	SeriesGPUMemUtil = "gpu_mem_util"
+	SeriesCPUUtil    = "cpu_util"
+	SeriesHostMem    = "host_mem_util"
+	SeriesFalconGBps = "falcon_pcie_gbps"
+)
+
+// recorder wires the telemetry probes the paper's tooling collected:
+// windowed GPU utilization (nvidia-smi), GPU memory, host CPU and memory
+// (wandb system metrics) and Falcon port traffic (chassis GUI).
+type recorder struct {
+	rec *telemetry.Recorder
+}
+
+func newRecorder(sys *cluster.System, interval time.Duration) *recorder {
+	rec := telemetry.NewRecorder(sys.Env, interval)
+
+	// GPU utilization: windowed busy fraction averaged across devices.
+	type snap struct{ t, busy sim.Time }
+	gpuMarks := make([]snap, len(sys.GPUs))
+	rec.AddProbe(SeriesGPUUtil, func() float64 {
+		sum := 0.0
+		for i, g := range sys.GPUs {
+			u := g.UtilizationSince(gpuMarks[i].t, gpuMarks[i].busy)
+			gpuMarks[i].t, gpuMarks[i].busy = g.BusySnapshot()
+			sum += u
+		}
+		return sum / float64(len(sys.GPUs))
+	})
+	rec.AddProbe(SeriesGPUMemUtil, func() float64 {
+		sum := 0.0
+		for _, g := range sys.GPUs {
+			sum += g.MemUtilization()
+		}
+		return sum / float64(len(sys.GPUs))
+	})
+	var cpuMark snap
+	rec.AddProbe(SeriesCPUUtil, func() float64 {
+		u := sys.Host.UtilizationSince(cpuMark.t, cpuMark.busy)
+		cpuMark.t, cpuMark.busy = sys.Host.BusySnapshot()
+		return u
+	})
+	rec.AddProbe(SeriesHostMem, func() float64 { return sys.Host.MemUtilization() })
+
+	if len(sys.FalconGPUPortLinks) > 0 {
+		last := make(map[int]units.Bytes)
+		var lastT sim.Time
+		rec.AddProbe(SeriesFalconGBps, func() float64 {
+			now := sys.Env.Now()
+			dt := (now - lastT).Seconds()
+			var delta units.Bytes
+			for i, id := range sys.FalconGPUPortLinks {
+				ab, ba := sys.Net.LinkTrafficSnapshot(id)
+				cur := ab + ba
+				delta += cur - last[i]
+				last[i] = cur
+			}
+			lastT = now
+			if dt <= 0 {
+				return 0
+			}
+			// Same wire-overhead accounting as Result.FalconPCIeGBps.
+			return float64(delta) * pcieWireOverhead / dt / 1e9
+		})
+	}
+	rec.Start()
+	return &recorder{rec: rec}
+}
+
+func (r *recorder) stop() { r.rec.Stop() }
+
+// fill copies the series means into the result.
+func (r *recorder) fill(res *Result) {
+	res.Recorder = r.rec
+	if s := r.rec.Series(SeriesGPUUtil); s != nil {
+		res.AvgGPUUtil = s.Mean()
+	}
+	if s := r.rec.Series(SeriesGPUMemUtil); s != nil {
+		res.AvgGPUMemUtil = s.Mean()
+	}
+	if s := r.rec.Series(SeriesCPUUtil); s != nil {
+		res.AvgCPUUtil = s.Mean()
+	}
+	if s := r.rec.Series(SeriesHostMem); s != nil {
+		res.AvgHostMemUtil = s.Mean()
+	}
+}

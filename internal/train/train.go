@@ -1,0 +1,511 @@
+// Package train is the deep-learning training engine of the simulator: the
+// PyTorch-equivalent layer. It drives the full per-iteration pipeline the
+// paper describes in §V-B / Figure 8 — storage read, CPU preprocessing,
+// host→GPU copy, forward/backward compute, gradient synchronization,
+// optimizer step, periodic checkpointing — over a composed system, with
+// the software configurations of §V-C-4: DistributedDataParallel with
+// bucketed overlap, single-process DataParallel, FP32 or FP16 mixed
+// precision, and ZeRO-style sharded training.
+package train
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"composable/internal/cluster"
+	"composable/internal/collective"
+	"composable/internal/dlmodel"
+	"composable/internal/gpu"
+	"composable/internal/sim"
+	"composable/internal/telemetry"
+	"composable/internal/units"
+)
+
+// Strategy selects the multi-GPU parallelization scheme.
+type Strategy string
+
+// Parallelization strategies (§V-C-4).
+const (
+	// DDP is PyTorch DistributedDataParallel: one process per GPU, ring
+	// all-reduce of gradient buckets overlapped with backward compute.
+	DDP Strategy = "DDP"
+	// DP is PyTorch DataParallel: a single process with a master GPU
+	// that gathers gradients and broadcasts parameters every iteration.
+	DP Strategy = "DP"
+)
+
+// Options configures a training run.
+type Options struct {
+	Workload  dlmodel.Workload
+	Precision gpu.Precision
+	Strategy  Strategy
+	// Sharded enables ZeRO-2 style sharding of gradients and optimizer
+	// state across the data-parallel group (DDP only).
+	Sharded bool
+	// BatchPerGPU overrides the workload default (0 keeps it).
+	BatchPerGPU int
+	// Epochs overrides the workload default (0 keeps it).
+	Epochs int
+	// ItersPerEpoch scales the epoch length; it must be set — full
+	// ImageNet epochs are pointless to simulate event by event.
+	ItersPerEpoch int
+	// Buckets is the DDP gradient bucket count (0 → 4).
+	Buckets int
+	// Workers is the data-loader worker pool size (0 → 24).
+	Workers int
+	// SampleInterval is the telemetry period (0 → 100 ms).
+	SampleInterval time.Duration
+	// Channels overrides the collective's counter-rotating ring count
+	// (0 → library default; ablation knob).
+	Channels int
+	// Seed offsets nothing today but keeps the API honest about
+	// determinism: the simulation is deterministic for a given seed.
+	Seed int64
+}
+
+// launchBusyFraction is how much of the per-iteration launch overhead a
+// coarse utilization sampler (nvidia-smi's ~100 ms windows) attributes to
+// the GPU: short inter-kernel gaps are invisible to it.
+const launchBusyFraction = 0.8
+
+// prefetchDepth is the loader's global-batch lookahead.
+const prefetchDepth = 3
+
+// pcieWireOverhead converts payload bytes to on-the-wire bytes for the
+// chassis port monitors: TLP/DLLP headers and flow-control traffic add
+// ≈12% on PCIe links, and the Falcon GUI (the paper's Figure 12 source)
+// counts raw link traffic.
+const pcieWireOverhead = 1.12
+
+// Result summarizes a completed run.
+type Result struct {
+	System    string
+	Workload  string
+	Strategy  Strategy
+	Precision gpu.Precision
+	Sharded   bool
+
+	BatchPerGPU int
+	Epochs      int
+	Iters       int
+
+	TotalTime  time.Duration
+	EpochTimes []time.Duration
+	AvgIter    time.Duration
+
+	// Sampled averages over the run.
+	AvgGPUUtil     float64
+	AvgGPUMemUtil  float64
+	AvgCPUUtil     float64
+	AvgHostMemUtil float64
+	// MemAccessFrac estimates the share of iteration time spent in
+	// GPU-memory-bound phases (Figure 10's third metric).
+	MemAccessFrac float64
+	// FalconPCIeGBps is the mean ingress+egress traffic of the
+	// Falcon-attached GPU slot ports over the run (Figure 12), in
+	// decimal GB/s. Zero when no Falcon GPUs are attached.
+	FalconPCIeGBps float64
+
+	PeakGPUMem units.Bytes
+	// Recorder holds the sampled time series (GPU util etc.) for
+	// figure rendering.
+	Recorder *telemetry.Recorder
+}
+
+// Throughput returns global samples/second.
+func (r *Result) Throughput() float64 {
+	if r.TotalTime <= 0 {
+		return 0
+	}
+	return float64(r.Iters*r.BatchPerGPU) / r.TotalTime.Seconds() // per GPU; see GlobalThroughput
+}
+
+// Run trains the workload on the composed system and reports the results:
+// it starts the job, drains the simulation, and collects. For concurrent
+// jobs on a shared simulation (advanced-mode tenancy), use Start on each
+// system, run the shared environment once, then Collect each job.
+func Run(sys *cluster.System, opts Options) (*Result, error) {
+	job, err := Start(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Env.Run(); err != nil {
+		return nil, fmt.Errorf("train: %s on %s: %w", opts.Workload.Name, sys.Cfg.Name, err)
+	}
+	return job.Collect()
+}
+
+// Job is an in-flight training run started with Start.
+type Job struct {
+	sys       *cluster.System
+	res       *Result
+	rec       *recorder
+	opts      Options
+	batch     int
+	start     time.Duration
+	finish    time.Duration
+	epochEnds []time.Duration
+	portBase  units.Bytes
+	done      sim.Signal
+}
+
+// Done returns the signal fired when all ranks complete.
+func (j *Job) Done() *sim.Signal { return &j.done }
+
+// Start sets up and launches the training job's processes without running
+// the simulation. The caller runs sys.Env (once, possibly with several
+// concurrent jobs) and then calls Collect.
+func Start(sys *cluster.System, opts Options) (*Job, error) {
+	w := opts.Workload
+	if w.Graph == nil {
+		return nil, errors.New("train: options missing workload")
+	}
+	if opts.ItersPerEpoch <= 0 {
+		return nil, errors.New("train: ItersPerEpoch must be set")
+	}
+	batch := opts.BatchPerGPU
+	if batch == 0 {
+		batch = w.BatchPerGPU
+	}
+	epochs := opts.Epochs
+	if epochs == 0 {
+		epochs = w.Epochs
+	}
+	strategy := opts.Strategy
+	if strategy == "" {
+		strategy = DDP
+	}
+	buckets := opts.Buckets
+	if buckets <= 0 {
+		buckets = 4
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 24
+	}
+	if opts.Sharded && strategy != DDP {
+		return nil, errors.New("train: sharded training requires DDP")
+	}
+	nGPU := len(sys.GPUs)
+	env := sys.Env
+
+	// Memory admission: exactly the paper's OOM boundary (§V-C-4).
+	shards := 1
+	if opts.Sharded {
+		shards = nGPU
+	}
+	need := w.MemoryNeeded(opts.Precision, batch, shards)
+	for i, g := range sys.GPUs {
+		if err := g.Alloc(need); err != nil {
+			for _, h := range sys.GPUs[:i] {
+				h.FreeMem(need)
+			}
+			return nil, fmt.Errorf("train: %s batch %d: %w", w.Name, batch, err)
+		}
+	}
+	freeAll := func() {
+		for _, g := range sys.GPUs {
+			g.FreeMem(need)
+		}
+	}
+
+	comm, err := collective.New(sys.Net, sys.GPUs)
+	if err != nil {
+		freeAll()
+		return nil, err
+	}
+	if opts.Channels > 0 {
+		comm.SetChannels(opts.Channels)
+	}
+
+	totalIters := epochs * opts.ItersPerEpoch
+	globalBatch := batch * nGPU
+	readPerIter := units.Bytes(globalBatch) * w.Data.BytesPerSample * units.Bytes(w.Data.ReadsPerSample)
+	// Cold-read window: in a full-length run only the first epoch reads
+	// from storage (the page cache serves the rest), i.e. a 1/Epochs
+	// fraction of all iterations. The simulated run keeps that fraction
+	// — scaled epochs must not overweight cold storage reads.
+	coldIters := totalIters / w.Epochs
+	if coldIters < 1 {
+		coldIters = 1
+	}
+	datasetBytes := units.Bytes(coldIters) * readPerIter
+	inputBytes := units.Bytes(batch) * w.Data.InputBytesPerSample
+	decodePerBatch := time.Duration(globalBatch) * w.Data.DecodePerSample
+
+	// Pinned staging buffers for the loader pipeline.
+	staging := units.Bytes(prefetchDepth) * units.Bytes(nGPU) * inputBytes
+	if err := sys.Host.AllocMem(staging); err != nil {
+		freeAll()
+		return nil, fmt.Errorf("train: staging buffers: %w", err)
+	}
+
+	rec := newRecorder(sys, opts.SampleInterval)
+
+	// Checkpoint schedule: CheckpointsPerEpoch marks per epoch, the last
+	// at the epoch boundary. Because the simulated epoch is a shortened
+	// subset of the real one, the bytes written per mark are scaled by
+	// simIters/realIters so checkpointing keeps the same share of
+	// training time it has in a full-length run.
+	ckptAt := make(map[int]*ckptPoint)
+	ckptScale := float64(opts.ItersPerEpoch) / float64(w.RealItersPerEpoch(nGPU))
+	if ckptScale > 1 {
+		ckptScale = 1
+	}
+	ckptBytes := units.Bytes(float64(w.CheckpointWriteBytes()) * ckptScale)
+	for e := 0; e < epochs; e++ {
+		for j := 0; j < w.CheckpointsPerEpoch; j++ {
+			it := e*opts.ItersPerEpoch + (j+1)*opts.ItersPerEpoch/w.CheckpointsPerEpoch - 1
+			ckptAt[it] = newCkptPoint(nGPU)
+		}
+	}
+
+	// Loader: one process feeding per-rank queues, bounded by prefetch
+	// tokens; the first epoch reads from storage, later epochs hit the
+	// page cache (storage.PageCache).
+	prefetch := sim.NewResource("loader.prefetch", prefetchDepth*nGPU)
+	queues := make([]*sim.Queue, nGPU)
+	for i := range queues {
+		queues[i] = sim.NewQueue(fmt.Sprintf("batches.gpu%d", i))
+	}
+	cacheKey := w.Name + "/" + w.Data.Name
+	env.Go("loader", func(p *sim.Proc) {
+		for it := 0; it < totalIters; it++ {
+			prefetch.Acquire(p, nGPU)
+			if sys.Cache.CachedBytes(cacheKey) < datasetBytes {
+				if err := sys.Store.Read(p, sys.Mem, readPerIter, w.Data.RandomAccess); err != nil {
+					panic(err)
+				}
+				sys.Cache.Admit(cacheKey, readPerIter, datasetBytes)
+			}
+			sys.Host.RunOnCores(p, workers, decodePerBatch/time.Duration(workers))
+			for _, q := range queues {
+				q.Put(env, it)
+			}
+		}
+		for _, q := range queues {
+			q.Close(env)
+		}
+	})
+
+	// Per-rank H2D feeders: double-buffered host→GPU input copies that
+	// overlap the previous iteration's compute (pinned-memory prefetch).
+	h2dReady := make([]*sim.Queue, nGPU)
+	for i := range h2dReady {
+		h2dReady[i] = sim.NewQueue(fmt.Sprintf("h2d.gpu%d", i))
+	}
+	for rank := 0; rank < nGPU; rank++ {
+		rank := rank
+		dev := sys.GPUs[rank]
+		env.Go(fmt.Sprintf("feeder%d", rank), func(p *sim.Proc) {
+			inflight := sim.NewResource(fmt.Sprintf("h2dbuf%d", rank), 2)
+			for {
+				_, ok := queues[rank].Get(p)
+				if !ok {
+					h2dReady[rank].Close(env)
+					return
+				}
+				prefetch.Release(env, 1)
+				inflight.Acquire(p, 1)
+				f, err := sys.Net.StartFlow(sys.Mem, dev.Node, inputBytes)
+				if err != nil {
+					panic(err)
+				}
+				h2dReady[rank].Put(env, &h2dItem{done: f.Done(), buf: inflight})
+			}
+		})
+	}
+
+	fwd, bwd := w.ComputeTime(dev0Spec(sys), opts.Precision, batch)
+	gradBytes := w.GradBytes(opts.Precision)
+	paramBytes := units.Bytes(w.Graph.Params()) * opts.Precision.BytesPerElement()
+
+	res := &Result{
+		System: sys.Cfg.Name, Workload: w.Name,
+		Strategy: strategy, Precision: opts.Precision, Sharded: opts.Sharded,
+		BatchPerGPU: batch, Epochs: epochs, Iters: totalIters,
+	}
+	job := &Job{sys: sys, res: res, rec: rec, opts: opts, batch: batch, start: env.Now()}
+	for _, id := range sys.FalconGPUPortLinks {
+		ab, ba := sys.Net.LinkTrafficSnapshot(id)
+		job.portBase += ab + ba
+	}
+
+	var ranksDone sim.WaitGroup
+	ranksDone.Add(nGPU)
+
+	for rank := 0; rank < nGPU; rank++ {
+		rank := rank
+		dev := sys.GPUs[rank]
+		env.Go(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+			for it := 0; it < totalIters; it++ {
+				// Input batch: wait for the prefetched H2D copy.
+				v, ok := h2dReady[rank].Get(p)
+				if !ok {
+					panic("train: feeder closed early")
+				}
+				item := v.(*h2dItem)
+				item.done.Wait(p)
+				item.buf.Release(env, 1)
+
+				// Host-side dispatch (kernel launches, optimizer glue):
+				// CPU time during which the GPU appears mostly busy to
+				// a coarse sampler.
+				sys.Host.RunOnCore(p, w.LaunchOverhead)
+				dev.MarkBusyFor(time.Duration(float64(w.LaunchOverhead) * launchBusyFraction))
+
+				// Forward.
+				dev.Compute(p, fwd)
+
+				// Backward + gradient synchronization.
+				switch {
+				case strategy == DP:
+					dev.Compute(p, bwd)
+					sys.Host.RunOnCore(p, w.DPPerIterOverhead)
+					t0 := p.Now()
+					comm.ReduceToRoot(p, rank, 0, gradBytes)
+					comm.Broadcast(p, rank, 0, paramBytes)
+					dev.MarkBusyFor(p.Now() - t0)
+				case opts.Sharded:
+					handles := make([]*sim.Signal, 0, buckets)
+					for b := 0; b < buckets; b++ {
+						dev.Compute(p, bwd/time.Duration(buckets))
+						handles = append(handles, comm.StartReduceScatter(rank, gradBytes/units.Bytes(buckets)))
+					}
+					t0 := p.Now()
+					for _, h := range handles {
+						h.Wait(p)
+					}
+					// Shard-local optimizer step, then parameter
+					// all-gather.
+					comm.StartAllGather(rank, paramBytes).Wait(p)
+					dev.MarkBusyFor(p.Now() - t0)
+				default: // DDP
+					handles := make([]*sim.Signal, 0, buckets)
+					for b := 0; b < buckets; b++ {
+						dev.Compute(p, bwd/time.Duration(buckets))
+						handles = append(handles, comm.StartAllReduce(rank, gradBytes/units.Bytes(buckets)))
+					}
+					t0 := p.Now()
+					for _, h := range handles {
+						h.Wait(p)
+					}
+					dev.MarkBusyFor(p.Now() - t0)
+				}
+
+				// Checkpoint barrier (Figure 9's periodic dips).
+				if cp := ckptAt[it]; cp != nil {
+					cp.arrive(env, p, rank, func(cb *sim.Proc) {
+						f, err := sys.Net.StartFlow(sys.GPUs[0].Node, sys.Mem, ckptBytes)
+						if err != nil {
+							panic(err)
+						}
+						f.Done().Wait(cb)
+						if err := sys.Store.Write(cb, sys.Mem, ckptBytes); err != nil {
+							panic(err)
+						}
+					})
+				}
+				if rank == 0 && (it+1)%opts.ItersPerEpoch == 0 {
+					job.epochEnds = append(job.epochEnds, p.Now())
+				}
+			}
+			ranksDone.Done(env)
+		})
+	}
+
+	env.Go("join", func(p *sim.Proc) {
+		ranksDone.Wait(p)
+		job.finish = p.Now()
+		rec.stop()
+		sys.Host.FreeMem(staging)
+		freeAll()
+		job.done.Fire(env)
+	})
+	return job, nil
+}
+
+// Collect finalizes the job's metrics. It must be called after the
+// simulation has run the job to completion.
+func (j *Job) Collect() (*Result, error) {
+	if !j.done.Fired() {
+		return nil, errors.New("train: Collect before job completion (run the environment first)")
+	}
+	sys, res, w := j.sys, j.res, j.opts.Workload
+	elapsed := j.finish - j.start
+	res.TotalTime = elapsed
+	res.AvgIter = elapsed / time.Duration(res.Iters)
+	prev := j.start
+	for _, e := range j.epochEnds {
+		res.EpochTimes = append(res.EpochTimes, e-prev)
+		prev = e
+	}
+	j.rec.fill(res)
+	res.MemAccessFrac = memAccessFrac(sys, w, j.opts.Precision, j.batch, res.AvgIter)
+	for _, g := range sys.GPUs {
+		if g.PeakUsed() > res.PeakGPUMem {
+			res.PeakGPUMem = g.PeakUsed()
+		}
+	}
+	if len(sys.FalconGPUPortLinks) > 0 && elapsed > 0 {
+		var total units.Bytes
+		for _, id := range sys.FalconGPUPortLinks {
+			ab, ba := sys.Net.LinkTrafficSnapshot(id)
+			total += ab + ba
+		}
+		res.FalconPCIeGBps = float64(total-j.portBase) * pcieWireOverhead / elapsed.Seconds() / 1e9
+	}
+	return res, nil
+}
+
+type h2dItem struct {
+	done *sim.Signal
+	buf  *sim.Resource
+}
+
+func dev0Spec(sys *cluster.System) gpu.Spec { return sys.GPUs[0].Spec }
+
+// ckptPoint coordinates one all-rank checkpoint: every rank arrives, rank 0
+// performs the D2H copy and storage write, everyone else waits.
+type ckptPoint struct {
+	wg   sim.WaitGroup
+	done sim.Signal
+}
+
+func newCkptPoint(n int) *ckptPoint {
+	cp := &ckptPoint{}
+	cp.wg.Add(n)
+	return cp
+}
+
+func (cp *ckptPoint) arrive(env *sim.Env, p *sim.Proc, rank int, write func(*sim.Proc)) {
+	cp.wg.Done(env)
+	if rank == 0 {
+		cp.wg.Wait(p)
+		write(p)
+		cp.done.Fire(env)
+		return
+	}
+	cp.done.Wait(p)
+}
+
+// memAccessFrac estimates the fraction of iteration time the GPU spends
+// memory-bound: three activation passes (forward, backward, weight grads)
+// plus parameter and gradient sweeps over HBM2.
+func memAccessFrac(sys *cluster.System, w dlmodel.Workload, prec gpu.Precision, batch int, iter time.Duration) float64 {
+	if iter <= 0 {
+		return 0
+	}
+	act := w.ActPerSampleFP16
+	if prec == gpu.FP32 {
+		act *= 2
+	}
+	traffic := 3*float64(act)*float64(batch) + 6*float64(w.GradBytes(prec))
+	memTime := traffic / float64(sys.GPUs[0].Spec.MemBW)
+	frac := memTime / iter.Seconds()
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}

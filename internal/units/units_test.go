@@ -1,0 +1,83 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := map[Bytes]string{
+		512:          "512B",
+		2 * KB:       "2.00KB",
+		3 * MB:       "3.00MB",
+		GB + GB/2:    "1.50GB",
+		2 * TB:       "2.00TB",
+		110 * KB:     "110.00KB",
+		25 * MB / 10: "2.50MB",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestBandwidthConstructors(t *testing.T) {
+	if got := GBps(10); got != 10e9 {
+		t.Errorf("GBps(10) = %v", float64(got))
+	}
+	if got := Gbps(400); got != 50e9 {
+		t.Errorf("Gbps(400) = %v B/s, want 50e9 (CDFP cable)", float64(got))
+	}
+	if got := MBps(1500).GB(); got != 1.5 {
+		t.Errorf("MBps(1500).GB() = %v", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	d := GBps(1).TransferTime(Bytes(1e9))
+	if d != time.Second {
+		t.Errorf("1e9 bytes at 1GB/s = %v, want 1s", d)
+	}
+	// Zero rate must not divide by zero; it returns a huge duration.
+	if d := BytesPerSec(0).TransferTime(GB); d < time.Hour {
+		t.Errorf("zero-rate transfer = %v, want huge", d)
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	d := TFLOPS(1).ComputeTime(TFLOP)
+	if d != time.Second {
+		t.Errorf("1 TFLOP at 1 TFLOPS = %v, want 1s", d)
+	}
+	if got := TFLOPS(125).TF(); got != 125 {
+		t.Errorf("TF() = %v", got)
+	}
+}
+
+func TestFLOPsString(t *testing.T) {
+	if got := (3 * GFLOP).String(); got != "3.00GFLOP" {
+		t.Errorf("got %q", got)
+	}
+	if got := FLOPSRate(2.5e12).String(); got != "2.50TFLOPS" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTransferTimeMonotonicProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		r := GBps(1 + float64(a%100))
+		small, big := Bytes(b%1000000), Bytes(b%1000000)+Bytes(a%1000)+1
+		return r.TransferTime(small) <= r.TransferTime(big)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.876); got != "87.6%" {
+		t.Errorf("got %q", got)
+	}
+}
