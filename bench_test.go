@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's evaluation artifacts: one testing.B
-// benchmark per table and figure (DESIGN.md §4). Each benchmark runs the
+// benchmark per table and figure (README.md "Experiments"). Each benchmark runs the
 // corresponding experiment end to end and reports the headline quantities
 // as custom metrics, so `go test -bench . -benchmem` doubles as the
 // reproduction harness:
@@ -12,6 +12,8 @@
 package composable_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"composable/internal/cluster"
@@ -210,7 +212,7 @@ func trainOptsQuick() train.Options {
 }
 
 // Ablation/extension benchmarks (A1–A4, X1–X2): run the studies beyond the
-// paper's figures; see EXPERIMENTS.md "Beyond the paper".
+// paper's figures; see README.md "Beyond the paper".
 func BenchmarkAblationsAndExtensions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := session()
@@ -220,4 +222,42 @@ func BenchmarkAblationsAndExtensions(b *testing.B) {
 			}
 		}
 	}
+}
+
+// benchRunAll regenerates the full suite (tables, figures, ablations and
+// extensions) on a fresh session per iteration at the given worker-pool
+// width, so the Sequential/Parallel pair below measures the runner's
+// speedup end to end:
+//
+//	go test -bench 'BenchmarkRunAll' -benchtime 3x
+func benchRunAll(b *testing.B, parallelism int) {
+	b.Helper()
+	var runs int
+	for i := 0; i < b.N; i++ {
+		s := session()
+		reports, err := experiments.NewRunner(s, nil).RunAll(context.Background(), parallelism)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) == 0 {
+			b.Fatal("no reports")
+		}
+		runs = s.Stats().TrainRuns
+	}
+	b.ReportMetric(float64(runs), "train-runs")
+}
+
+// BenchmarkRunAllSequential is the one-worker baseline.
+func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
+
+// BenchmarkRunAllParallel runs the same suite on a pool at least four
+// wide; its ns/op against the sequential baseline is the runner's speedup,
+// and the identical train-runs metric shows deduplication held under
+// concurrency.
+func BenchmarkRunAllParallel(b *testing.B) {
+	parallelism := runtime.GOMAXPROCS(0)
+	if parallelism < 4 {
+		parallelism = 4
+	}
+	benchRunAll(b, parallelism)
 }

@@ -7,13 +7,16 @@
 //	benchrunner                 # run everything at standard scale
 //	benchrunner -exp F11,F12    # selected experiments
 //	benchrunner -scale quick    # faster, noisier
+//	benchrunner -parallel 8     # worker-pool width (default GOMAXPROCS)
 //	benchrunner -list           # list experiment IDs
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -22,15 +25,16 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		scaleFlag = flag.String("scale", "standard", "simulation scale: quick or standard")
-		listFlag  = flag.Bool("list", false, "list experiment IDs and exit")
-		extFlag   = flag.Bool("ext", false, "also run ablations/extensions (A1-A4, X1)")
+		expFlag      = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		scaleFlag    = flag.String("scale", "standard", "simulation scale: quick or standard")
+		listFlag     = flag.Bool("list", false, "list experiment IDs and exit")
+		extFlag      = flag.Bool("ext", false, "also run ablations/extensions (A1-A4, X1-X2)")
+		parallelFlag = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker-pool width (1 = sequential)")
 	)
 	flag.Parse()
 
 	if *listFlag {
-		for _, e := range append(experiments.All(), experiments.Extensions()...) {
+		for _, e := range experiments.Registry() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 		return
@@ -63,16 +67,40 @@ func main() {
 		}
 	}
 
-	session := experiments.NewSession(scale)
-	fmt.Printf("composable benchrunner — scale %s (%d iters/epoch, ≤%d epochs)\n\n",
-		scale.Name, scale.ItersPerEpoch, scale.MaxEpochs)
-	for _, e := range selected {
-		start := time.Now()
-		out, err := e.Run(session)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchrunner: %s failed: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		fmt.Printf("=== %s: %s (ran in %v)\n%s\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond), out)
+	workers := *parallelFlag
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	session := experiments.NewSession(scale)
+	runner := experiments.NewRunner(session, selected)
+	fmt.Printf("composable benchrunner — scale %s (%d iters/epoch, ≤%d epochs), %d workers\n\n",
+		scale.Name, scale.ItersPerEpoch, scale.MaxEpochs, workers)
+
+	start := time.Now()
+	reports, err := runner.RunAll(context.Background(), workers)
+	wall := time.Since(start)
+	for _, r := range reports {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", r.Err)
+			continue
+		}
+		fmt.Printf("=== %s: %s (ran in %v)\n%s\n", r.ID, r.Title, r.Elapsed.Round(time.Millisecond), r.Output)
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+
+	var busy time.Duration
+	for _, r := range reports {
+		busy += r.Elapsed
+	}
+	st := session.Stats()
+	fmt.Printf("--- %d experiments in %v (per-experiment sum %v, %.1fx overlap)\n",
+		len(reports), wall.Round(time.Millisecond), busy.Round(time.Millisecond),
+		busy.Seconds()/wall.Seconds())
+	fmt.Printf("--- session: %d training runs executed, %d cache hits, %d deduplicated joins\n",
+		st.TrainRuns, st.CacheHits, st.Joins)
 }

@@ -2,38 +2,48 @@
 // runs a deep-learning training job on it, printing the measured summary —
 // the CLI equivalent of one cell of the paper's evaluation grid.
 //
+// -config and -model accept comma-separated lists; a multi-cell grid runs
+// on the parallel experiment runner with shared-run deduplication.
+//
 // Usage:
 //
 //	composer -config falconGPUs -model BERT-L -iters 30
 //	composer -config localGPUs  -model ResNet-50 -precision fp32 -strategy DP
+//	composer -config localGPUs,falconGPUs -model ResNet-50,BERT-L -parallel 4
 //	composer -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
 	"composable/internal/core"
 	"composable/internal/dlmodel"
+	"composable/internal/experiments"
 	"composable/internal/gpu"
 	"composable/internal/train"
 )
 
 func main() {
 	var (
-		cfgName   = flag.String("config", "localGPUs", "host configuration (Table III label)")
-		modelName = flag.String("model", "ResNet-50", "benchmark (Table II name)")
+		cfgNames  = flag.String("config", "localGPUs", "host configuration(s), comma-separated (Table III labels)")
+		modelName = flag.String("model", "ResNet-50", "benchmark(s), comma-separated (Table II names)")
 		precision = flag.String("precision", "fp16", "fp16 or fp32")
 		strategy  = flag.String("strategy", "DDP", "DDP or DP")
 		sharded   = flag.Bool("sharded", false, "enable ZeRO-2 sharded training")
 		batch     = flag.Int("batch", 0, "per-GPU batch (0 = paper default)")
 		epochs    = flag.Int("epochs", 0, "epochs (0 = paper default)")
 		iters     = flag.Int("iters", 30, "iterations per (scaled) epoch")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "grid worker-pool width (1 = sequential)")
 		list      = flag.Bool("list", false, "list configurations and models")
-		topo      = flag.Bool("topology", false, "print chassis topology before running")
-		dot       = flag.Bool("dot", false, "print the fabric as Graphviz and exit")
-		csvSeries = flag.String("csv", "", "after training, dump this telemetry series as CSV (e.g. gpu_util)")
+		topo      = flag.Bool("topology", false, "print chassis topology before running (single cell only)")
+		dot       = flag.Bool("dot", false, "print the fabric as Graphviz and exit (single cell only)")
+		csvSeries = flag.String("csv", "", "after training, dump this telemetry series as CSV (e.g. gpu_util; single cell only)")
 	)
 	flag.Parse()
 
@@ -50,47 +60,59 @@ func main() {
 		return
 	}
 
-	var cfg core.Config
-	found := false
-	for _, c := range core.Configs() {
-		if c.Name == *cfgName {
-			cfg, found = c, true
+	var cfgs []core.Config
+	for _, name := range strings.Split(*cfgNames, ",") {
+		cfgs = append(cfgs, configByName(strings.TrimSpace(name)))
+	}
+	var models []dlmodel.Workload
+	for _, name := range strings.Split(*modelName, ",") {
+		w, err := dlmodel.BenchmarkByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
 		}
-	}
-	if !found {
-		fatal(fmt.Errorf("unknown configuration %q (see -list)", *cfgName))
-	}
-	w, err := dlmodel.BenchmarkByName(*modelName)
-	if err != nil {
-		fatal(err)
+		models = append(models, w)
 	}
 
 	prec := gpu.FP16
 	if *precision == "fp32" {
 		prec = gpu.FP32
 	}
-
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	if *topo {
-		fmt.Print(sys.ChassisTopology())
-	}
-	if *dot {
-		fmt.Print(sys.Net.Dot(cfg.Name))
-		return
-	}
-
-	res, err := sys.Train(train.Options{
-		Workload:      w,
+	opts := train.Options{
 		Precision:     prec,
 		Strategy:      train.Strategy(*strategy),
 		Sharded:       *sharded,
 		BatchPerGPU:   *batch,
 		Epochs:        *epochs,
 		ItersPerEpoch: *iters,
-	})
+	}
+
+	if len(cfgs) == 1 && len(models) == 1 {
+		runSingle(cfgs[0], models[0], opts, *topo, *dot, *csvSeries)
+		return
+	}
+	if *topo || *dot || *csvSeries != "" {
+		fatal(fmt.Errorf("-topology, -dot and -csv need a single cell (one -config, one -model)"))
+	}
+	runGrid(cfgs, models, opts, *parallel)
+}
+
+// runSingle is the classic one-cell path, with the system-level inspection
+// surfaces (topology, Graphviz) only a directly composed system offers.
+func runSingle(cfg core.Config, w dlmodel.Workload, opts train.Options, topo, dot bool, csvSeries string) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if topo {
+		fmt.Print(sys.ChassisTopology())
+	}
+	if dot {
+		fmt.Print(sys.Net.Dot(cfg.Name))
+		return
+	}
+
+	opts.Workload = w
+	res, err := sys.Train(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -110,13 +132,88 @@ func main() {
 	if s := res.Recorder.Series(train.SeriesGPUUtil); s != nil && s.Len() > 0 {
 		fmt.Printf("  GPU util trace  |%s|\n", s.Sparkline(60))
 	}
-	if *csvSeries != "" {
-		s := res.Recorder.Series(*csvSeries)
+	if csvSeries != "" {
+		s := res.Recorder.Series(csvSeries)
 		if s == nil {
-			fatal(fmt.Errorf("no telemetry series %q (have %v)", *csvSeries, res.Recorder.Names()))
+			fatal(fmt.Errorf("no telemetry series %q (have %v)", csvSeries, res.Recorder.Names()))
 		}
 		fmt.Print(s.CSV())
 	}
+}
+
+// runGrid runs the config × model cross product as ad-hoc experiments on
+// the parallel runner: cells sharing a training run deduplicate through
+// the session, and the report order matches the requested grid order.
+func runGrid(cfgs []core.Config, models []dlmodel.Workload, opts train.Options, parallelism int) {
+	scale := experiments.Scale{
+		Name:           "cli",
+		ItersPerEpoch:  opts.ItersPerEpoch,
+		MaxEpochs:      1 << 30, // grid cells keep the workloads' paper epochs
+		SampleInterval: 100 * time.Millisecond,
+	}
+	session := experiments.NewSession(scale)
+
+	var cells []experiments.Experiment
+	for _, cfg := range cfgs {
+		for _, w := range models {
+			cfg, w := cfg, w
+			cells = append(cells, experiments.Experiment{
+				ID:    fmt.Sprintf("%s/%s", cfg.Name, w.Name),
+				Title: fmt.Sprintf("%s on %s", w.Name, cfg.Name),
+				Run: func(s *experiments.Session) (string, error) {
+					res, err := s.RunOpts(cfg, w, opts)
+					if err != nil {
+						return "", err
+					}
+					return summarize(res), nil
+				},
+			})
+		}
+	}
+
+	start := time.Now()
+	reports, err := experiments.NewRunner(session, cells).RunAll(context.Background(), parallelism)
+	wall := time.Since(start)
+	failed := false
+	for _, r := range reports {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "composer: %v\n", r.Err)
+			failed = true
+			continue
+		}
+		fmt.Printf("=== %s (ran in %v)\n%s", r.Title, r.Elapsed.Round(time.Millisecond), r.Output)
+	}
+	if err != nil || failed {
+		os.Exit(1)
+	}
+	st := session.Stats()
+	fmt.Printf("--- %d cells in %v: %d training runs, %d cache hits, %d deduplicated joins\n",
+		len(reports), wall.Round(time.Millisecond), st.TrainRuns, st.CacheHits, st.Joins)
+}
+
+// summarize renders one grid cell's result compactly.
+func summarize(res *train.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %s/%v%s batch %d/GPU: total %v (%d iters, avg %v/iter)\n",
+		res.Strategy, res.Precision, shardedTag(res.Sharded), res.BatchPerGPU,
+		res.TotalTime, res.Iters, res.AvgIter)
+	fmt.Fprintf(&b, "  GPU util %.1f%%  GPU mem %.1f%%  CPU %.1f%%  host mem %.1f%%",
+		res.AvgGPUUtil*100, res.AvgGPUMemUtil*100, res.AvgCPUUtil*100, res.AvgHostMemUtil*100)
+	if res.FalconPCIeGBps > 0 {
+		fmt.Fprintf(&b, "  falcon PCIe %.2f GB/s", res.FalconPCIeGBps)
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}
+
+func configByName(name string) core.Config {
+	for _, c := range core.Configs() {
+		if c.Name == name {
+			return c
+		}
+	}
+	fatal(fmt.Errorf("unknown configuration %q (see -list)", name))
+	return core.Config{}
 }
 
 func shardedTag(s bool) string {

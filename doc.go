@@ -7,6 +7,6 @@
 //
 // The public entry points live in internal/core (composition + training),
 // internal/experiments (the paper's tables and figures) and the commands
-// under cmd/. See README.md for a tour and DESIGN.md for the architecture
-// and the paper-to-module substitution map.
+// under cmd/. See README.md for a module tour, a quickstart, and the
+// paper-to-module substitution map.
 package composable

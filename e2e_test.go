@@ -2,15 +2,18 @@ package composable_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"composable/internal/cluster"
 	"composable/internal/core"
 	"composable/internal/dlmodel"
+	"composable/internal/experiments"
 	"composable/internal/falcon"
 	"composable/internal/gpu"
 	"composable/internal/mcs"
@@ -168,6 +171,94 @@ func TestCollectBeforeRunFails(t *testing.T) {
 	}
 	if _, err := job.Collect(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunAllParallelEqualsSequential pins the parallel runner's headline
+// guarantee: for every experiment — tables, figures, ablations and
+// extensions — a parallel RunAll renders byte-identical output to a
+// sequential one, because the simulation is deterministic and the session
+// deduplicates rather than races shared training runs.
+func TestRunAllParallelEqualsSequential(t *testing.T) {
+	runAll := func(parallelism int) []experiments.Report {
+		t.Helper()
+		s := experiments.NewSession(experiments.Quick)
+		reports, err := experiments.NewRunner(s, nil).RunAll(context.Background(), parallelism)
+		if err != nil {
+			t.Fatalf("RunAll(parallelism=%d): %v", parallelism, err)
+		}
+		return reports
+	}
+	seq := runAll(1)
+	par := runAll(8)
+
+	if len(seq) != len(par) {
+		t.Fatalf("report counts differ: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for i, want := range seq {
+		got := par[i]
+		t.Run(want.ID, func(t *testing.T) {
+			if got.ID != want.ID {
+				t.Fatalf("report %d out of order: sequential %s, parallel %s", i, want.ID, got.ID)
+			}
+			if got.Output != want.Output {
+				t.Errorf("parallel output differs from sequential:\n--- sequential\n%s\n--- parallel\n%s",
+					want.Output, got.Output)
+			}
+		})
+	}
+}
+
+// TestSessionConcurrentHammer drives one shared Session from many
+// goroutines requesting overlapping (config × workload) runs — the data
+// race the unsynchronized cache used to have. Under -race this test is the
+// regression guard; the assertions check singleflight semantics: every
+// caller gets the one cached result, and each distinct key trains exactly
+// once.
+func TestSessionConcurrentHammer(t *testing.T) {
+	s := experiments.NewSession(experiments.Quick)
+	cfgs := []cluster.Config{cluster.LocalGPUsConfig(), cluster.HybridGPUsConfig()}
+	workloads := []dlmodel.Workload{dlmodel.MobileNetV2Workload(), dlmodel.ResNet50Workload()}
+
+	const goroutines = 16
+	results := make([][]*train.Result, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each goroutine walks the full key grid, offset so that
+			// leaders and joiners interleave.
+			for i := 0; i < len(cfgs)*len(workloads); i++ {
+				j := (i + g) % (len(cfgs) * len(workloads))
+				cfg, w := cfgs[j%len(cfgs)], workloads[j/len(cfgs)]
+				res, err := s.Run(cfg, w)
+				if err != nil {
+					t.Errorf("goroutine %d: %s/%s: %v", g, cfg.Name, w.Name, err)
+					return
+				}
+				results[g] = append(results[g], res)
+			}
+		}()
+	}
+	wg.Wait()
+
+	distinct := make(map[*train.Result]bool)
+	for _, rs := range results {
+		for _, r := range rs {
+			distinct[r] = true
+		}
+	}
+	if want := len(cfgs) * len(workloads); len(distinct) != want {
+		t.Errorf("distinct results = %d, want %d (one per key, shared by all callers)", len(distinct), want)
+	}
+	st := s.Stats()
+	if want := len(cfgs) * len(workloads); st.TrainRuns != want {
+		t.Errorf("TrainRuns = %d, want %d: concurrent callers duplicated a run", st.TrainRuns, want)
+	}
+	if total := st.TrainRuns + st.CacheHits + st.Joins; total != goroutines*len(cfgs)*len(workloads) {
+		t.Errorf("stats don't add up: %+v over %d requests", st, goroutines*len(cfgs)*len(workloads))
 	}
 }
 

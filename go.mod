@@ -1,0 +1,3 @@
+module composable
+
+go 1.22

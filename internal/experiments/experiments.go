@@ -11,6 +11,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"composable/internal/cluster"
@@ -46,15 +47,50 @@ func (s Scale) epochs(paper int) int {
 	return paper
 }
 
-// Session caches training runs across experiments.
+// Session caches training runs across experiments. It is safe for
+// concurrent use: experiments running on separate goroutines that need the
+// same (configuration × workload × options) run share one in-flight
+// train.Run — the first caller executes it, later callers block on the
+// same entry and receive the same *train.Result (singleflight), so a run
+// is never raced or duplicated.
 type Session struct {
 	Scale Scale
-	cache map[string]*train.Result
+
+	mu    sync.Mutex
+	cache map[string]*sessionRun
+	stats Stats
+}
+
+// sessionRun is one cached-or-in-flight training run. done is closed once
+// res/err are set; waiters block on it without holding the session lock.
+type sessionRun struct {
+	done chan struct{}
+	res  *train.Result
+	err  error
+}
+
+// Stats counts the session's cache behavior — the runner surfaces these as
+// telemetry so a parallel suite can show how much work deduplication saved.
+type Stats struct {
+	// TrainRuns is the number of training runs actually executed.
+	TrainRuns int
+	// CacheHits is the number of requests served from a completed run.
+	CacheHits int
+	// Joins is the number of requests that blocked on a run another
+	// goroutine had in flight (the deduplicated races).
+	Joins int
 }
 
 // NewSession creates an empty session at the given scale.
 func NewSession(scale Scale) *Session {
-	return &Session{Scale: scale, cache: make(map[string]*train.Result)}
+	return &Session{Scale: scale, cache: make(map[string]*sessionRun)}
+}
+
+// Stats returns a snapshot of the session's cache counters.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
 }
 
 // GPU configurations used by the GPU-focused figures (Table III top).
@@ -89,23 +125,44 @@ func (s *Session) RunOpts(cfg cluster.Config, w dlmodel.Workload, opts train.Opt
 	if opts.SampleInterval == 0 {
 		opts.SampleInterval = s.Scale.SampleInterval
 	}
-	key := fmt.Sprintf("%s|%v|%s|%s|%v|%v|%d|%d|%d|%d", cfg.Name, cfg.SingleDrawer,
-		w.Name, opts.Strategy, opts.Precision, opts.Sharded,
-		opts.BatchPerGPU, opts.Epochs, opts.Buckets, opts.Channels)
+	// The key covers the full configuration struct and every
+	// outcome-relevant option.
+	key := fmt.Sprintf("%+v|%s", cfg, opts.Fingerprint())
+
+	s.mu.Lock()
 	if r, ok := s.cache[key]; ok {
-		return r, nil
+		// Completed entries return immediately (the channel is closed);
+		// in-flight ones make this caller a join on the leader's run.
+		select {
+		case <-r.done:
+			s.stats.CacheHits++
+		default:
+			s.stats.Joins++
+		}
+		s.mu.Unlock()
+		<-r.done
+		return r.res, r.err
 	}
+	r := &sessionRun{done: make(chan struct{})}
+	s.cache[key] = r
+	s.stats.TrainRuns++
+	s.mu.Unlock()
+
 	env := sim.NewEnv()
 	sys, err := cluster.Compose(env, cfg)
-	if err != nil {
-		return nil, err
+	if err == nil {
+		r.res, r.err = train.Run(sys, opts)
+	} else {
+		r.err = err
 	}
-	res, err := train.Run(sys, opts)
-	if err != nil {
-		return nil, err
+	if r.err != nil {
+		// Failed runs are not cached: evict so a later call may retry.
+		s.mu.Lock()
+		delete(s.cache, key)
+		s.mu.Unlock()
 	}
-	s.cache[key] = res
-	return res, nil
+	close(r.done)
+	return r.res, r.err
 }
 
 // Experiment is one regenerable paper artifact.
@@ -134,23 +191,43 @@ func All() []Experiment {
 	}
 }
 
-// ByID finds an experiment among the paper artifacts and the extensions.
-func ByID(id string) (Experiment, error) {
-	for _, e := range append(All(), Extensions()...) {
-		if e.ID == id {
-			return e, nil
-		}
-	}
-	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have T1-T4, F9-F16, A1-A4, X1)", id)
+// registry is the full experiment catalog — paper artifacts then
+// extensions — indexed once instead of rebuilt on every lookup.
+type registry struct {
+	order []Experiment
+	byID  map[string]Experiment
+	ids   []string // paper artifacts only, in paper order
 }
 
-// IDs lists all experiment IDs in paper order.
-func IDs() []string {
-	var out []string
-	for _, e := range All() {
-		out = append(out, e.ID)
+var catalog = sync.OnceValue(func() *registry {
+	r := &registry{byID: make(map[string]Experiment)}
+	r.order = append(All(), Extensions()...)
+	for _, e := range r.order {
+		r.byID[e.ID] = e
 	}
-	return out
+	for _, e := range All() {
+		r.ids = append(r.ids, e.ID)
+	}
+	return r
+})
+
+// Registry returns every experiment — paper artifacts then extensions — in
+// paper order. The returned slice is the caller's to mutate.
+func Registry() []Experiment {
+	return append([]Experiment(nil), catalog().order...)
+}
+
+// ByID finds an experiment among the paper artifacts and the extensions.
+func ByID(id string) (Experiment, error) {
+	if e, ok := catalog().byID[id]; ok {
+		return e, nil
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have T1-T4, F9-F16, A1-A4, X1-X2)", id)
+}
+
+// IDs lists the paper-artifact experiment IDs in paper order.
+func IDs() []string {
+	return append([]string(nil), catalog().ids...)
 }
 
 // PercentChange is the paper's Figure 11/15 metric: how much slower (+) or

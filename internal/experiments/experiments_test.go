@@ -11,7 +11,7 @@ import (
 
 // The experiment tests are the repository's acceptance gate: they assert
 // the *shapes* the paper reports (who wins, by what rough factor, in what
-// order), per DESIGN.md §4.
+// order), per README.md "Experiments".
 
 func quickSession() *Session { return NewSession(Quick) }
 

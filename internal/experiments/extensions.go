@@ -15,8 +15,9 @@ import (
 )
 
 // Extensions are experiments beyond the paper's figures: ablations of the
-// simulator/design choices DESIGN.md calls out (A1–A4) and the advanced-
-// mode study the paper lists as future work (X1).
+// simulator/design choices README.md calls out (A1–A4), the advanced-mode
+// multi-tenant study the paper lists as future work (X1), and the
+// heterogeneous-accelerator swap (X2).
 func Extensions() []Experiment {
 	return []Experiment{
 		{"A1", "Ablation: DDP gradient bucket count (overlap granularity)", AblationBuckets},

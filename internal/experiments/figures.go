@@ -119,8 +119,9 @@ func Figure12(s *Session) (string, error) {
 	return b.String(), nil
 }
 
-// Figure13 reports CPU utilization per benchmark per GPU configuration.
-func Figure13(s *Session) (string, error) {
+// hostUtilFigure renders one benchmark × GPU-configuration percentage
+// grid — the shared shape of Figures 13 and 14.
+func hostUtilFigure(s *Session, metric func(*train.Result) float64) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s %12s %12s %12s\n", "Benchmark", "localGPUs", "hybridGPUs", "falconGPUs")
 	for _, w := range dlmodel.Benchmarks() {
@@ -130,29 +131,21 @@ func Figure13(s *Session) (string, error) {
 			if err != nil {
 				return "", err
 			}
-			fmt.Fprintf(&b, " %11.1f%%", res.AvgCPUUtil*100)
+			fmt.Fprintf(&b, " %11.1f%%", metric(res)*100)
 		}
 		fmt.Fprintln(&b)
 	}
 	return b.String(), nil
 }
 
+// Figure13 reports CPU utilization per benchmark per GPU configuration.
+func Figure13(s *Session) (string, error) {
+	return hostUtilFigure(s, func(res *train.Result) float64 { return res.AvgCPUUtil })
+}
+
 // Figure14 reports host memory utilization per benchmark per configuration.
 func Figure14(s *Session) (string, error) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %12s %12s %12s\n", "Benchmark", "localGPUs", "hybridGPUs", "falconGPUs")
-	for _, w := range dlmodel.Benchmarks() {
-		fmt.Fprintf(&b, "%-12s", w.Name)
-		for _, cfg := range gpuConfigs() {
-			res, err := s.RunOpts(cfg, w, fp16DDP())
-			if err != nil {
-				return "", err
-			}
-			fmt.Fprintf(&b, " %11.1f%%", res.AvgHostMemUtil*100)
-		}
-		fmt.Fprintln(&b)
-	}
-	return b.String(), nil
+	return hostUtilFigure(s, func(res *train.Result) float64 { return res.AvgHostMemUtil })
 }
 
 // Figure15Data computes the percentage training-time change of the two

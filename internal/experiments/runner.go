@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Report is one experiment's rendered artifact plus run telemetry.
+type Report struct {
+	ID     string
+	Title  string
+	Output string
+	// Elapsed is the wall-clock time this experiment took. Under a
+	// parallel runner an experiment's elapsed time includes waiting on
+	// training runs another experiment had in flight, so the per-report
+	// sum can exceed the suite's wall time.
+	Elapsed time.Duration
+	// Err is the experiment's failure, ctx.Err() if the suite was
+	// canceled before this experiment started (experiments already in
+	// flight run to completion), or nil.
+	Err error
+}
+
+// Runner executes a set of experiments over one shared Session, optionally
+// in parallel. Reports come back in the experiments' given (paper) order
+// regardless of completion order, and — because the Session deduplicates
+// training runs and the simulation is deterministic — a parallel run
+// renders byte-identical output to a sequential one.
+type Runner struct {
+	Session *Session
+	// Experiments to run; nil means the full Registry() (paper artifacts
+	// then extensions).
+	Experiments []Experiment
+}
+
+// NewRunner returns a runner over the session. exps nil means Registry().
+func NewRunner(s *Session, exps []Experiment) *Runner {
+	return &Runner{Session: s, Experiments: exps}
+}
+
+// RunAll executes the experiments on a pool of parallelism workers
+// (parallelism < 1 means runtime.GOMAXPROCS(0)) and returns one Report per
+// experiment, in input order. It always returns a report slice of full
+// length: on failure or cancellation the affected reports carry the error,
+// and the returned error is the first report error in input order —
+// falling back to ctx.Err() when the context was canceled after every
+// dispatched experiment had already started.
+func (r *Runner) RunAll(ctx context.Context, parallelism int) ([]Report, error) {
+	exps := r.Experiments
+	if exps == nil {
+		exps = Registry()
+	}
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(exps) {
+		parallelism = len(exps)
+	}
+
+	reports := make([]Report, len(exps))
+	for i, e := range exps {
+		reports[i] = Report{ID: e.ID, Title: e.Title}
+	}
+	if len(exps) == 0 {
+		return reports, nil
+	}
+
+	work := make(chan int)
+	done := make(chan struct{})
+	// Workers own disjoint report slots, so no locking is needed.
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range work {
+				if err := ctx.Err(); err != nil {
+					reports[i].Err = err
+					continue
+				}
+				e := exps[i]
+				start := time.Now()
+				out, err := e.Run(r.Session)
+				reports[i].Output = out
+				reports[i].Elapsed = time.Since(start)
+				if err != nil {
+					reports[i].Err = fmt.Errorf("%s: %w", e.ID, err)
+				}
+			}
+		}()
+	}
+	for i := range exps {
+		work <- i
+	}
+	close(work)
+	for w := 0; w < parallelism; w++ {
+		<-done
+	}
+
+	for i := range reports {
+		if reports[i].Err != nil {
+			return reports, reports[i].Err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return reports, err
+	}
+	return reports, nil
+}

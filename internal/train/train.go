@@ -64,6 +64,20 @@ type Options struct {
 	Seed int64
 }
 
+// Fingerprint canonically encodes every option that changes the outcome of
+// a run, identifying the workload by its name (the Table II benchmarks are
+// immutable; callers must not reuse a benchmark's name for a modified
+// workload). Two runs of the same workload on identical systems with equal
+// fingerprints produce identical Results (the simulation is deterministic),
+// which is what makes fingerprints safe as cache/deduplication keys — the
+// experiments session keys its shared-run cache on them.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("%s|%v|%s|%t|%d|%d|%d|%d|%d|%d|%v|%d",
+		o.Workload.Name, o.Precision, o.Strategy, o.Sharded,
+		o.BatchPerGPU, o.Epochs, o.ItersPerEpoch, o.Buckets, o.Workers,
+		o.Channels, o.SampleInterval, o.Seed)
+}
+
 // launchBusyFraction is how much of the per-iteration launch overhead a
 // coarse utilization sampler (nvidia-smi's ~100 ms windows) attributes to
 // the GPU: short inter-kernel gaps are invisible to it.
