@@ -9,6 +9,8 @@
 //	benchrunner -scale quick    # faster, noisier
 //	benchrunner -parallel 8     # worker-pool width (default GOMAXPROCS)
 //	benchrunner -list           # list experiment IDs
+//	benchrunner -bench-json BENCH_PR2.json   # emit the perf trajectory file
+//	benchrunner -cpuprofile cpu.out          # profile whatever runs
 package main
 
 import (
@@ -17,27 +19,80 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"composable/internal/experiments"
+	"composable/internal/perfbench"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds the real main so profile-flushing defers execute before the
+// process exits with a status code.
+func run() int {
 	var (
 		expFlag      = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 		scaleFlag    = flag.String("scale", "standard", "simulation scale: quick or standard")
 		listFlag     = flag.Bool("list", false, "list experiment IDs and exit")
 		extFlag      = flag.Bool("ext", false, "also run ablations/extensions (A1-A4, X1-X2)")
 		parallelFlag = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker-pool width (1 = sequential)")
+		benchJSON    = flag.String("bench-json", "", "run the performance micro-benchmark suite and write results to this file instead of running experiments")
+		benchLabel   = flag.String("bench-label", "dev", "label recorded in the -bench-json report (e.g. PR2)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			}
+		}()
+	}
+
+	if *benchJSON != "" {
+		fmt.Printf("composable benchrunner — performance micro-benchmark suite (label %s)\n", *benchLabel)
+		results := perfbench.PerfSuite()
+		for _, r := range results {
+			fmt.Printf("%-28s %12.1f ns/op %8d allocs/op %10d B/op %14.0f ops/s\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.OpsPerSec)
+		}
+		if err := perfbench.WritePerfReport(*benchJSON, *benchLabel, results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+		return 0
+	}
 
 	if *listFlag {
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	scale := experiments.Standard
@@ -47,7 +102,7 @@ func main() {
 	case "standard":
 	default:
 		fmt.Fprintf(os.Stderr, "benchrunner: unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+		return 2
 	}
 
 	var selected []experiments.Experiment
@@ -61,7 +116,7 @@ func main() {
 			e, err := experiments.ByID(strings.TrimSpace(id))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchrunner:", err)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
@@ -90,7 +145,7 @@ func main() {
 		fmt.Printf("=== %s: %s (ran in %v)\n%s\n", r.ID, r.Title, r.Elapsed.Round(time.Millisecond), r.Output)
 	}
 	if err != nil {
-		os.Exit(1)
+		return 1
 	}
 
 	var busy time.Duration
@@ -103,4 +158,5 @@ func main() {
 		busy.Seconds()/wall.Seconds())
 	fmt.Printf("--- session: %d training runs executed, %d cache hits, %d deduplicated joins\n",
 		st.TrainRuns, st.CacheHits, st.Joins)
+	return 0
 }

@@ -224,7 +224,6 @@ func TestSessionConcurrentHammer(t *testing.T) {
 	results := make([][]*train.Result, goroutines)
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
-		g := g
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -12,6 +12,7 @@ package collective
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"composable/internal/fabric"
@@ -50,6 +51,9 @@ type Communicator struct {
 	eff      float64
 	channels int
 	queue    []*op // FIFO of operations being assembled/executed
+	// chanNames holds the precomputed per-channel process names, so the
+	// per-collective spawn path never formats strings.
+	chanNames []string
 }
 
 // SetChannels overrides the counter-rotating ring count (ablation knob;
@@ -59,6 +63,34 @@ func (c *Communicator) SetChannels(n int) {
 		n = 1
 	}
 	c.channels = n
+	c.nameChannels()
+}
+
+// nameChannels precomputes the ring-channel process names for the current
+// channel count.
+func (c *Communicator) nameChannels() {
+	c.chanNames = make([]string, c.channels)
+	for ch := range c.chanNames {
+		c.chanNames[ch] = "ring-ch" + strconv.Itoa(ch)
+	}
+}
+
+// opProcName maps an op kind to its (constant) process name; every op of a
+// kind shares one name, so launches never format strings.
+func opProcName(kind string) string {
+	switch kind {
+	case "allreduce":
+		return "nccl-allreduce"
+	case "reducescatter":
+		return "nccl-reducescatter"
+	case "allgather":
+		return "nccl-allgather"
+	case "broadcast":
+		return "nccl-broadcast"
+	case "reduceroot":
+		return "nccl-reduceroot"
+	}
+	return "nccl-" + kind
 }
 
 // op is one in-flight collective.
@@ -113,6 +145,7 @@ func NewWithRing(net *fabric.Network, gpus []*gpu.Device, ring []int) (*Communic
 	}
 
 	c := &Communicator{net: net, env: net.Env(), gpus: gpus, ring: ring, channels: DefaultChannels}
+	c.nameChannels()
 	c.eff = NVLinkRingEfficiency
 	for i := range ring {
 		a := gpus[ring[i]].Node
@@ -174,7 +207,7 @@ func (c *Communicator) join(kind string, bytes units.Bytes, root, rank int) *op 
 // launch runs the op's data movement in a fresh process, after its
 // predecessor completes.
 func (c *Communicator) launch(o *op) {
-	c.env.Go("nccl-"+o.kind, func(p *sim.Proc) {
+	c.env.Go(opProcName(o.kind), func(p *sim.Proc) {
 		if o.prev != nil {
 			o.prev.done.Wait(p)
 		}
@@ -219,10 +252,11 @@ func (c *Communicator) runRingPasses(p *sim.Proc, size units.Bytes, passes int) 
 	wg.Add(c.channels)
 	for ch := 0; ch < c.channels; ch++ {
 		reverse := ch%2 == 1
-		c.env.Go(fmt.Sprintf("ring-ch%d", ch), func(cp *sim.Proc) {
+		c.env.Go(c.chanNames[ch], func(cp *sim.Proc) {
+			// One spec buffer per channel, refilled each round.
+			specs := make([]fabric.TransferSpec, n)
 			for r := 0; r < rounds; r++ {
 				start := cp.Now()
-				specs := make([]fabric.TransferSpec, 0, n)
 				for i := 0; i < n; i++ {
 					src := c.gpus[c.ring[i]].Node
 					var dst fabric.NodeID
@@ -231,7 +265,7 @@ func (c *Communicator) runRingPasses(p *sim.Proc, size units.Bytes, passes int) 
 					} else {
 						dst = c.gpus[c.ring[(i+1)%n]].Node
 					}
-					specs = append(specs, fabric.TransferSpec{Src: src, Dst: dst, Size: chunk})
+					specs[i] = fabric.TransferSpec{Src: src, Dst: dst, Size: chunk}
 				}
 				if err := c.net.ParallelTransfer(cp, specs); err != nil {
 					panic(err)

@@ -179,7 +179,6 @@ func TestCollectiveStreamOrdering(t *testing.T) {
 	var wg sim.WaitGroup
 	wg.Add(comm.Size())
 	for rank := 0; rank < comm.Size(); rank++ {
-		rank := rank
 		env.Go("rank", func(p *sim.Proc) {
 			h1 := comm.StartAllReduce(rank, size)
 			h2 := comm.StartAllReduce(rank, size)

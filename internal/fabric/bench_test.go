@@ -1,0 +1,68 @@
+// The fabric-allocator micro-benchmarks. The contended-churn harness and
+// the star topology builder live in internal/perfbench so that `go test
+// -bench` here and `benchrunner -bench-json` measure the exact same code.
+package fabric_test
+
+import (
+	"testing"
+
+	"composable/internal/fabric"
+	"composable/internal/perfbench"
+	"composable/internal/sim"
+	"composable/internal/units"
+)
+
+// BenchmarkFlowChurnSerial measures one flow add→drain→remove cycle per op
+// over a two-hop path with no contention: the allocator's fixed cost.
+func BenchmarkFlowChurnSerial(b *testing.B) {
+	env := sim.NewEnv()
+	net, eps := perfbench.StarNetwork(env, 2)
+	env.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := net.Transfer(p, eps[0], eps[1], units.MB); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "flows/s")
+}
+
+// BenchmarkFlowChurnContended measures allocator churn under steady
+// contention over the shared star switch. One op is one completed flow.
+func BenchmarkFlowChurnContended(b *testing.B) { perfbench.BenchFabricFlowChurnContended(b) }
+
+// BenchmarkRecomputeWide measures a single recompute sweep at width: 32
+// concurrent flows started back to back (each start recomputes over the
+// growing set), then drained.
+func BenchmarkRecomputeWide(b *testing.B) {
+	const width = 32
+	env := sim.NewEnv()
+	net, eps := perfbench.StarNetwork(env, width)
+	env.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			flows := make([]*fabric.Flow, 0, width)
+			for j := 0; j < width; j++ {
+				f, err := net.StartFlow(eps[j], eps[(j+1)%width], units.MB)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				flows = append(flows, f)
+			}
+			for _, f := range flows {
+				f.Done().Wait(p)
+			}
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -206,6 +206,13 @@ func TestParallelTransferBarrier(t *testing.T) {
 	}
 }
 
+// dirKey names one direction of a link for the per-direction usage sums
+// the allocator invariants are checked against.
+type dirKey struct {
+	id      LinkID
+	forward bool
+}
+
 // TestMaxMinPropertyInvariants checks, over random star topologies and flow
 // sets, the three defining properties of the allocator: non-negative rates,
 // no directed link over capacity, and work conservation (every flow is

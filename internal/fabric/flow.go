@@ -22,18 +22,56 @@ type Network struct {
 	// setup at the endpoints; it dominates small-message p2p latency.
 	EndpointOverhead time.Duration
 
-	flows      map[*Flow]struct{}
+	// flows is the active set in deterministic insertion order (removal
+	// swaps the tail in; each flow tracks its index).
+	flows      []*Flow
 	lastUpdate sim.Time
 	epoch      uint64
 	routeCache map[[2]NodeID][]dirLink
+
+	// linkCons holds one persistent constraint per link direction, indexed
+	// by 2*LinkID (+1 for the B→A direction), created lazily on first use.
+	// cons lists the constraints that currently carry flows: flow add and
+	// remove touch only the constraints on the flow's own path, and
+	// recompute sweeps empty ones out lazily — nothing is rebuilt per
+	// churn.
+	linkCons []*constraint
+	cons     []*constraint
+}
+
+// constraint is one capacity limit in the max-min allocation: a direction
+// of a link, or a flow's own rate cap (a virtual single-flow link).
+// Constraints persist across recomputes; residual and unfrozen are
+// refreshed at the start of each allocation epoch.
+type constraint struct {
+	link    *Link // nil for per-flow rate caps
+	forward bool
+	capped  float64 // rate cap when link is nil
+
+	flows    []*Flow
+	residual float64
+	unfrozen int
+	// active tracks membership in Network.cons so a constraint is never
+	// listed twice; it stays set while the constraint sits in cons, even
+	// after its last flow leaves, until a recompute sweeps it out.
+	active bool
+}
+
+func (st *constraint) capacity() float64 {
+	if st.link == nil {
+		return st.capped
+	}
+	if st.forward {
+		return float64(st.link.CapAtoB)
+	}
+	return float64(st.link.CapBtoA)
 }
 
 // NewNetwork creates an empty fabric bound to a simulation environment.
 func NewNetwork(env *sim.Env) *Network {
 	return &Network{
-		env:   env,
-		adj:   make(map[NodeID][]dirLink),
-		flows: make(map[*Flow]struct{}),
+		env: env,
+		adj: make(map[NodeID][]dirLink),
 	}
 }
 
@@ -51,6 +89,15 @@ type Flow struct {
 	done      sim.Signal
 	latency   time.Duration
 	net       *Network
+
+	// cons caches the constraints along the path (plus the rate cap, if
+	// any), so recomputes never rebuild a flow→constraint index.
+	cons []*constraint
+	// idx is the flow's position in Network.flows.
+	idx int
+	// frozenEpoch marks the allocation epoch the flow was last frozen in,
+	// replacing a per-recompute frozen set.
+	frozenEpoch uint64
 }
 
 // Done returns the signal fired when the flow (including its path latency)
@@ -87,9 +134,68 @@ func (n *Network) StartFlowLimited(src, dst NodeID, size units.Bytes, maxRate un
 		n.env.After(lat, func() { f.done.Fire(n.env) })
 		return f, nil
 	}
-	n.flows[f] = struct{}{}
+	n.addFlow(f)
 	n.recompute()
 	return f, nil
+}
+
+// addFlow registers f with the active set and with the constraints on its
+// path — the only link state touched is the flow's own.
+func (n *Network) addFlow(f *Flow) {
+	f.idx = len(n.flows)
+	n.flows = append(n.flows, f)
+	f.cons = make([]*constraint, 0, len(f.path)+1)
+	for _, dl := range f.path {
+		st := n.linkConstraint(dl)
+		st.flows = append(st.flows, f)
+		if !st.active {
+			st.active = true
+			n.cons = append(n.cons, st)
+		}
+		f.cons = append(f.cons, st)
+	}
+	if f.maxRate > 0 {
+		st := &constraint{capped: f.maxRate, flows: []*Flow{f}, active: true}
+		n.cons = append(n.cons, st)
+		f.cons = append(f.cons, st)
+	}
+}
+
+// removeFlow unregisters a completed flow, again touching only the
+// constraints on its own path. Emptied constraints are left in cons for the
+// next recompute to sweep out.
+func (n *Network) removeFlow(f *Flow) {
+	last := len(n.flows) - 1
+	n.flows[f.idx] = n.flows[last]
+	n.flows[f.idx].idx = f.idx
+	n.flows[last] = nil
+	n.flows = n.flows[:last]
+	for _, st := range f.cons {
+		for i, g := range st.flows {
+			if g == f {
+				st.flows[i] = st.flows[len(st.flows)-1]
+				st.flows[len(st.flows)-1] = nil
+				st.flows = st.flows[:len(st.flows)-1]
+				break
+			}
+		}
+	}
+	f.cons = nil
+}
+
+// linkConstraint returns the persistent constraint for one link direction,
+// creating it on first use.
+func (n *Network) linkConstraint(dl dirLink) *constraint {
+	i := 2 * int(dl.link.ID)
+	if !dl.forward {
+		i++
+	}
+	st := n.linkCons[i]
+	if st == nil {
+		st = &constraint{link: dl.link, forward: dl.forward}
+		n.linkCons[i] = st
+	}
+	return st
 }
 
 // TransferLimited moves size bytes with a per-flow rate cap, blocking until
@@ -146,7 +252,7 @@ func (n *Network) advance() {
 	if dt <= 0 {
 		return
 	}
-	for f := range n.flows {
+	for _, f := range n.flows {
 		moved := f.rate * dt
 		if moved > f.remaining {
 			moved = f.remaining
@@ -161,58 +267,49 @@ func (n *Network) advance() {
 // recompute runs max-min fair allocation over the active flows and
 // schedules the next completion event. It must be called with counters
 // already advanced to the current instant.
+//
+// The sweep is incremental in its bookkeeping: constraints persist between
+// calls (no byKey/flowCons maps are rebuilt), frozen state is an epoch
+// stamp on each flow, and per-constraint unfrozen counts replace the
+// per-round rescans of every constraint's flow list.
 func (n *Network) recompute() {
 	n.epoch++
 	if len(n.flows) == 0 {
 		return
 	}
 
+	// Refresh the active constraints for this epoch, sweeping out the
+	// ones whose last flow has left.
+	cons := n.cons[:0]
+	for _, st := range n.cons {
+		if len(st.flows) == 0 {
+			st.active = false
+			continue
+		}
+		st.residual = st.capacity()
+		st.unfrozen = len(st.flows)
+		cons = append(cons, st)
+	}
+	for i := len(cons); i < len(n.cons); i++ {
+		n.cons[i] = nil
+	}
+	n.cons = cons
+
 	// Progressive filling: repeatedly find the most constrained
 	// constraint (smallest fair share among its unfrozen flows), freeze
-	// those flows at that share, remove their demand, repeat. A
-	// constraint is either one direction of a link or a flow's own rate
-	// cap (a virtual single-flow link).
-	type constraint struct {
-		residual float64
-		flows    []*Flow
-	}
-	var constraints []*constraint
-	byKey := make(map[dirKey]*constraint)
-	flowCons := make(map[*Flow][]*constraint, len(n.flows))
-	for f := range n.flows {
+	// those flows at that share, remove their demand, repeat.
+	for _, f := range n.flows {
 		f.rate = math.Inf(1)
-		for _, dl := range f.path {
-			k := dirKey{dl.link.ID, dl.forward}
-			st := byKey[k]
-			if st == nil {
-				st = &constraint{residual: dl.capacity()}
-				byKey[k] = st
-				constraints = append(constraints, st)
-			}
-			st.flows = append(st.flows, f)
-			flowCons[f] = append(flowCons[f], st)
-		}
-		if f.maxRate > 0 {
-			st := &constraint{residual: f.maxRate, flows: []*Flow{f}}
-			constraints = append(constraints, st)
-			flowCons[f] = append(flowCons[f], st)
-		}
 	}
-	frozen := make(map[*Flow]bool, len(n.flows))
-	for len(frozen) < len(n.flows) {
+	frozen := 0
+	for frozen < len(n.flows) {
 		bestShare := math.Inf(1)
 		var best *constraint
-		for _, st := range constraints {
-			unfrozen := 0
-			for _, f := range st.flows {
-				if !frozen[f] {
-					unfrozen++
-				}
-			}
-			if unfrozen == 0 {
+		for _, st := range cons {
+			if st.unfrozen == 0 {
 				continue
 			}
-			share := st.residual / float64(unfrozen)
+			share := st.residual / float64(st.unfrozen)
 			if share < bestShare {
 				bestShare, best = share, st
 			}
@@ -221,23 +318,25 @@ func (n *Network) recompute() {
 			break
 		}
 		for _, f := range best.flows {
-			if frozen[f] {
+			if f.frozenEpoch == n.epoch {
 				continue
 			}
-			frozen[f] = true
+			f.frozenEpoch = n.epoch
 			f.rate = bestShare
-			for _, st := range flowCons[f] {
+			frozen++
+			for _, st := range f.cons {
 				st.residual -= bestShare
 				if st.residual < 0 {
 					st.residual = 0
 				}
+				st.unfrozen--
 			}
 		}
 	}
 
 	// Schedule the next completion.
 	nextIn := math.Inf(1)
-	for f := range n.flows {
+	for _, f := range n.flows {
 		if f.rate <= 0 {
 			continue
 		}
@@ -260,22 +359,18 @@ func (n *Network) recompute() {
 	})
 }
 
-type dirKey struct {
-	id      LinkID
-	forward bool
-}
-
 // completionEpsilon absorbs float rounding when deciding a flow is done.
 const completionEpsilon = 1e-3 // bytes
 
 func (n *Network) finishCompleted() {
-	for f := range n.flows {
-		if f.remaining <= completionEpsilon {
-			delete(n.flows, f)
-			lat := f.latency
-			ff := f
-			n.env.After(lat, func() { ff.done.Fire(n.env) })
+	for i := 0; i < len(n.flows); {
+		f := n.flows[i]
+		if f.remaining > completionEpsilon {
+			i++
+			continue
 		}
+		n.removeFlow(f) // swaps the tail into slot i; revisit it
+		n.env.After(f.latency, func() { f.done.Fire(n.env) })
 	}
 	n.recompute()
 }

@@ -149,6 +149,7 @@ func (n *Network) Connect(a, b NodeID, capAB, capBA units.BytesPerSec, latency t
 		Latency: latency, Protocol: protocol,
 	}
 	n.links = append(n.links, l)
+	n.linkCons = append(n.linkCons, nil, nil)
 	n.addGraphStructures(l)
 	return l.ID
 }

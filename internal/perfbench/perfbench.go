@@ -1,0 +1,234 @@
+// Package perfbench is the simulator's performance-regression harness: a
+// fixed suite of micro-benchmarks over the sim core, the fabric allocator
+// and the full experiment suite, runnable in process (testing.Benchmark)
+// and serialized to the checked-in BENCH_*.json trajectory files that let
+// each PR compare its constant factors against its predecessors.
+//
+// The benchmark bodies live here — not in _test.go files — so the
+// per-package `go test -bench` benchmarks and the `benchrunner
+// -bench-json` suite run the exact same harnesses and can never diverge.
+package perfbench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"composable/internal/experiments"
+	"composable/internal/fabric"
+	"composable/internal/sim"
+	"composable/internal/units"
+)
+
+// PerfResult is one micro-benchmark measurement in the repo's benchmark
+// trajectory (the checked-in BENCH_*.json files). Fields mirror what `go
+// test -bench -benchmem` reports so benchstat-style comparison across PRs
+// stays straightforward.
+type PerfResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// OpsPerSec is the benchmark's headline rate: simulated events/sec for
+	// the sim-core benchmarks, flow add→drain→remove cycles/sec for the
+	// fabric benchmarks, experiment-suite runs/sec for the end-to-end one.
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// PerfReport is the file format of BENCH_*.json: environment provenance
+// plus the suite results, so future PRs can tell a real regression from a
+// hardware change.
+type PerfReport struct {
+	Schema    string       `json:"schema"`
+	Label     string       `json:"label"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
+	Results   []PerfResult `json:"results"`
+}
+
+// PerfSchema identifies the BENCH_*.json layout.
+const PerfSchema = "composable-bench/v1"
+
+// PerfSuite runs the simulator's performance micro-benchmarks in process
+// via testing.Benchmark — no `go test` invocation needed — and returns the
+// measurements. It is the engine behind `benchrunner -bench-json`.
+//
+// The suite covers the three layers the hot path crosses: the sim core's
+// event loop (events/sec), the fabric's max-min allocator under flow churn
+// (flows/sec), and one full experiment-suite regeneration (the number the
+// ROADMAP's "as fast as the hardware allows" goal ultimately cares about).
+func PerfSuite() []PerfResult {
+	benchmarks := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"sim/schedule-callbacks", BenchSimScheduleCallbacks},
+		{"sim/sleep-wake", BenchSimSleepWake},
+		{"sim/same-instant-fifo", BenchSimSameInstantFIFO},
+		{"fabric/flow-churn-contended", BenchFabricFlowChurnContended},
+		{"suite/run-all-sequential", BenchSuiteRunAllSequential},
+	}
+	results := make([]PerfResult, 0, len(benchmarks))
+	for _, bm := range benchmarks {
+		r := testing.Benchmark(bm.fn)
+		per := PerfResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if per.NsPerOp > 0 {
+			per.OpsPerSec = 1e9 / per.NsPerOp
+		}
+		results = append(results, per)
+	}
+	return results
+}
+
+// NewPerfReport wraps suite results with environment provenance.
+func NewPerfReport(label string, results []PerfResult) PerfReport {
+	return PerfReport{
+		Schema:    PerfSchema,
+		Label:     label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Results:   results,
+	}
+}
+
+// WritePerfReport writes the report as indented JSON to path.
+func WritePerfReport(path, label string, results []PerfResult) error {
+	data, err := json.MarshalIndent(NewPerfReport(label, results), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BenchSimScheduleCallbacks measures the raw event-queue cost with no
+// process handoffs: a single self-rescheduling callback chain, one event
+// per op. This is the purest view of per-event allocation.
+func BenchSimScheduleCallbacks(b *testing.B) {
+	e := sim.NewEnv()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.After(time.Microsecond, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchSimSleepWake measures the full process path — schedule, heap, wake,
+// yield — one Sleep per op across a small set of interleaved processes.
+func BenchSimSleepWake(b *testing.B) {
+	e := sim.NewEnv()
+	const procs = 8
+	per := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		e.Go("sleeper", func(p *sim.Proc) {
+			for j := 0; j < per; j++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(procs*per)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchSimSameInstantFIFO measures zero-duration sleeps: every reschedule
+// lands at the current instant, the case the FIFO fast path serves.
+func BenchSimSameInstantFIFO(b *testing.B) {
+	e := sim.NewEnv()
+	e.Go("spinner", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(0)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// StarNetwork builds the benchmark fabric: n endpoint GPUs around one
+// switch, the shape that makes every flow share the switch links and so
+// exercises the max-min allocator with real contention.
+func StarNetwork(env *sim.Env, n int) (*fabric.Network, []fabric.NodeID) {
+	net := fabric.NewNetwork(env)
+	sw := net.AddNode("sw", fabric.KindSwitch)
+	eps := make([]fabric.NodeID, n)
+	for i := range eps {
+		eps[i] = net.AddNode("gpu", fabric.KindGPU)
+		net.ConnectSym(eps[i], sw, units.GBps(16), time.Microsecond, "pcie")
+	}
+	return net, eps
+}
+
+// BenchFabricFlowChurnContended measures allocator churn under steady
+// contention: eight transfer loops share the star switch, so every
+// add/remove recomputes fair shares over ~8 active flows. One op is one
+// completed flow.
+func BenchFabricFlowChurnContended(b *testing.B) {
+	const procs = 8
+	env := sim.NewEnv()
+	net, eps := StarNetwork(env, procs)
+	per := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		src, dst := eps[i], eps[(i+1)%procs]
+		env.Go("driver", func(p *sim.Proc) {
+			for j := 0; j < per; j++ {
+				if err := net.Transfer(p, src, dst, units.MB); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "flows/s")
+}
+
+// BenchSuiteRunAllSequential regenerates every registered experiment on a
+// single worker at quick scale — the end-to-end number the trajectory
+// tracks across PRs.
+func BenchSuiteRunAllSequential(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(experiments.Quick)
+		reports, err := experiments.NewRunner(s, nil).RunAll(context.Background(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) == 0 {
+			b.Fatal("no reports")
+		}
+	}
+}

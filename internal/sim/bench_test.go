@@ -1,0 +1,77 @@
+// The sim-core micro-benchmarks. The shared harness bodies live in
+// internal/perfbench so that `go test -bench` here and `benchrunner
+// -bench-json` measure the exact same code; this file only wraps them and
+// adds the spawn-heavy shapes the trajectory file doesn't track.
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"composable/internal/perfbench"
+	"composable/internal/sim"
+)
+
+// BenchmarkScheduleCallbacks measures the raw event-queue cost with no
+// process handoffs: one self-rescheduled callback per op.
+func BenchmarkScheduleCallbacks(b *testing.B) { perfbench.BenchSimScheduleCallbacks(b) }
+
+// BenchmarkSleepWake measures the full process path — schedule, heap,
+// wake, yield — one Sleep per op across interleaved processes.
+func BenchmarkSleepWake(b *testing.B) { perfbench.BenchSimSleepWake(b) }
+
+// BenchmarkSameInstantWake measures zero-duration sleeps, the case the
+// FIFO fast path serves.
+func BenchmarkSameInstantWake(b *testing.B) { perfbench.BenchSimSameInstantFIFO(b) }
+
+// BenchmarkSignalFanout measures a broadcast wake: one op spawns a cohort
+// of waiters, fires the signal, and joins them — the Fire/Done wake path
+// collectives lean on.
+func BenchmarkSignalFanout(b *testing.B) {
+	const waiters = 32
+	e := sim.NewEnv()
+	e.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			sig := &sim.Signal{}
+			wg := &sim.WaitGroup{}
+			wg.Add(waiters)
+			for w := 0; w < waiters; w++ {
+				e.Go("waiter", func(q *sim.Proc) {
+					sig.Wait(q)
+					wg.Done(e)
+				})
+			}
+			p.Sleep(time.Microsecond)
+			sig.Fire(e)
+			wg.Wait(p)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResourceContention measures Acquire/Release through a contended
+// FIFO queue: per op, one short hold on a resource that always has waiters.
+func BenchmarkResourceContention(b *testing.B) {
+	e := sim.NewEnv()
+	r := sim.NewResource("bench", 2)
+	const procs = 6
+	per := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		e.Go("worker", func(p *sim.Proc) {
+			for j := 0; j < per; j++ {
+				r.Acquire(p, 1)
+				p.Sleep(time.Microsecond)
+				r.Release(e, 1)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

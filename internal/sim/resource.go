@@ -9,9 +9,8 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []*resWaiter
+	waiters  []resWaiter
 	// busy accounting for utilization metrics.
-	busySince  Time
 	accumBusy  Time
 	lastChange Time
 }
@@ -49,8 +48,8 @@ func (r *Resource) Acquire(p *Proc, n int) {
 		r.take(p.env, n)
 		return
 	}
-	r.waiters = append(r.waiters, &resWaiter{p: p, n: n})
-	p.yield("resource " + r.name)
+	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
+	p.yieldNamed(waitResource, r.name)
 }
 
 // TryAcquire takes n units if immediately available, reporting success.
@@ -77,10 +76,10 @@ func (r *Resource) Release(e *Env, n int) {
 		if r.inUse+w.n > r.capacity {
 			break
 		}
+		r.waiters[0] = resWaiter{}
 		r.waiters = r.waiters[1:]
 		r.inUse += w.n
-		p := w.p
-		e.Schedule(e.now, func() { e.wake(p) })
+		e.scheduleWake(w.p, e.now)
 	}
 }
 
@@ -202,8 +201,9 @@ func (q *Queue) wakeOne(e *Env) {
 		return
 	}
 	p := q.waiters[0]
+	q.waiters[0] = nil
 	q.waiters = q.waiters[1:]
-	e.Schedule(e.now, func() { e.wake(p) })
+	e.scheduleWake(p, e.now)
 }
 
 // Get removes and returns the oldest item, blocking while the queue is
@@ -214,7 +214,7 @@ func (q *Queue) Get(p *Proc) (item interface{}, ok bool) {
 			return nil, false
 		}
 		q.waiters = append(q.waiters, p)
-		p.yield("queue " + q.name)
+		p.yieldNamed(waitQueue, q.name)
 	}
 	item = q.items[0]
 	q.items = q.items[1:]

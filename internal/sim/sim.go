@@ -11,10 +11,17 @@
 // that blocks on primitives such as Proc.Sleep, Resource.Acquire or
 // Signal.Wait; behind the scenes each block is a yield back to the event
 // loop. Because handoff is strict, no locking is needed inside models.
+//
+// The inner loop is allocation-free in steady state: events are small
+// values stored in a reusable typed 4-ary heap (no container/heap
+// interface boxing, no per-event pointer), process wake-ups carry the
+// *Proc directly instead of a closure, and events scheduled for the
+// current instant bypass the heap through a reusable FIFO. Both queues
+// respect the global (timestamp, seq) order, so the fast paths change
+// nothing about execution order.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
@@ -23,44 +30,40 @@ import (
 // Time is virtual simulation time measured from the start of the run.
 type Time = time.Duration
 
-// event is a scheduled callback. Events with equal timestamps fire in
+// event is a scheduled wake-up or callback, stored by value. The common
+// case — waking a blocked process (Sleep, Signal.Fire, WaitGroup.Done,
+// Resource.Release, Queue hand-offs) — carries the process directly in
+// proc, so scheduling it allocates nothing. fn is the general-purpose
+// callback used by Schedule/After. Events with equal timestamps fire in
 // scheduling order (seq), which keeps the simulation deterministic.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	proc *Proc  // non-nil: wake this process
+	fn   func() // otherwise: run this callback
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+func eventBefore(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // Env is a simulation environment: a virtual clock plus an event queue.
 // Create one with NewEnv, spawn processes with Go, then call Run.
 type Env struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	ack     chan struct{}
-	procs   map[*Proc]struct{}
-	running bool
-	failure error
+	now Time
+	seq uint64
+	// heap is a 4-ary min-heap of events ordered by (at, seq); its backing
+	// array is reused across the whole run.
+	heap []event
+	// fifo holds events scheduled for the current instant, in seq order
+	// (every entry's at equals now). It is drained ahead of same-instant
+	// heap entries with larger seq and its storage is recycled on drain.
+	fifo     []event
+	fifoHead int
+	ack      chan struct{}
+	procs    map[*Proc]struct{}
+	running  bool
+	failure  error
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -82,11 +85,94 @@ func (e *Env) Schedule(at Time, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	e.enqueue(event{at: at, seq: e.seq, fn: fn})
+}
+
+// scheduleWake registers a wake-up of p at absolute time at. It is the
+// closure-free fast path behind every blocking primitive in the package.
+func (e *Env) scheduleWake(p *Proc, at Time) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.enqueue(event{at: at, seq: e.seq, proc: p})
+}
+
+func (e *Env) enqueue(ev event) {
+	if ev.at == e.now {
+		e.fifo = append(e.fifo, ev)
+		return
+	}
+	e.heapPush(ev)
 }
 
 // After registers fn to run d from now.
 func (e *Env) After(d time.Duration, fn func()) { e.Schedule(e.now+d, fn) }
+
+// heapPush and heapPop maintain the 4-ary min-heap. A 4-ary layout halves
+// the tree depth of the binary heap, and sifting event values directly
+// avoids both container/heap's interface{} boxing and a pointer chase per
+// comparison.
+func (e *Env) heapPush(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventBefore(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
+}
+
+func (e *Env) heapPop() event {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = event{} // release the fn/proc references
+	h = h[:last]
+	e.heap = h
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= len(h) {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > len(h) {
+			end = len(h)
+		}
+		for c := first + 1; c < end; c++ {
+			if eventBefore(&h[c], &h[min]) {
+				min = c
+			}
+		}
+		if !eventBefore(&h[min], &h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}
+
+// waitKind classifies what a blocked process is waiting for. The render to
+// a human-readable reason happens only in deadlock reports, so the hot
+// yield path never formats strings.
+type waitKind uint8
+
+const (
+	waitNone waitKind = iota
+	waitSleep
+	waitSignal
+	waitGroup
+	waitResource
+	waitQueue
+)
 
 // Proc is a running simulation process. All blocking primitives take the
 // Proc so that only code executing inside the process can block it.
@@ -95,9 +181,10 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
-	// blockedOn describes what the process is waiting for; used in
-	// deadlock reports.
-	blockedOn string
+	// What the process is blocked on; rendered lazily by deadlockError.
+	waitKind waitKind
+	waitDur  time.Duration // waitSleep
+	waitName string        // waitResource, waitQueue
 }
 
 // Name returns the name the process was spawned with.
@@ -108,6 +195,24 @@ func (p *Proc) Env() *Env { return p.env }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.env.now }
+
+// blockedOn renders the process's wait state for deadlock reports.
+func (p *Proc) blockedOn() string {
+	switch p.waitKind {
+	case waitSleep:
+		return "sleep " + p.waitDur.String()
+	case waitSignal:
+		return "signal"
+	case waitGroup:
+		return "waitgroup"
+	case waitResource:
+		return "resource " + p.waitName
+	case waitQueue:
+		return "queue " + p.waitName
+	default:
+		return "runnable"
+	}
+}
 
 // Go spawns fn as a new process starting at the current virtual time.
 // It may be called before Run or from within the simulation.
@@ -136,17 +241,23 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 
 // wake hands control to p and blocks until p yields or finishes.
 func (e *Env) wake(p *Proc) {
-	p.blockedOn = ""
+	p.waitKind = waitNone
 	p.resume <- struct{}{}
 	<-e.ack
 }
 
 // yield returns control from the process to the event loop and blocks the
-// process until it is woken again. reason is recorded for deadlock reports.
-func (p *Proc) yield(reason string) {
-	p.blockedOn = reason
+// process until it is woken again. kind is recorded for deadlock reports.
+func (p *Proc) yield(kind waitKind) {
+	p.waitKind = kind
 	p.env.ack <- struct{}{}
 	<-p.resume
+}
+
+// yieldNamed is yield with the blocking primitive's name attached.
+func (p *Proc) yieldNamed(kind waitKind, name string) {
+	p.waitName = name
+	p.yield(kind)
 }
 
 // Sleep suspends the process for d of virtual time. Negative durations are
@@ -157,8 +268,9 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	e := p.env
-	e.Schedule(e.now+d, func() { e.wake(p) })
-	p.yield(fmt.Sprintf("sleep %v", d))
+	e.scheduleWake(p, e.now+d)
+	p.waitDur = d
+	p.yield(waitSleep)
 }
 
 // Run executes events until the queue drains or a process panics. It
@@ -177,18 +289,41 @@ func (e *Env) run(limit Time) error {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.events) > 0 {
+	for {
 		if e.failure != nil {
 			return e.failure
 		}
-		next := e.events[0]
-		if limit >= 0 && next.at > limit {
-			e.now = limit
-			return nil
+		var ev event
+		if e.fifoHead < len(e.fifo) {
+			// Same-instant fast path. A heap entry at the current instant
+			// can still precede the FIFO head if it was scheduled earlier
+			// (smaller seq) while now was in its future.
+			if len(e.heap) > 0 && e.heap[0].at == e.now && e.heap[0].seq < e.fifo[e.fifoHead].seq {
+				ev = e.heapPop()
+			} else {
+				ev = e.fifo[e.fifoHead]
+				e.fifo[e.fifoHead] = event{} // release the fn/proc references
+				e.fifoHead++
+				if e.fifoHead == len(e.fifo) {
+					e.fifo = e.fifo[:0]
+					e.fifoHead = 0
+				}
+			}
+		} else if len(e.heap) > 0 {
+			if limit >= 0 && e.heap[0].at > limit {
+				e.now = limit
+				return nil
+			}
+			ev = e.heapPop()
+			e.now = ev.at
+		} else {
+			break
 		}
-		heap.Pop(&e.events)
-		e.now = next.at
-		next.fn()
+		if ev.proc != nil {
+			e.wake(ev.proc)
+		} else {
+			ev.fn()
+		}
 	}
 	if e.failure != nil {
 		return e.failure
@@ -202,7 +337,7 @@ func (e *Env) run(limit Time) error {
 func (e *Env) deadlockError() error {
 	var waits []string
 	for p := range e.procs {
-		waits = append(waits, fmt.Sprintf("%s (waiting: %s)", p.name, p.blockedOn))
+		waits = append(waits, fmt.Sprintf("%s (waiting: %s)", p.name, p.blockedOn()))
 	}
 	sort.Strings(waits)
 	return fmt.Errorf("sim: deadlock, %d blocked process(es): %v", len(waits), waits)
@@ -228,8 +363,7 @@ func (s *Signal) Fire(e *Env) {
 	ws := s.waiters
 	s.waiters = nil
 	for _, p := range ws {
-		p := p
-		e.Schedule(e.now, func() { e.wake(p) })
+		e.scheduleWake(p, e.now)
 	}
 }
 
@@ -240,7 +374,7 @@ func (s *Signal) Wait(p *Proc) {
 		return
 	}
 	s.waiters = append(s.waiters, p)
-	p.yield("signal")
+	p.yield(waitSignal)
 }
 
 // WaitGroup counts outstanding work items inside a simulation; Wait blocks
@@ -269,8 +403,7 @@ func (w *WaitGroup) Done(e *Env) {
 		ws := w.waiters
 		w.waiters = nil
 		for _, p := range ws {
-			p := p
-			e.Schedule(e.now, func() { e.wake(p) })
+			e.scheduleWake(p, e.now)
 		}
 	}
 }
@@ -281,5 +414,5 @@ func (w *WaitGroup) Wait(p *Proc) {
 		return
 	}
 	w.waiters = append(w.waiters, p)
-	p.yield("waitgroup")
+	p.yield(waitGroup)
 }

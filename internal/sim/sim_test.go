@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -39,7 +41,6 @@ func TestSameInstantDeterminism(t *testing.T) {
 		e := NewEnv()
 		var got []int
 		for i := 0; i < 10; i++ {
-			i := i
 			e.Go("p", func(p *Proc) {
 				p.Sleep(5 * time.Millisecond)
 				got = append(got, i)
@@ -251,6 +252,102 @@ func TestQueueBlockingAndClose(t *testing.T) {
 	for i, v := range got {
 		if v != i {
 			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+// TestSameInstantHeapFIFOInterleave pins the ordering contract between the
+// two event queues: an event already in the heap for time t (scheduled
+// before t arrived, so with a smaller seq) must run before events scheduled
+// *at* t (which take the FIFO fast path), and FIFO events run in seq order.
+func TestSameInstantHeapFIFOInterleave(t *testing.T) {
+	e := NewEnv()
+	var got []int
+	e.Schedule(time.Millisecond, func() {
+		got = append(got, 1)
+		// Scheduled at the current instant: FIFO path, seq 3 and 4.
+		e.Schedule(time.Millisecond, func() { got = append(got, 3) })
+		e.After(0, func() { got = append(got, 4) })
+	})
+	// Also at 1ms but seq 2: sits in the heap, must beat the FIFO entries.
+	e.Schedule(time.Millisecond, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConcurrentEnvsRace runs many independent environments in parallel,
+// each hammering the pooled event storage (heap, same-instant FIFO, wake
+// events). Under -race this guards against the reused event slices ever
+// becoming shared state across environments.
+func TestConcurrentEnvsRace(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := NewEnv()
+			r := NewResource("r", 2)
+			var sig Signal
+			var done WaitGroup
+			const procs = 4
+			done.Add(procs)
+			for i := 0; i < procs; i++ {
+				e.Go("w", func(p *Proc) {
+					sig.Wait(p)
+					for j := 0; j < 200; j++ {
+						r.Acquire(p, 1)
+						p.Sleep(0) // FIFO fast path
+						p.Sleep(time.Microsecond)
+						r.Release(e, 1)
+					}
+					done.Done(e)
+				})
+			}
+			e.Go("firer", func(p *Proc) {
+				p.Sleep(time.Microsecond)
+				sig.Fire(e)
+				done.Wait(p)
+			})
+			if err := e.Run(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDeadlockReportsLazyReasons checks the deadlock error renders the
+// kind+detail wait state that replaced the per-yield formatted string.
+func TestDeadlockReportsLazyReasons(t *testing.T) {
+	e := NewEnv()
+	var sig Signal
+	r := NewResource("gpu0", 1)
+	e.Go("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		sig.Wait(p)
+	})
+	e.Go("queued", func(p *Proc) { r.Acquire(p, 1) })
+	e.Go("napper", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		sig.Wait(p)
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	for _, want := range []string{"signal", "resource gpu0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("deadlock error %q missing %q", err, want)
 		}
 	}
 }

@@ -11,6 +11,7 @@ package train
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"composable/internal/cluster"
@@ -278,10 +279,17 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 	// Loader: one process feeding per-rank queues, bounded by prefetch
 	// tokens; the first epoch reads from storage, later epochs hit the
 	// page cache (storage.PageCache).
+	// Per-rank process/queue names, computed once up front (strconv, not
+	// fmt) so the spawn paths below never format.
+	rankStr := make([]string, nGPU)
+	for i := range rankStr {
+		rankStr[i] = strconv.Itoa(i)
+	}
+
 	prefetch := sim.NewResource("loader.prefetch", prefetchDepth*nGPU)
 	queues := make([]*sim.Queue, nGPU)
 	for i := range queues {
-		queues[i] = sim.NewQueue(fmt.Sprintf("batches.gpu%d", i))
+		queues[i] = sim.NewQueue("batches.gpu" + rankStr[i])
 	}
 	cacheKey := w.Name + "/" + w.Data.Name
 	env.Go("loader", func(p *sim.Proc) {
@@ -307,13 +315,12 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 	// overlap the previous iteration's compute (pinned-memory prefetch).
 	h2dReady := make([]*sim.Queue, nGPU)
 	for i := range h2dReady {
-		h2dReady[i] = sim.NewQueue(fmt.Sprintf("h2d.gpu%d", i))
+		h2dReady[i] = sim.NewQueue("h2d.gpu" + rankStr[i])
 	}
 	for rank := 0; rank < nGPU; rank++ {
-		rank := rank
 		dev := sys.GPUs[rank]
-		env.Go(fmt.Sprintf("feeder%d", rank), func(p *sim.Proc) {
-			inflight := sim.NewResource(fmt.Sprintf("h2dbuf%d", rank), 2)
+		env.Go("feeder"+rankStr[rank], func(p *sim.Proc) {
+			inflight := sim.NewResource("h2dbuf"+rankStr[rank], 2)
 			for {
 				_, ok := queues[rank].Get(p)
 				if !ok {
@@ -350,9 +357,8 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 	ranksDone.Add(nGPU)
 
 	for rank := 0; rank < nGPU; rank++ {
-		rank := rank
 		dev := sys.GPUs[rank]
-		env.Go(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+		env.Go("rank"+rankStr[rank], func(p *sim.Proc) {
 			for it := 0; it < totalIters; it++ {
 				// Input batch: wait for the prefetched H2D copy.
 				v, ok := h2dReady[rank].Get(p)
