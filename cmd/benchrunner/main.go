@@ -40,6 +40,8 @@ func run() int {
 		parallelFlag = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker-pool width (1 = sequential)")
 		benchJSON    = flag.String("bench-json", "", "run the performance micro-benchmark suite and write results to this file instead of running experiments")
 		benchLabel   = flag.String("bench-label", "dev", "label recorded in the -bench-json report (e.g. PR2)")
+		benchAgainst = flag.String("bench-against", "", "with -bench-json: compare against this baseline BENCH_*.json and report per-benchmark deltas (exit 3 on regression)")
+		benchTol     = flag.Float64("bench-tolerance", 0.25, "with -bench-against: tolerated relative slowdown before a delta counts as a regression")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -85,6 +87,32 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
+		if *benchAgainst != "" {
+			base, err := perfbench.ReadPerfReport(*benchAgainst)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner:", err)
+				return 1
+			}
+			deltas := perfbench.Compare(base, perfbench.NewPerfReport(*benchLabel, results), *benchTol)
+			fmt.Printf("\nvs %s (label %s):\n", *benchAgainst, base.Label)
+			for _, d := range deltas {
+				switch {
+				case d.Missing:
+					fmt.Printf("%-28s only in one report\n", d.Name)
+				default:
+					tag := ""
+					if d.Regressed {
+						tag = "  REGRESSED"
+					}
+					fmt.Printf("%-28s %12.1f → %12.1f ns/op (×%.2f)%s\n",
+						d.Name, d.OldNsPerOp, d.NewNsPerOp, d.Ratio, tag)
+				}
+			}
+			if regs := perfbench.Regressions(deltas); len(regs) > 0 {
+				fmt.Fprintf(os.Stderr, "benchrunner: %d benchmark(s) regressed beyond ×%.2f\n", len(regs), 1+*benchTol)
+				return 3
+			}
+		}
 		return 0
 	}
 

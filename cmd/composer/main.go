@@ -4,12 +4,16 @@
 //
 // -config and -model accept comma-separated lists; a multi-cell grid runs
 // on the parallel experiment runner with shared-run deduplication.
+// -random leaves the paper grid entirely: it generates seeded random
+// scenarios (internal/scengen) and runs each under the full invariant
+// probe set.
 //
 // Usage:
 //
 //	composer -config falconGPUs -model BERT-L -iters 30
 //	composer -config localGPUs  -model ResNet-50 -precision fp32 -strategy DP
 //	composer -config localGPUs,falconGPUs -model ResNet-50,BERT-L -parallel 4
+//	composer -random 42 -n 20
 //	composer -list
 package main
 
@@ -17,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -26,56 +31,80 @@ import (
 	"composable/internal/dlmodel"
 	"composable/internal/experiments"
 	"composable/internal/gpu"
+	"composable/internal/scengen"
 	"composable/internal/train"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable main: it parses args, dispatches to the list /
+// random / single-cell / grid paths, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("composer", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		cfgNames  = flag.String("config", "localGPUs", "host configuration(s), comma-separated (Table III labels)")
-		modelName = flag.String("model", "ResNet-50", "benchmark(s), comma-separated (Table II names)")
-		precision = flag.String("precision", "fp16", "fp16 or fp32")
-		strategy  = flag.String("strategy", "DDP", "DDP or DP")
-		sharded   = flag.Bool("sharded", false, "enable ZeRO-2 sharded training")
-		batch     = flag.Int("batch", 0, "per-GPU batch (0 = paper default)")
-		epochs    = flag.Int("epochs", 0, "epochs (0 = paper default)")
-		iters     = flag.Int("iters", 30, "iterations per (scaled) epoch")
-		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "grid worker-pool width (1 = sequential)")
-		list      = flag.Bool("list", false, "list configurations and models")
-		topo      = flag.Bool("topology", false, "print chassis topology before running (single cell only)")
-		dot       = flag.Bool("dot", false, "print the fabric as Graphviz and exit (single cell only)")
-		csvSeries = flag.String("csv", "", "after training, dump this telemetry series as CSV (e.g. gpu_util; single cell only)")
+		cfgNames  = fs.String("config", "localGPUs", "host configuration(s), comma-separated (Table III labels)")
+		modelName = fs.String("model", "ResNet-50", "benchmark(s), comma-separated (Table II names)")
+		precision = fs.String("precision", "fp16", "fp16 or fp32")
+		strategy  = fs.String("strategy", "DDP", "DDP or DP")
+		sharded   = fs.Bool("sharded", false, "enable ZeRO-2 sharded training")
+		batch     = fs.Int("batch", 0, "per-GPU batch (0 = paper default)")
+		epochs    = fs.Int("epochs", 0, "epochs (0 = paper default)")
+		iters     = fs.Int("iters", 30, "iterations per (scaled) epoch")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "grid worker-pool width (1 = sequential)")
+		list      = fs.Bool("list", false, "list configurations and models")
+		topo      = fs.Bool("topology", false, "print chassis topology before running (single cell only)")
+		dot       = fs.Bool("dot", false, "print the fabric as Graphviz and exit (single cell only)")
+		csvSeries = fs.String("csv", "", "after training, dump this telemetry series as CSV (e.g. gpu_util; single cell only)")
+		randSeed  = fs.Int64("random", 0, "run seeded random scenarios from this base seed instead of the paper grid")
+		randN     = fs.Int("n", 10, "with -random: number of scenarios")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	randomMode := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "random" {
+			randomMode = true
+		}
+	})
 
 	if *list {
-		fmt.Println("configurations (Table III):")
+		fmt.Fprintln(stdout, "configurations (Table III):")
 		for _, c := range core.Configs() {
-			fmt.Printf("  %-12s %s\n", c.Name, c.Description())
+			fmt.Fprintf(stdout, "  %-12s %s\n", c.Name, c.Description())
 		}
-		fmt.Println("models (Table II):")
+		fmt.Fprintln(stdout, "models (Table II):")
 		for _, w := range dlmodel.Benchmarks() {
-			fmt.Printf("  %-12s %-16s %5.1fM params, batch %d, %d epochs\n",
+			fmt.Fprintf(stdout, "  %-12s %-16s %5.1fM params, batch %d, %d epochs\n",
 				w.Name, w.Domain, float64(w.Graph.Params())/1e6, w.BatchPerGPU, w.Epochs)
 		}
-		return
+		return 0
 	}
 
-	var cfgs []core.Config
-	for _, name := range strings.Split(*cfgNames, ",") {
-		cfgs = append(cfgs, configByName(strings.TrimSpace(name)))
-	}
-	var models []dlmodel.Workload
-	for _, name := range strings.Split(*modelName, ",") {
-		w, err := dlmodel.BenchmarkByName(strings.TrimSpace(name))
-		if err != nil {
-			fatal(err)
-		}
-		models = append(models, w)
+	if randomMode {
+		return runRandom(*randSeed, *randN, stdout, stderr)
 	}
 
-	prec := gpu.FP16
-	if *precision == "fp32" {
+	cfgs, models, err := parseGrid(*cfgNames, *modelName)
+	if err != nil {
+		fmt.Fprintln(stderr, "composer:", err)
+		return 1
+	}
+
+	var prec gpu.Precision
+	switch *precision {
+	case "fp16":
+		prec = gpu.FP16
+	case "fp32":
 		prec = gpu.FP32
+	default:
+		fmt.Fprintf(stderr, "composer: unknown precision %q (fp16 or fp32)\n", *precision)
+		return 1
+	}
+	if s := train.Strategy(*strategy); s != train.DDP && s != train.DP {
+		fmt.Fprintf(stderr, "composer: unknown strategy %q (DDP or DP)\n", *strategy)
+		return 1
 	}
 	opts := train.Options{
 		Precision:     prec,
@@ -87,64 +116,126 @@ func main() {
 	}
 
 	if len(cfgs) == 1 && len(models) == 1 {
-		runSingle(cfgs[0], models[0], opts, *topo, *dot, *csvSeries)
-		return
+		return runSingle(cfgs[0], models[0], opts, *topo, *dot, *csvSeries, stdout, stderr)
 	}
 	if *topo || *dot || *csvSeries != "" {
-		fatal(fmt.Errorf("-topology, -dot and -csv need a single cell (one -config, one -model)"))
+		fmt.Fprintln(stderr, "composer: -topology, -dot and -csv need a single cell (one -config, one -model)")
+		return 1
 	}
-	runGrid(cfgs, models, opts, *parallel)
+	return runGrid(cfgs, models, opts, *parallel, stdout, stderr)
+}
+
+// parseGrid expands the comma-separated -config and -model lists.
+func parseGrid(cfgNames, modelNames string) ([]core.Config, []dlmodel.Workload, error) {
+	var cfgs []core.Config
+	for _, name := range strings.Split(cfgNames, ",") {
+		cfg, err := configByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, nil, err
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	var models []dlmodel.Workload
+	for _, name := range strings.Split(modelNames, ",") {
+		w, err := dlmodel.BenchmarkByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, nil, err
+		}
+		models = append(models, w)
+	}
+	return cfgs, models, nil
+}
+
+// runRandom executes n seeded random scenarios under the invariant probe
+// set — the CLI face of the TestScenarioSweep tier.
+func runRandom(seed int64, n int, stdout, stderr io.Writer) int {
+	if n < 1 {
+		fmt.Fprintln(stderr, "composer: -n must be at least 1")
+		return 1
+	}
+	runErrors, violated := 0, 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		sc := scengen.FromSeed(seed + int64(i))
+		o, err := scengen.Run(sc)
+		if err != nil {
+			fmt.Fprintf(stderr, "composer: seed %d: %v\n", sc.Seed, err)
+			runErrors++
+			continue
+		}
+		res := o.Result
+		fmt.Fprintf(stdout, "seed %-6d %-70s total %12v  avg %10v/iter  gpu %5.1f%%\n",
+			sc.Seed, sc.ID(), res.TotalTime, res.AvgIter, res.AvgGPUUtil*100)
+		if err := o.Err(); err != nil {
+			fmt.Fprintf(stderr, "composer: seed %d: %v\n", sc.Seed, err)
+			violated++
+		}
+	}
+	invariants := "held"
+	if violated > 0 {
+		invariants = fmt.Sprintf("violated on %d", violated)
+	}
+	fmt.Fprintf(stdout, "--- %d scenarios in %v, %d failed to run, invariants %s\n",
+		n, time.Since(start).Round(time.Millisecond), runErrors, invariants)
+	if runErrors > 0 || violated > 0 {
+		return 1
+	}
+	return 0
 }
 
 // runSingle is the classic one-cell path, with the system-level inspection
 // surfaces (topology, Graphviz) only a directly composed system offers.
-func runSingle(cfg core.Config, w dlmodel.Workload, opts train.Options, topo, dot bool, csvSeries string) {
+func runSingle(cfg core.Config, w dlmodel.Workload, opts train.Options, topo, dot bool, csvSeries string, stdout, stderr io.Writer) int {
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "composer:", err)
+		return 1
 	}
 	if topo {
-		fmt.Print(sys.ChassisTopology())
+		fmt.Fprint(stdout, sys.ChassisTopology())
 	}
 	if dot {
-		fmt.Print(sys.Net.Dot(cfg.Name))
-		return
+		fmt.Fprint(stdout, sys.Net.Dot(cfg.Name))
+		return 0
 	}
 
 	opts.Workload = w
 	res, err := sys.Train(opts)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "composer:", err)
+		return 1
 	}
 
-	fmt.Printf("%s on %s (%s/%v%s, batch %d/GPU)\n",
+	fmt.Fprintf(stdout, "%s on %s (%s/%v%s, batch %d/GPU)\n",
 		res.Workload, res.System, res.Strategy, res.Precision, shardedTag(res.Sharded), res.BatchPerGPU)
-	fmt.Printf("  total time      %v (%d iters, avg %v/iter)\n", res.TotalTime, res.Iters, res.AvgIter)
+	fmt.Fprintf(stdout, "  total time      %v (%d iters, avg %v/iter)\n", res.TotalTime, res.Iters, res.AvgIter)
 	for i, e := range res.EpochTimes {
-		fmt.Printf("  epoch %-2d        %v\n", i+1, e)
+		fmt.Fprintf(stdout, "  epoch %-2d        %v\n", i+1, e)
 	}
-	fmt.Printf("  GPU util        %.1f%%   GPU mem %.1f%% (peak %v)\n",
+	fmt.Fprintf(stdout, "  GPU util        %.1f%%   GPU mem %.1f%% (peak %v)\n",
 		res.AvgGPUUtil*100, res.AvgGPUMemUtil*100, res.PeakGPUMem)
-	fmt.Printf("  CPU util        %.1f%%   host mem %.1f%%\n", res.AvgCPUUtil*100, res.AvgHostMemUtil*100)
+	fmt.Fprintf(stdout, "  CPU util        %.1f%%   host mem %.1f%%\n", res.AvgCPUUtil*100, res.AvgHostMemUtil*100)
 	if res.FalconPCIeGBps > 0 {
-		fmt.Printf("  falcon PCIe     %.2f GB/s (slot ports, in+out)\n", res.FalconPCIeGBps)
+		fmt.Fprintf(stdout, "  falcon PCIe     %.2f GB/s (slot ports, in+out)\n", res.FalconPCIeGBps)
 	}
 	if s := res.Recorder.Series(train.SeriesGPUUtil); s != nil && s.Len() > 0 {
-		fmt.Printf("  GPU util trace  |%s|\n", s.Sparkline(60))
+		fmt.Fprintf(stdout, "  GPU util trace  |%s|\n", s.Sparkline(60))
 	}
 	if csvSeries != "" {
 		s := res.Recorder.Series(csvSeries)
 		if s == nil {
-			fatal(fmt.Errorf("no telemetry series %q (have %v)", csvSeries, res.Recorder.Names()))
+			fmt.Fprintf(stderr, "composer: no telemetry series %q (have %v)\n", csvSeries, res.Recorder.Names())
+			return 1
 		}
-		fmt.Print(s.CSV())
+		fmt.Fprint(stdout, s.CSV())
 	}
+	return 0
 }
 
 // runGrid runs the config × model cross product as ad-hoc experiments on
 // the parallel runner: cells sharing a training run deduplicate through
 // the session, and the report order matches the requested grid order.
-func runGrid(cfgs []core.Config, models []dlmodel.Workload, opts train.Options, parallelism int) {
+func runGrid(cfgs []core.Config, models []dlmodel.Workload, opts train.Options, parallelism int, stdout, stderr io.Writer) int {
 	scale := experiments.Scale{
 		Name:           "cli",
 		ItersPerEpoch:  opts.ItersPerEpoch,
@@ -177,18 +268,19 @@ func runGrid(cfgs []core.Config, models []dlmodel.Workload, opts train.Options, 
 	failed := false
 	for _, r := range reports {
 		if r.Err != nil {
-			fmt.Fprintf(os.Stderr, "composer: %v\n", r.Err)
+			fmt.Fprintf(stderr, "composer: %v\n", r.Err)
 			failed = true
 			continue
 		}
-		fmt.Printf("=== %s (ran in %v)\n%s", r.Title, r.Elapsed.Round(time.Millisecond), r.Output)
+		fmt.Fprintf(stdout, "=== %s (ran in %v)\n%s", r.Title, r.Elapsed.Round(time.Millisecond), r.Output)
 	}
 	if err != nil || failed {
-		os.Exit(1)
+		return 1
 	}
 	st := session.Stats()
-	fmt.Printf("--- %d cells in %v: %d training runs, %d cache hits, %d deduplicated joins\n",
+	fmt.Fprintf(stdout, "--- %d cells in %v: %d training runs, %d cache hits, %d deduplicated joins\n",
 		len(reports), wall.Round(time.Millisecond), st.TrainRuns, st.CacheHits, st.Joins)
+	return 0
 }
 
 // summarize renders one grid cell's result compactly.
@@ -206,14 +298,13 @@ func summarize(res *train.Result) string {
 	return b.String()
 }
 
-func configByName(name string) core.Config {
+func configByName(name string) (core.Config, error) {
 	for _, c := range core.Configs() {
 		if c.Name == name {
-			return c
+			return c, nil
 		}
 	}
-	fatal(fmt.Errorf("unknown configuration %q (see -list)", name))
-	return core.Config{}
+	return core.Config{}, fmt.Errorf("unknown configuration %q (see -list)", name)
 }
 
 func shardedTag(s bool) string {
@@ -221,9 +312,4 @@ func shardedTag(s bool) string {
 		return "+sharded"
 	}
 	return ""
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "composer:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListFlag(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"localGPUs", "falconNVMe", "ResNet-50", "BERT-L", "Table III", "Table II"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	if code, _, _ := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	code, _, stderr := runCLI(t, "-config", "notAConfig")
+	if code != 1 || !strings.Contains(stderr, "unknown configuration") {
+		t.Errorf("bad config: exit %d, stderr %q", code, stderr)
+	}
+	code, _, stderr = runCLI(t, "-model", "notAModel")
+	if code != 1 || !strings.Contains(stderr, "unknown benchmark") {
+		t.Errorf("bad model: exit %d, stderr %q", code, stderr)
+	}
+	code, _, stderr = runCLI(t, "-config", "localGPUs,falconGPUs", "-dot")
+	if code != 1 || !strings.Contains(stderr, "single cell") {
+		t.Errorf("multi-cell -dot: exit %d, stderr %q", code, stderr)
+	}
+	code, _, stderr = runCLI(t, "-precision", "fp64")
+	if code != 1 || !strings.Contains(stderr, "unknown precision") {
+		t.Errorf("bad precision: exit %d, stderr %q", code, stderr)
+	}
+	code, _, stderr = runCLI(t, "-strategy", "ddp")
+	if code != 1 || !strings.Contains(stderr, "unknown strategy") {
+		t.Errorf("bad strategy: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestParseGridExpansion(t *testing.T) {
+	cfgs, models, err := parseGrid("localGPUs, falconGPUs", "ResNet-50,BERT-L, MobileNetV2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 2 || len(models) != 3 {
+		t.Fatalf("expanded to %d configs × %d models, want 2 × 3", len(cfgs), len(models))
+	}
+	if cfgs[0].Name != "localGPUs" || cfgs[1].Name != "falconGPUs" {
+		t.Errorf("config order lost: %v", []string{cfgs[0].Name, cfgs[1].Name})
+	}
+	if models[2].Name != "MobileNetV2" {
+		t.Errorf("model order lost: %s", models[2].Name)
+	}
+	if _, _, err := parseGrid("localGPUs,bogus", "ResNet-50"); err == nil {
+		t.Error("bad config in list not rejected")
+	}
+}
+
+func TestSingleCellRuns(t *testing.T) {
+	code, out, stderr := runCLI(t, "-config", "hybridGPUs", "-model", "MobileNetV2", "-epochs", "1", "-iters", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"MobileNetV2 on hybridGPUs", "total time", "GPU util", "falcon PCIe"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDotModeEmitsGraphviz(t *testing.T) {
+	code, out, _ := runCLI(t, "-config", "falconGPUs", "-model", "ResNet-50", "-dot")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "graph") || !strings.Contains(out, "falcon-sw") {
+		t.Errorf("not Graphviz output:\n%.300s", out)
+	}
+}
+
+func TestGridRunsWithDedup(t *testing.T) {
+	// 2 configs × 1 model with identical options: grid order preserved,
+	// summary line present.
+	code, out, stderr := runCLI(t,
+		"-config", "localGPUs,localNVMe", "-model", "MobileNetV2",
+		"-epochs", "1", "-iters", "2", "-parallel", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	first := strings.Index(out, "MobileNetV2 on localGPUs")
+	second := strings.Index(out, "MobileNetV2 on localNVMe")
+	if first == -1 || second == -1 || second < first {
+		t.Errorf("grid order broken:\n%s", out)
+	}
+	if !strings.Contains(out, "2 cells") || !strings.Contains(out, "2 training runs") {
+		t.Errorf("missing runner telemetry:\n%s", out)
+	}
+}
+
+func TestRandomModeRunsScenarios(t *testing.T) {
+	code, out, stderr := runCLI(t, "-random", "7", "-n", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if got := strings.Count(out, "seed "); got != 3 {
+		t.Errorf("%d scenario lines, want 3:\n%s", got, out)
+	}
+	for _, want := range []string{"seed 7", "seed 8", "seed 9", "3 scenarios", "invariants held"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if code, _, _ := runCLI(t, "-random", "7", "-n", "0"); code != 1 {
+		t.Error("-n 0 not rejected")
+	}
+	_ = stderr
+}

@@ -15,7 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"net/http"
 	"os"
 
@@ -25,66 +25,106 @@ import (
 	"composable/internal/storage"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, http.ListenAndServe)) }
+
+// run is the testable main: parse flags, seed the chassis, build the
+// server and hand it to serve (http.ListenAndServe in production, a stub
+// in tests). It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer, serve func(addr string, h http.Handler) error) int {
+	fs := flag.NewFlagSet("mcsd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		usersFile = flag.String("users", "", "JSON file with the tenant list")
+		addr      = fs.String("addr", ":8080", "listen address")
+		usersFile = fs.String("users", "", "JSON file with the tenant list")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	ch := falcon.New("falcon-1")
-	seedInventory(ch)
+	if err := seedInventory(ch); err != nil {
+		fmt.Fprintln(stderr, "mcsd:", err)
+		return 1
+	}
 
 	users := demoUsers()
 	if *usersFile != "" {
-		data, err := os.ReadFile(*usersFile)
-		if err != nil {
-			log.Fatalf("mcsd: %v", err)
-		}
-		users = nil
-		if err := json.Unmarshal(data, &users); err != nil {
-			log.Fatalf("mcsd: parsing %s: %v", *usersFile, err)
+		var err error
+		if users, err = loadUsers(*usersFile); err != nil {
+			fmt.Fprintln(stderr, "mcsd:", err)
+			return 1
 		}
 	} else {
-		fmt.Println("mcsd: using demo tenants:")
+		fmt.Fprintln(stdout, "mcsd: using demo tenants:")
 		for _, u := range users {
-			fmt.Printf("  %-8s role=%-6s token=%s hosts=%v\n", u.Name, u.Role, u.Token, u.Hosts)
+			fmt.Fprintf(stdout, "  %-8s role=%-6s token=%s hosts=%v\n", u.Name, u.Role, u.Token, u.Hosts)
 		}
 	}
 
 	srv := mcs.NewServer(ch, users)
-	fmt.Printf("mcsd: serving Falcon management API on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	fmt.Fprintf(stdout, "mcsd: serving Falcon management API on %s\n", *addr)
+	if err := serve(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(stderr, "mcsd:", err)
+		return 1
+	}
+	return 0
+}
+
+// loadUsers reads the tenant list from a JSON file.
+func loadUsers(path string) ([]mcs.User, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var users []mcs.User
+	if err := json.Unmarshal(data, &users); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return users, nil
 }
 
 // seedInventory populates the chassis with the paper's device set
 // (§V-A-1): V100s in both drawers plus the drawer-2 NVMe, hosts cabled to
 // all four ports, both drawers in advanced mode for dynamic provisioning.
-func seedInventory(ch *falcon.Chassis) {
-	must := func(err error) {
-		if err != nil {
-			log.Fatalf("mcsd: seeding chassis: %v", err)
-		}
+func seedInventory(ch *falcon.Chassis) error {
+	if err := ch.CableHost("H1", "host1"); err != nil {
+		return fmt.Errorf("seeding chassis: %w", err)
 	}
-	must(ch.CableHost("H1", "host1"))
-	must(ch.CableHost("H2", "host1"))
-	must(ch.CableHost("H3", "host2"))
-	must(ch.CableHost("H4", "host2"))
-	must(ch.SetMode(0, falcon.ModeAdvanced))
-	must(ch.SetMode(1, falcon.ModeAdvanced))
+	if err := ch.CableHost("H2", "host1"); err != nil {
+		return fmt.Errorf("seeding chassis: %w", err)
+	}
+	if err := ch.CableHost("H3", "host2"); err != nil {
+		return fmt.Errorf("seeding chassis: %w", err)
+	}
+	if err := ch.CableHost("H4", "host2"); err != nil {
+		return fmt.Errorf("seeding chassis: %w", err)
+	}
+	if err := ch.SetMode(0, falcon.ModeAdvanced); err != nil {
+		return fmt.Errorf("seeding chassis: %w", err)
+	}
+	if err := ch.SetMode(1, falcon.ModeAdvanced); err != nil {
+		return fmt.Errorf("seeding chassis: %w", err)
+	}
 	for d := 0; d < falcon.NumDrawers; d++ {
 		for s := 0; s < 4; s++ {
-			must(ch.Install(falcon.SlotRef{Drawer: d, Slot: s}, falcon.DeviceInfo{
+			err := ch.Install(falcon.SlotRef{Drawer: d, Slot: s}, falcon.DeviceInfo{
 				ID:    fmt.Sprintf("v100-d%d-s%d", d, s),
 				Type:  falcon.DeviceGPU,
 				Model: gpu.TeslaV100PCIe.Name, VendorID: "10de", LinkGen: 4, Lanes: 16,
-			}))
+			})
+			if err != nil {
+				return fmt.Errorf("seeding chassis: %w", err)
+			}
 		}
 	}
-	must(ch.Install(falcon.SlotRef{Drawer: 1, Slot: 7}, falcon.DeviceInfo{
+	err := ch.Install(falcon.SlotRef{Drawer: 1, Slot: 7}, falcon.DeviceInfo{
 		ID: "nvme-0", Type: falcon.DeviceNVMe,
 		Model: storage.IntelNVMe4TB.Name, VendorID: "8086", LinkGen: 3, Lanes: 4,
-	}))
+	})
+	if err != nil {
+		return fmt.Errorf("seeding chassis: %w", err)
+	}
+	return nil
 }
 
 func demoUsers() []mcs.User {

@@ -10,12 +10,26 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"composable/internal/core"
 	"composable/internal/dlmodel"
 	"composable/internal/gpu"
 	"composable/internal/train"
 )
+
+// exampleIters returns the walkthrough's iteration count, honoring the
+// EXAMPLES_ITERS override the repo's examples smoke test uses to run every
+// example in its quickest mode.
+func exampleIters(def int) int {
+	if s := os.Getenv("EXAMPLES_ITERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
 
 func main() {
 	w := dlmodel.BERTLargeWorkload()
@@ -46,7 +60,7 @@ func main() {
 			opts := v.opts
 			opts.Workload = w
 			opts.Epochs = 2
-			opts.ItersPerEpoch = 12
+			opts.ItersPerEpoch = exampleIters(12)
 			res, err := sys.Train(opts)
 			if err != nil {
 				log.Fatal(err)
@@ -65,7 +79,7 @@ func main() {
 		log.Fatal(err)
 	}
 	_, err = sys.Train(train.Options{
-		Workload: w, Precision: gpu.FP16, BatchPerGPU: 7, Epochs: 1, ItersPerEpoch: 1,
+		Workload: w, Precision: gpu.FP16, BatchPerGPU: 7, Epochs: 1, ItersPerEpoch: exampleIters(1),
 	})
 	fmt.Println("batch 7 without sharding:", err)
 }

@@ -7,12 +7,26 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"composable/internal/core"
 	"composable/internal/dlmodel"
 	"composable/internal/gpu"
 	"composable/internal/train"
 )
+
+// exampleIters returns the walkthrough's iteration count, honoring the
+// EXAMPLES_ITERS override the repo's examples smoke test uses to run every
+// example in its quickest mode.
+func exampleIters(def int) int {
+	if s := os.Getenv("EXAMPLES_ITERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
 
 func main() {
 	// Compose the paper's localGPUs configuration: eight NVLink-attached
@@ -31,7 +45,7 @@ func main() {
 		Precision:     gpu.FP16,
 		Strategy:      train.DDP,
 		Epochs:        2,
-		ItersPerEpoch: 25,
+		ItersPerEpoch: exampleIters(25),
 	})
 	if err != nil {
 		log.Fatal(err)

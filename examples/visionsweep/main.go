@@ -9,12 +9,26 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"composable/internal/core"
 	"composable/internal/dlmodel"
 	"composable/internal/gpu"
 	"composable/internal/train"
 )
+
+// exampleIters returns the walkthrough's iteration count, honoring the
+// EXAMPLES_ITERS override the repo's examples smoke test uses to run every
+// example in its quickest mode.
+func exampleIters(def int) int {
+	if s := os.Getenv("EXAMPLES_ITERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
 
 func main() {
 	configs := []core.Config{core.LocalGPUs(), core.HybridGPUs(), core.FalconGPUs()}
@@ -36,7 +50,7 @@ func main() {
 				Workload:      w,
 				Precision:     gpu.FP16,
 				Epochs:        2,
-				ItersPerEpoch: 20,
+				ItersPerEpoch: exampleIters(20),
 			})
 			if err != nil {
 				log.Fatal(err)

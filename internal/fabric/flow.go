@@ -37,6 +37,42 @@ type Network struct {
 	// churn.
 	linkCons []*constraint
 	cons     []*constraint
+
+	// auditor, when set, runs after every max-min recompute with the new
+	// allocation in place. It is the allocator's invariant probe point
+	// (internal/invariant checks capacity and conservation through it);
+	// the nil check keeps the churn path free.
+	auditor func()
+}
+
+// SetAuditor installs fn to run after every allocation recompute, once the
+// new fair-share rates are assigned. Pass nil to remove it. The auditor
+// must not start or cancel flows; it observes through VisitAllocations,
+// VisitFlows and the link byte counters.
+func (n *Network) SetAuditor(fn func()) { n.auditor = fn }
+
+// VisitAllocations calls fn for every link direction currently carrying
+// flows, with the total allocated rate and the direction's capacity (both
+// bytes/sec). Per-flow rate-cap constraints are not included; see
+// Flow.MaxRate.
+func (n *Network) VisitAllocations(fn func(l *Link, forward bool, allocated, capacity float64)) {
+	for _, st := range n.cons {
+		if st.link == nil || len(st.flows) == 0 {
+			continue
+		}
+		total := 0.0
+		for _, f := range st.flows {
+			total += f.rate
+		}
+		fn(st.link, st.forward, total, st.capacity())
+	}
+}
+
+// VisitFlows calls fn for every active flow in insertion order.
+func (n *Network) VisitFlows(fn func(f *Flow)) {
+	for _, f := range n.flows {
+		fn(f)
+	}
 }
 
 // constraint is one capacity limit in the max-min allocation: a direction
@@ -106,6 +142,13 @@ func (f *Flow) Done() *sim.Signal { return &f.done }
 
 // Rate returns the flow's current allocated rate.
 func (f *Flow) Rate() units.BytesPerSec { return units.BytesPerSec(f.rate) }
+
+// Remaining returns the bytes not yet transferred, as of the last
+// integration instant.
+func (f *Flow) Remaining() units.Bytes { return units.Bytes(f.remaining) }
+
+// MaxRate returns the flow's rate cap (0 = unlimited).
+func (f *Flow) MaxRate() units.BytesPerSec { return units.BytesPerSec(f.maxRate) }
 
 // StartFlow begins transferring size bytes src→dst and returns the flow.
 // The returned flow's Done signal fires when the last byte arrives (transfer
@@ -275,6 +318,9 @@ func (n *Network) advance() {
 func (n *Network) recompute() {
 	n.epoch++
 	if len(n.flows) == 0 {
+		if n.auditor != nil {
+			n.auditor()
+		}
 		return
 	}
 
@@ -357,6 +403,9 @@ func (n *Network) recompute() {
 		n.advance()
 		n.finishCompleted()
 	})
+	if n.auditor != nil {
+		n.auditor()
+	}
 }
 
 // completionEpsilon absorbs float rounding when deciding a flow is done.

@@ -1,0 +1,218 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"composable/internal/cluster"
+	"composable/internal/dlmodel"
+	"composable/internal/fabric"
+	"composable/internal/gpu"
+	"composable/internal/sim"
+	"composable/internal/train"
+	"composable/internal/units"
+)
+
+func TestCleanSetHasNoError(t *testing.T) {
+	s := New()
+	if !s.Ok() || s.Err() != nil || s.Count() != 0 {
+		t.Fatalf("fresh set not clean: ok=%v err=%v count=%d", s.Ok(), s.Err(), s.Count())
+	}
+}
+
+func TestReportAndErrRendering(t *testing.T) {
+	s := New()
+	s.Report("test/rule", time.Second, "value %d too big", 42)
+	if s.Ok() {
+		t.Fatal("set still Ok after Report")
+	}
+	err := s.Err()
+	if err == nil {
+		t.Fatal("Err() == nil after Report")
+	}
+	for _, want := range []string{"test/rule", "t=1s", "value 42 too big"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestReportCapsRetainedViolations(t *testing.T) {
+	s := New()
+	for i := 0; i < maxRecorded+10; i++ {
+		s.Report("test/flood", 0, "violation %d", i)
+	}
+	if s.Count() != maxRecorded+10 {
+		t.Fatalf("Count() = %d, want %d", s.Count(), maxRecorded+10)
+	}
+	if len(s.Violations()) != maxRecorded {
+		t.Fatalf("retained %d violations, want cap %d", len(s.Violations()), maxRecorded)
+	}
+	if !strings.Contains(s.Err().Error(), "and 10 more") {
+		t.Errorf("error does not mention the overflow: %v", s.Err())
+	}
+}
+
+func TestWatchEnvPassesCleanRun(t *testing.T) {
+	env := sim.NewEnv()
+	s := New()
+	s.WatchEnv(env)
+	env.Go("ticker", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(time.Millisecond)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("clean run reported violations: %v", err)
+	}
+}
+
+func TestTrainProbeDetectsBackwardsTime(t *testing.T) {
+	s := New()
+	probe := s.TrainProbe()
+	probe(train.ProbeEpoch, 2*time.Second)
+	probe(train.ProbeEpoch, time.Second) // backwards
+	probe(train.ProbeDone, -time.Second) // negative and backwards
+	if s.Ok() {
+		t.Fatal("backwards probe times not detected")
+	}
+	err := s.Err().Error()
+	if !strings.Contains(err, "train/time-monotonic") {
+		t.Errorf("missing monotonicity violation: %v", err)
+	}
+	if !strings.Contains(err, "train/time-positive") {
+		t.Errorf("missing negative-time violation: %v", err)
+	}
+}
+
+func TestWatchNetworkPassesContendedTransfers(t *testing.T) {
+	env := sim.NewEnv()
+	net := fabric.NewNetwork(env)
+	sw := net.AddNode("sw", fabric.KindSwitch)
+	var eps []fabric.NodeID
+	for i := 0; i < 4; i++ {
+		eps = append(eps, net.AddNode("ep", fabric.KindGPU))
+		net.ConnectSym(eps[i], sw, units.GBps(10), time.Microsecond, "pcie")
+	}
+	s := New()
+	s.WatchEnv(env)
+	s.WatchNetwork(net)
+	for i := 0; i < 4; i++ {
+		src, dst := eps[i], eps[(i+1)%4]
+		env.Go("driver", func(p *sim.Proc) {
+			for j := 0; j < 5; j++ {
+				if err := net.Transfer(p, src, dst, 64*units.MB); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("contended transfers violated invariants: %v", err)
+	}
+	if net.ActiveFlows() != 0 {
+		t.Fatalf("%d flows left active", net.ActiveFlows())
+	}
+}
+
+// TestWatchNetworkDetectsByteOverrun proves the conservation audit is not
+// vacuous. Capacity and rate-cap conservation are enforced by the allocator
+// on the same recompute that audits them, so they cannot be tripped from
+// outside; the capacity *integral* over already-moved bytes can. Shrinking
+// a link's capacity after traffic has crossed it makes the cumulative
+// counters exceed capacity × elapsed, which the next audit must flag.
+func TestWatchNetworkDetectsByteOverrun(t *testing.T) {
+	env := sim.NewEnv()
+	net := fabric.NewNetwork(env)
+	a := net.AddNode("a", fabric.KindGPU)
+	b := net.AddNode("b", fabric.KindGPU)
+	id := net.ConnectSym(a, b, units.GBps(10), time.Microsecond, "pcie")
+
+	s := New()
+	s.WatchNetwork(net)
+	env.Go("driver", func(p *sim.Proc) {
+		if err := net.Transfer(p, a, b, 100*units.MB); err != nil {
+			panic(err)
+		}
+		// Sabotage: with 100 MB already on the counters, a 1 B/s capacity
+		// makes history unaffordable. The next recompute must notice.
+		net.Link(id).CapAtoB = units.BytesPerSec(1)
+		if err := net.Transfer(p, b, a, units.KB); err != nil {
+			panic(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Ok() {
+		t.Fatal("byte-counter overrun not detected")
+	}
+	if !strings.Contains(s.Err().Error(), "fabric/bytes-conserved") {
+		t.Fatalf("unexpected violations: %v", s.Err())
+	}
+}
+
+// TestFullRunCleanUnderWatch runs a real (small) training job with every
+// probe attached and expects a clean set.
+func TestFullRunCleanUnderWatch(t *testing.T) {
+	env := sim.NewEnv()
+	sys, err := cluster.Compose(env, cluster.HybridGPUsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	s.Watch(sys)
+	res, err := train.Run(sys, train.Options{
+		Workload:      dlmodel.MobileNetV2Workload(),
+		Precision:     gpu.FP16,
+		Epochs:        1,
+		ItersPerEpoch: 3,
+		Probe:         s.TrainProbe(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CheckResult(sys, res)
+	if err := s.Err(); err != nil {
+		t.Fatalf("clean training run violated invariants: %v", err)
+	}
+}
+
+// TestCheckResultDetectsCorruptedResult proves the post-run checks bite.
+func TestCheckResultDetectsCorruptedResult(t *testing.T) {
+	env := sim.NewEnv()
+	sys, err := cluster.Compose(env, cluster.LocalGPUsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := train.Run(sys, train.Options{
+		Workload:      dlmodel.MobileNetV2Workload(),
+		Precision:     gpu.FP16,
+		Epochs:        1,
+		ItersPerEpoch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.AvgGPUUtil = 1.5      // not a fraction
+	res.TotalTime = -1        // negative
+	res.EpochTimes = nil      // count mismatch
+	res.FalconPCIeGBps = -0.1 // negative traffic
+	s := New()
+	s.CheckResult(sys, res)
+	errStr := s.Err().Error()
+	for _, want := range []string{
+		"train/util-fraction", "train/total-time", "train/epoch-count", "train/falcon-traffic",
+	} {
+		if !strings.Contains(errStr, want) {
+			t.Errorf("corrupted result: missing %s violation in %v", want, errStr)
+		}
+	}
+}

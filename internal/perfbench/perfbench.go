@@ -12,6 +12,8 @@ package perfbench
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"testing"
@@ -55,6 +57,25 @@ type PerfReport struct {
 // PerfSchema identifies the BENCH_*.json layout.
 const PerfSchema = "composable-bench/v1"
 
+// Benchmark is one registered suite entry.
+type Benchmark struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// Suite returns the registered micro-benchmarks in suite order. The
+// registry is exposed separately from PerfSuite so tests can check
+// registration without paying for a measurement run.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{"sim/schedule-callbacks", BenchSimScheduleCallbacks},
+		{"sim/sleep-wake", BenchSimSleepWake},
+		{"sim/same-instant-fifo", BenchSimSameInstantFIFO},
+		{"fabric/flow-churn-contended", BenchFabricFlowChurnContended},
+		{"suite/run-all-sequential", BenchSuiteRunAllSequential},
+	}
+}
+
 // PerfSuite runs the simulator's performance micro-benchmarks in process
 // via testing.Benchmark — no `go test` invocation needed — and returns the
 // measurements. It is the engine behind `benchrunner -bench-json`.
@@ -64,21 +85,12 @@ const PerfSchema = "composable-bench/v1"
 // (flows/sec), and one full experiment-suite regeneration (the number the
 // ROADMAP's "as fast as the hardware allows" goal ultimately cares about).
 func PerfSuite() []PerfResult {
-	benchmarks := []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
-		{"sim/schedule-callbacks", BenchSimScheduleCallbacks},
-		{"sim/sleep-wake", BenchSimSleepWake},
-		{"sim/same-instant-fifo", BenchSimSameInstantFIFO},
-		{"fabric/flow-churn-contended", BenchFabricFlowChurnContended},
-		{"suite/run-all-sequential", BenchSuiteRunAllSequential},
-	}
+	benchmarks := Suite()
 	results := make([]PerfResult, 0, len(benchmarks))
 	for _, bm := range benchmarks {
-		r := testing.Benchmark(bm.fn)
+		r := testing.Benchmark(bm.Fn)
 		per := PerfResult{
-			Name:        bm.name,
+			Name:        bm.Name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
@@ -112,6 +124,94 @@ func WritePerfReport(path, label string, results []PerfResult) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadPerfReport loads a BENCH_*.json trajectory file, rejecting files
+// with an unknown schema marker.
+func ReadPerfReport(path string) (PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return PerfReport{}, err
+	}
+	var rep PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return PerfReport{}, fmt.Errorf("perfbench: parsing %s: %w", path, err)
+	}
+	if rep.Schema != PerfSchema {
+		return PerfReport{}, fmt.Errorf("perfbench: %s has schema %q, want %q", path, rep.Schema, PerfSchema)
+	}
+	return rep, nil
+}
+
+// Delta is one benchmark's movement between two trajectory reports.
+type Delta struct {
+	Name string
+	// Old/NewNsPerOp are the per-op times; Ratio is new/old (>1 = slower).
+	OldNsPerOp, NewNsPerOp float64
+	Ratio                  float64
+	// AllocRatio is new/old allocations per op: 1 when both are zero, +Inf
+	// when allocations appear against an allocation-free baseline (the
+	// regression the zero-alloc trajectory entries exist to catch).
+	AllocRatio float64
+	// Regressed is set when the time ratio exceeds the comparison
+	// threshold. Missing marks benchmarks present in only one report
+	// (renames, additions); those never count as regressions.
+	Regressed bool
+	Missing   bool
+}
+
+// Compare diffs two trajectory reports benchmark by benchmark. threshold
+// is the tolerated relative slowdown (e.g. 0.20 flags anything more than
+// 20% slower); it guards the time ratio only — allocation movement is
+// reported but not flagged, since alloc counts are exact and meaningful
+// changes should be asserted directly. Results follow the new report's
+// order, with old-only benchmarks appended as Missing.
+func Compare(old, new PerfReport, threshold float64) []Delta {
+	byName := make(map[string]PerfResult, len(old.Results))
+	for _, r := range old.Results {
+		byName[r.Name] = r
+	}
+	deltas := make([]Delta, 0, len(new.Results))
+	for _, r := range new.Results {
+		o, ok := byName[r.Name]
+		if !ok {
+			deltas = append(deltas, Delta{Name: r.Name, NewNsPerOp: r.NsPerOp, Missing: true})
+			continue
+		}
+		delete(byName, r.Name)
+		d := Delta{Name: r.Name, OldNsPerOp: o.NsPerOp, NewNsPerOp: r.NsPerOp}
+		if o.NsPerOp > 0 {
+			d.Ratio = r.NsPerOp / o.NsPerOp
+		}
+		switch {
+		case o.AllocsPerOp > 0:
+			d.AllocRatio = float64(r.AllocsPerOp) / float64(o.AllocsPerOp)
+		case r.AllocsPerOp == 0:
+			d.AllocRatio = 1
+		default: // allocations appeared against a zero-alloc baseline
+			d.AllocRatio = math.Inf(1)
+		}
+		d.Regressed = d.Ratio > 1+threshold
+		deltas = append(deltas, d)
+	}
+	// Old-only benchmarks, in the old report's order.
+	for _, r := range old.Results {
+		if _, gone := byName[r.Name]; gone {
+			deltas = append(deltas, Delta{Name: r.Name, OldNsPerOp: r.NsPerOp, Missing: true})
+		}
+	}
+	return deltas
+}
+
+// Regressions filters a comparison down to the flagged entries.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // BenchSimScheduleCallbacks measures the raw event-queue cost with no

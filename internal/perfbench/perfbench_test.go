@@ -1,0 +1,161 @@
+package perfbench
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSuiteRegistration(t *testing.T) {
+	suite := Suite()
+	if len(suite) == 0 {
+		t.Fatal("empty benchmark suite")
+	}
+	seen := map[string]bool{}
+	layers := map[string]bool{}
+	for _, bm := range suite {
+		if bm.Name == "" {
+			t.Fatal("benchmark registered without a name")
+		}
+		if bm.Fn == nil {
+			t.Fatalf("benchmark %q registered without a body", bm.Name)
+		}
+		if seen[bm.Name] {
+			t.Fatalf("benchmark %q registered twice", bm.Name)
+		}
+		seen[bm.Name] = true
+		layer, _, ok := strings.Cut(bm.Name, "/")
+		if !ok {
+			t.Fatalf("benchmark %q does not follow the layer/name convention", bm.Name)
+		}
+		layers[layer] = true
+	}
+	// The suite's contract: it covers the sim core, the fabric allocator
+	// and the end-to-end experiment regeneration.
+	for _, layer := range []string{"sim", "fabric", "suite"} {
+		if !layers[layer] {
+			t.Errorf("suite does not cover the %s layer (have %v)", layer, layers)
+		}
+	}
+}
+
+func sampleResults() []PerfResult {
+	return []PerfResult{
+		{Name: "sim/sleep-wake", Iterations: 1000, NsPerOp: 505.2, AllocsPerOp: 0, BytesPerOp: 0, OpsPerSec: 1.98e6},
+		{Name: "fabric/flow-churn-contended", Iterations: 500, NsPerOp: 820.9, AllocsPerOp: 5, BytesPerOp: 640, OpsPerSec: 1.22e6},
+		{Name: "suite/run-all-sequential", Iterations: 2, NsPerOp: 7.3e8, AllocsPerOp: 3_360_000, BytesPerOp: 186_000_000, OpsPerSec: 1.37},
+	}
+}
+
+func TestPerfReportJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	results := sampleResults()
+	if err := WritePerfReport(path, "PR3", results); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerfReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewPerfReport("PR3", results)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed the report:\ngot  %+v\nwant %+v", got, want)
+	}
+	if got.Schema != PerfSchema || got.Label != "PR3" {
+		t.Fatalf("schema/label lost: %+v", got)
+	}
+	if got.GoVersion == "" || got.NumCPU == 0 {
+		t.Fatalf("environment provenance missing: %+v", got)
+	}
+}
+
+func TestReadPerfReportRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadPerfReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file not rejected")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPerfReport(bad); err == nil {
+		t.Error("malformed JSON not rejected")
+	}
+	wrong := filepath.Join(dir, "wrong.json")
+	if err := writeFile(wrong, `{"schema":"other/v9","results":[]}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPerfReport(wrong); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong schema not rejected: %v", err)
+	}
+}
+
+func TestCheckedInTrajectoryParses(t *testing.T) {
+	// The repo's own trajectory file must stay loadable by this package.
+	rep, err := ReadPerfReport("../../BENCH_PR2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Label != "PR2" || len(rep.Results) == 0 {
+		t.Fatalf("unexpected trajectory contents: label %q, %d results", rep.Label, len(rep.Results))
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := NewPerfReport("old", []PerfResult{
+		{Name: "sim/a", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "sim/b", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "sim/c", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "sim/gone", NsPerOp: 50},
+	})
+	new := NewPerfReport("new", []PerfResult{
+		{Name: "sim/a", NsPerOp: 150, AllocsPerOp: 5}, // 1.5× slower: regression
+		{Name: "sim/b", NsPerOp: 105, AllocsPerOp: 0}, // 1.05×: inside threshold
+		{Name: "sim/c", NsPerOp: 100, AllocsPerOp: 3}, // allocs appeared from zero
+		{Name: "sim/new", NsPerOp: 70},                // added: missing, never a regression
+	})
+	deltas := Compare(old, new, 0.20)
+	if len(deltas) != 5 {
+		t.Fatalf("got %d deltas, want 5: %+v", len(deltas), deltas)
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	a := byName["sim/a"]
+	if !a.Regressed || a.Ratio != 1.5 || a.AllocRatio != 0.5 {
+		t.Errorf("sim/a misjudged: %+v", a)
+	}
+	if b := byName["sim/b"]; b.Regressed || b.Ratio != 1.05 || b.AllocRatio != 1 {
+		t.Errorf("sim/b misjudged: %+v", b)
+	}
+	// Allocations appearing against a zero-alloc baseline must not read as
+	// an improvement: AllocRatio is +Inf, not 0.
+	if c := byName["sim/c"]; !math.IsInf(c.AllocRatio, 1) {
+		t.Errorf("sim/c alloc appearance misjudged: %+v", c)
+	}
+	if d := byName["sim/new"]; !d.Missing || d.Regressed {
+		t.Errorf("added benchmark misjudged: %+v", d)
+	}
+	if d := byName["sim/gone"]; !d.Missing || d.Regressed {
+		t.Errorf("removed benchmark misjudged: %+v", d)
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Name != "sim/a" {
+		t.Errorf("Regressions() = %+v, want only sim/a", regs)
+	}
+}
+
+func TestCompareIdenticalReportsIsClean(t *testing.T) {
+	rep := NewPerfReport("x", sampleResults())
+	if regs := Regressions(Compare(rep, rep, 0.0)); len(regs) != 0 {
+		t.Fatalf("self-comparison found regressions: %+v", regs)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,79 @@
+package scengen
+
+import (
+	"testing"
+
+	"composable/internal/cluster"
+	"composable/internal/gpu"
+	"composable/internal/train"
+)
+
+// FuzzComposeAndTrain drives Sanitize with raw field values and requires
+// the repaired scenario to compose, train end to end, keep every invariant
+// and reproduce itself byte-identically on a second run. It is the
+// property the whole scenario tier rests on: there is no reachable
+// scenario the platform mishandles.
+//
+// The iteration count is clamped hard (run length is not an interesting
+// fuzz dimension, execution time is), so individual executions stay fast.
+func FuzzComposeAndTrain(f *testing.F) {
+	// Seed the corpus with the paper's own grid corners plus the odd
+	// compositions the sweep rarely lands on. testdata/fuzz holds further
+	// regression inputs; go test replays both without -fuzz.
+	f.Add(int64(1), uint8(8), uint8(0), false, false, uint8(0), uint8(1), false, false, false, uint8(0), uint8(1), uint8(2), uint8(4), uint8(24), uint8(0)) // localGPUs / ResNet-50
+	f.Add(int64(2), uint8(4), uint8(4), false, false, uint8(0), uint8(4), false, false, false, uint8(0), uint8(1), uint8(2), uint8(4), uint8(24), uint8(0)) // hybridGPUs / BERT-L
+	f.Add(int64(3), uint8(0), uint8(8), false, false, uint8(0), uint8(3), false, false, false, uint8(0), uint8(1), uint8(2), uint8(4), uint8(24), uint8(0)) // falconGPUs / BERT
+	f.Add(int64(4), uint8(8), uint8(0), false, false, uint8(2), uint8(2), false, true, false, uint8(0), uint8(1), uint8(2), uint8(4), uint8(24), uint8(0))  // falconNVMe / YOLO / FP32
+	f.Add(int64(5), uint8(0), uint8(8), true, true, uint8(1), uint8(4), false, false, true, uint8(10), uint8(2), uint8(3), uint8(8), uint8(32), uint8(4))   // P100 single-drawer, sharded BERT-L
+	f.Add(int64(6), uint8(2), uint8(1), false, false, uint8(0), uint8(0), true, true, false, uint8(1), uint8(1), uint8(1), uint8(1), uint8(1), uint8(1))    // tiny DP corner
+	f.Fuzz(func(t *testing.T, seed int64,
+		local, falcon uint8, singleDrawer, p100 bool, storage, workload uint8,
+		dp, fp32, sharded bool, batch, epochs, iters, buckets, workers, channels uint8) {
+		raw := Scenario{
+			Seed:         seed,
+			LocalGPUs:    int(local),
+			FalconGPUs:   int(falcon),
+			SingleDrawer: singleDrawer,
+			Storage: []cluster.StorageKind{
+				cluster.StorageBaseline, cluster.StorageLocalNVMe, cluster.StorageFalconNVMe,
+			}[int(storage)%3],
+			Workload:      []string{"MobileNetV2", "ResNet-50", "YOLOv5-L", "BERT", "BERT-L"}[int(workload)%5],
+			Sharded:       sharded,
+			BatchPerGPU:   int(batch),
+			Epochs:        int(epochs),
+			ItersPerEpoch: int(iters)%4 + 1, // keep executions fast
+			Buckets:       int(buckets),
+			Workers:       int(workers),
+			Channels:      int(channels),
+		}
+		if p100 {
+			raw.FalconModel = "P100"
+		}
+		if dp {
+			raw.Strategy = train.DP
+		} else {
+			raw.Strategy = train.DDP
+		}
+		if fp32 {
+			raw.Precision = gpu.FP32
+		} else {
+			raw.Precision = gpu.FP16
+		}
+		sc := Sanitize(raw)
+		first, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.ID(), err)
+		}
+		if err := first.Err(); err != nil {
+			t.Fatalf("%s: %v", sc.ID(), err)
+		}
+		second, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: repeat: %v", sc.ID(), err)
+		}
+		if first.Fingerprint != second.Fingerprint {
+			t.Fatalf("%s: two in-process runs diverged:\n--- first\n%s--- second\n%s",
+				sc.ID(), first.Fingerprint, second.Fingerprint)
+		}
+	})
+}

@@ -1,0 +1,295 @@
+package scengen
+
+import (
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+
+	"composable/internal/cluster"
+	"composable/internal/sim"
+	"composable/internal/train"
+)
+
+// sweepParams reads the sweep shape from the environment so CI can pin the
+// seed and scale the scenario count without code changes.
+func sweepParams(t *testing.T) (base int64, n int) {
+	base, n = 1, 100
+	if s := os.Getenv("SCENGEN_SWEEP_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("SCENGEN_SWEEP_SEED: %v", err)
+		}
+		base = v
+	}
+	if s := os.Getenv("SCENGEN_SWEEP_N"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			t.Fatalf("SCENGEN_SWEEP_N: bad value %q", s)
+		}
+		n = v
+	}
+	return base, n
+}
+
+// TestScenarioSweep is the randomized scenario tier: N seeded scenarios
+// (default 100, override via SCENGEN_SWEEP_N / SCENGEN_SWEEP_SEED), each
+// run twice end to end. Every invariant must hold on every run, the two
+// executions must produce byte-identical fingerprints, and a rotating
+// subset additionally checks the metamorphic relations (faster fabric
+// never slower, more iterations never faster, sharding never grows the
+// memory peak).
+func TestScenarioSweep(t *testing.T) {
+	base, n := sweepParams(t)
+
+	type job struct {
+		seed int64
+		idx  int
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var mu sync.Mutex
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Errorf(format, args...)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				sc := FromSeed(j.seed)
+				first, err := Run(sc)
+				if err != nil {
+					fail("seed %d (%s): %v", j.seed, sc.ID(), err)
+					continue
+				}
+				if err := first.Err(); err != nil {
+					fail("seed %d (%s): %v", j.seed, sc.ID(), err)
+					continue
+				}
+				second, err := Run(sc)
+				if err != nil {
+					fail("seed %d (%s): repeat: %v", j.seed, sc.ID(), err)
+					continue
+				}
+				if err := second.Err(); err != nil {
+					fail("seed %d (%s): repeat: %v", j.seed, sc.ID(), err)
+					continue
+				}
+				if first.Fingerprint != second.Fingerprint {
+					fail("seed %d (%s): two in-process runs diverged:\n--- first\n%s--- second\n%s",
+						j.seed, sc.ID(), first.Fingerprint, second.Fingerprint)
+					continue
+				}
+				var merr error
+				switch j.idx % 10 {
+				case 0:
+					merr = CheckFasterFabricNotSlower(sc)
+				case 3:
+					merr = CheckShardedPeakNotLarger(sc)
+				case 5:
+					merr = CheckMoreItersNotFaster(sc)
+				}
+				if merr != nil {
+					fail("seed %d: %v", j.seed, merr)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- job{seed: base + int64(i), idx: i}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+func TestFromSeedDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := FromSeed(seed), FromSeed(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: FromSeed not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+	}
+	if reflect.DeepEqual(FromSeed(1), FromSeed(2)) {
+		t.Fatal("distinct seeds produced identical scenarios")
+	}
+}
+
+func TestSanitizeIdempotentAndValid(t *testing.T) {
+	for seed := int64(1); seed <= 300; seed++ {
+		sc := FromSeed(seed)
+		if again := Sanitize(sc); !reflect.DeepEqual(sc, again) {
+			t.Fatalf("seed %d: Sanitize not idempotent:\n%+v\n%+v", seed, sc, again)
+		}
+		assertValid(t, sc)
+	}
+}
+
+// TestSanitizeRepairsHostileScenarios drives Sanitize with out-of-range and
+// contradictory raw values, as the fuzz target does, and requires a valid
+// scenario back.
+func TestSanitizeRepairsHostileScenarios(t *testing.T) {
+	hostile := []Scenario{
+		{}, // all zero: no GPUs, no workload
+		{LocalGPUs: -3, FalconGPUs: 900, Workload: "nope", Strategy: "mpi", Storage: "tape"},
+		{LocalGPUs: 1, Strategy: train.DP, Sharded: true}, // sharded DP, 1 GPU
+		{FalconGPUs: 1, FalconModel: "H100", BatchPerGPU: 1 << 20, Workload: "BERT-L"},
+		{LocalGPUs: 8, Workload: "BERT-L", Precision: 42, BatchPerGPU: 4096, Epochs: -5, ItersPerEpoch: 1 << 30},
+		{FalconGPUs: 3, SingleDrawer: true, Buckets: -1, Workers: 10_000, Channels: 99},
+	}
+	for i, raw := range hostile {
+		sc := Sanitize(raw)
+		assertValid(t, sc)
+		if again := Sanitize(sc); !reflect.DeepEqual(sc, again) {
+			t.Fatalf("case %d: Sanitize not idempotent on repaired scenario", i)
+		}
+		// The repaired scenario must actually compose.
+		if _, err := cluster.Compose(sim.NewEnv(), sc.Config()); err != nil {
+			t.Fatalf("case %d: repaired scenario does not compose: %v", i, err)
+		}
+	}
+}
+
+// assertValid checks the structural validity contract of a sanitized
+// scenario without running it.
+func assertValid(t *testing.T, sc Scenario) {
+	t.Helper()
+	if sc.LocalGPUs < 0 || sc.LocalGPUs > 8 || sc.FalconGPUs < 0 || sc.FalconGPUs > 8 {
+		t.Fatalf("%s: GPU counts out of range", sc.ID())
+	}
+	if sc.LocalGPUs+sc.FalconGPUs < 2 {
+		t.Fatalf("%s: fewer than 2 GPUs", sc.ID())
+	}
+	if sc.FalconGPUs == 0 && (sc.FalconModel != "" || sc.SingleDrawer) {
+		t.Fatalf("%s: falcon knobs without falcon GPUs", sc.ID())
+	}
+	if sc.Sharded && sc.Strategy != train.DDP {
+		t.Fatalf("%s: sharded without DDP", sc.ID())
+	}
+	if sc.BatchPerGPU < 1 {
+		t.Fatalf("%s: batch %d", sc.ID(), sc.BatchPerGPU)
+	}
+	if sc.Epochs < 1 || sc.Epochs > maxEpochs || sc.ItersPerEpoch < 1 || sc.ItersPerEpoch > maxIters {
+		t.Fatalf("%s: run length out of range", sc.ID())
+	}
+	opts, err := sc.Options()
+	if err != nil {
+		t.Fatalf("%s: %v", sc.ID(), err)
+	}
+	// The batch must fit every GPU part under the scenario's sharding.
+	shards := 1
+	if sc.Sharded {
+		shards = sc.LocalGPUs + sc.FalconGPUs
+	}
+	for _, spec := range sc.gpuSpecs() {
+		need := opts.Workload.MemoryNeeded(sc.Precision, sc.BatchPerGPU, shards)
+		if usable := spec.Memory - spec.Reserved; need > usable {
+			t.Fatalf("%s: batch %d needs %v on %s (usable %v)",
+				sc.ID(), sc.BatchPerGPU, need, spec.Name, usable)
+		}
+	}
+}
+
+// TestScenarioDiversity guards the generator's coverage: a modest seed
+// range must exercise every storage tier, both strategies, both
+// precisions, sharding, every workload, and local-only / falcon-only /
+// hybrid / heterogeneous compositions.
+func TestScenarioDiversity(t *testing.T) {
+	storages := map[cluster.StorageKind]bool{}
+	strategies := map[train.Strategy]bool{}
+	workloads := map[string]bool{}
+	var fp32, fp16, sharded, localOnly, falconOnly, hybrid, p100, singleDrawer bool
+	for seed := int64(1); seed <= 200; seed++ {
+		sc := FromSeed(seed)
+		storages[sc.Storage] = true
+		strategies[sc.Strategy] = true
+		workloads[sc.Workload] = true
+		switch {
+		case sc.FalconGPUs == 0:
+			localOnly = true
+		case sc.LocalGPUs == 0:
+			falconOnly = true
+		default:
+			hybrid = true
+		}
+		if sc.FalconModel == "P100" {
+			p100 = true
+		}
+		if sc.SingleDrawer {
+			singleDrawer = true
+		}
+		if sc.Sharded {
+			sharded = true
+		}
+		if sc.Precision == 0 {
+			fp32 = true
+		} else {
+			fp16 = true
+		}
+	}
+	if len(storages) != 3 {
+		t.Errorf("storage tiers seen: %v", storages)
+	}
+	if len(strategies) != 2 {
+		t.Errorf("strategies seen: %v", strategies)
+	}
+	if len(workloads) != 5 {
+		t.Errorf("workloads seen: %v", workloads)
+	}
+	for name, seen := range map[string]bool{
+		"fp32": fp32, "fp16": fp16, "sharded": sharded, "local-only": localOnly,
+		"falcon-only": falconOnly, "hybrid": hybrid, "P100": p100, "single-drawer": singleDrawer,
+	} {
+		if !seen {
+			t.Errorf("generator never produced a %s scenario in 200 seeds", name)
+		}
+	}
+}
+
+// TestFingerprintDistinguishesResults makes sure the fingerprint is not
+// vacuously stable: different scenarios produce different fingerprints.
+func TestFingerprintDistinguishesResults(t *testing.T) {
+	a, err := Run(FromSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(FromSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint == b.Fingerprint {
+		t.Fatalf("distinct scenarios share a fingerprint:\n%s", a.Fingerprint)
+	}
+}
+
+func TestMetamorphicFasterFabric(t *testing.T) {
+	for seed := int64(11); seed <= 14; seed++ {
+		if err := CheckFasterFabricNotSlower(FromSeed(seed)); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestMetamorphicMoreIters(t *testing.T) {
+	for seed := int64(21); seed <= 24; seed++ {
+		if err := CheckMoreItersNotFaster(FromSeed(seed)); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestMetamorphicShardedPeak(t *testing.T) {
+	for seed := int64(31); seed <= 34; seed++ {
+		if err := CheckShardedPeakNotLarger(FromSeed(seed)); err != nil {
+			t.Error(err)
+		}
+	}
+}

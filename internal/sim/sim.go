@@ -64,7 +64,17 @@ type Env struct {
 	procs    map[*Proc]struct{}
 	running  bool
 	failure  error
+	// onEvent, when set, observes every dispatched event's timestamp. It is
+	// the engine's invariant probe point (internal/invariant watches it for
+	// event-time monotonicity); the nil check keeps the hot loop free.
+	onEvent func(at Time)
 }
+
+// SetEventProbe installs fn to be called with the timestamp of every event
+// the loop dispatches, in dispatch order. Pass nil to remove the probe. The
+// probe must not mutate simulation state; it exists for invariant checking
+// and tracing.
+func (e *Env) SetEventProbe(fn func(at Time)) { e.onEvent = fn }
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
@@ -318,6 +328,9 @@ func (e *Env) run(limit Time) error {
 			e.now = ev.at
 		} else {
 			break
+		}
+		if e.onEvent != nil {
+			e.onEvent(ev.at)
 		}
 		if ev.proc != nil {
 			e.wake(ev.proc)

@@ -63,7 +63,21 @@ type Options struct {
 	// Seed offsets nothing today but keeps the API honest about
 	// determinism: the simulation is deterministic for a given seed.
 	Seed int64
+	// Probe, when non-nil, observes the run's lifecycle probe points —
+	// ProbeEpoch at every epoch boundary, ProbeCheckpoint after each
+	// checkpoint write, ProbeDone at completion — each with the virtual
+	// time of the event. It must not change outcomes, so it is excluded
+	// from Fingerprint; internal/invariant hangs its training-side checks
+	// here.
+	Probe func(event string, at time.Duration)
 }
+
+// Probe event names passed to Options.Probe.
+const (
+	ProbeEpoch      = "epoch"
+	ProbeCheckpoint = "checkpoint"
+	ProbeDone       = "done"
+)
 
 // Fingerprint canonically encodes every option that changes the outcome of
 // a run, identifying the workload by its name (the Table II benchmarks are
@@ -426,9 +440,15 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 							panic(err)
 						}
 					})
+					if rank == 0 && opts.Probe != nil {
+						opts.Probe(ProbeCheckpoint, p.Now())
+					}
 				}
 				if rank == 0 && (it+1)%opts.ItersPerEpoch == 0 {
 					job.epochEnds = append(job.epochEnds, p.Now())
+					if opts.Probe != nil {
+						opts.Probe(ProbeEpoch, p.Now())
+					}
 				}
 			}
 			ranksDone.Done(env)
@@ -441,6 +461,9 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 		rec.stop()
 		sys.Host.FreeMem(staging)
 		freeAll()
+		if opts.Probe != nil {
+			opts.Probe(ProbeDone, p.Now())
+		}
 		job.done.Fire(env)
 	})
 	return job, nil
