@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"composable/internal/advisor"
+)
+
+func capture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	if code, _, _ := capture(t, "-no-such-flag"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestUnknownModelRejected(t *testing.T) {
+	code, _, stderr := capture(t, "-model", "GPT-17")
+	if code != 2 || !strings.Contains(stderr, "unknown benchmark") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestTopologyRecommendation(t *testing.T) {
+	code, stdout, stderr := capture(t, "-model", "ResNet-50", "-iters", "4", "-epochs", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"Recommendation for ResNet-50", "localGPUs", "falconGPUs", "→"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("report missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestFleetRecommendation(t *testing.T) {
+	code, stdout, stderr := capture(t, "-fleet", "3xResNet-50:4,2xBERT:2", "-iters", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"Placement-policy recommendation", "drawer", "firstfit", "→"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("report missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestFleetMixParsing(t *testing.T) {
+	mix, err := parseMix("4xResNet-50:4, 2xBERT:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []advisor.FleetJobClass{
+		{Count: 4, GPUs: 4, Workload: "ResNet-50"},
+		{Count: 2, GPUs: 2, Workload: "BERT"},
+	}
+	if len(mix.Classes) != 2 || mix.Classes[0] != want[0] || mix.Classes[1] != want[1] {
+		t.Fatalf("parsed %+v", mix.Classes)
+	}
+	for _, bad := range []string{"", "ResNet-50:4", "4xResNet-50", "0xBERT:2", "1xBERT:zero", "2xNope:2"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBadMixExitsTwo(t *testing.T) {
+	code, _, stderr := capture(t, "-fleet", "definitely-not-a-mix")
+	if code != 2 || !strings.Contains(stderr, "bad mix entry") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}

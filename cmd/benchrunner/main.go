@@ -36,7 +36,7 @@ func run() int {
 		expFlag      = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 		scaleFlag    = flag.String("scale", "standard", "simulation scale: quick or standard")
 		listFlag     = flag.Bool("list", false, "list experiment IDs and exit")
-		extFlag      = flag.Bool("ext", false, "also run ablations/extensions (A1-A4, X1-X2)")
+		extFlag      = flag.Bool("ext", false, "also run ablations/extensions/fleet studies (A1-A4, X1-X2, S1-S3)")
 		parallelFlag = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker-pool width (1 = sequential)")
 		benchJSON    = flag.String("bench-json", "", "run the performance micro-benchmark suite and write results to this file instead of running experiments")
 		benchLabel   = flag.String("bench-label", "dev", "label recorded in the -bench-json report (e.g. PR2)")
@@ -138,6 +138,7 @@ func run() int {
 		selected = experiments.All()
 		if *extFlag {
 			selected = append(selected, experiments.Extensions()...)
+			selected = append(selected, experiments.FleetExperiments()...)
 		}
 	} else {
 		for _, id := range strings.Split(*expFlag, ",") {

@@ -18,14 +18,14 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
 	"composable/internal/falcon"
 )
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: falconctl -f <state.json> <command> [args]
+const usageText = `usage: falconctl -f <state.json> <command> [args]
 commands:
   init                                   create an empty chassis
   cable <port> <host>                    cable a host to a port (H1-H4)
@@ -38,14 +38,39 @@ commands:
   topology                               print the topology view
   summary                                print the resource list counters
   sensors                                print BMC sensor readings
-  events                                 print the event log`)
-	os.Exit(2)
-}
+  events                                 print the event log`
 
-func main() {
-	args := os.Args[1:]
+// usageError aborts command handling with exit code 2.
+type usageError struct{}
+
+func (usageError) Error() string { return "usage" }
+
+// cmdError aborts command handling with exit code 1.
+type cmdError struct{ err error }
+
+func (e cmdError) Error() string { return e.err.Error() }
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable main: it executes one falconctl command against the
+// state file and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case usageError:
+			fmt.Fprintln(stderr, usageText)
+			code = 2
+		case cmdError:
+			fmt.Fprintln(stderr, "falconctl:", r.err)
+			code = 1
+		default:
+			panic(r)
+		}
+	}()
+
 	if len(args) < 3 || args[0] != "-f" {
-		usage()
+		panic(usageError{})
 	}
 	stateFile := args[1]
 	cmd := args[2]
@@ -55,10 +80,10 @@ func main() {
 	if cmd != "init" {
 		data, err := os.ReadFile(stateFile)
 		if err != nil {
-			fatal(fmt.Errorf("reading state: %w (run 'falconctl -f %s init' first)", err, stateFile))
+			panic(cmdError{fmt.Errorf("reading state: %w (run 'falconctl -f %s init' first)", err, stateFile)})
 		}
 		if err := ch.ImportConfig(data); err != nil {
-			fatal(err)
+			panic(cmdError{err})
 		}
 	}
 
@@ -94,59 +119,55 @@ func main() {
 		need(rest, 3)
 		check(ch.Reassign(falcon.SlotRef{Drawer: atoi(rest[0]), Slot: atoi(rest[1])}, rest[2]))
 	case "topology":
-		fmt.Print(ch.Topology())
+		fmt.Fprint(stdout, ch.Topology())
 		save = false
 	case "summary":
 		s := ch.Summary()
-		fmt.Printf("GPUs %d  NVMe %d  NICs %d  Custom %d | attached %d free %d | host links %d\n",
+		fmt.Fprintf(stdout, "GPUs %d  NVMe %d  NICs %d  Custom %d | attached %d free %d | host links %d\n",
 			s.GPUs, s.NVMes, s.NICs, s.Custom, s.Attached, s.Free, s.HostLinks)
 		save = false
 	case "sensors":
 		r := ch.Sensors()
-		fmt.Printf("chassis %.1fC  drawer0 %.1fC  drawer1 %.1fC  fans %.0f%%\n",
+		fmt.Fprintf(stdout, "chassis %.1fC  drawer0 %.1fC  drawer1 %.1fC  fans %.0f%%\n",
 			r.ChassisTempC, r.DrawerTempC[0], r.DrawerTempC[1], r.FanDutyPct)
 		save = false
 	case "events":
 		for _, e := range ch.Events() {
-			fmt.Printf("[%s] %s\n", e.Severity, e.Message)
+			fmt.Fprintf(stdout, "[%s] %s\n", e.Severity, e.Message)
 		}
 		save = false
 	default:
-		usage()
+		panic(usageError{})
 	}
 
 	if save {
 		data, err := ch.ExportConfig()
 		if err != nil {
-			fatal(err)
+			panic(cmdError{err})
 		}
 		if err := os.WriteFile(stateFile, data, 0o644); err != nil {
-			fatal(err)
+			panic(cmdError{err})
 		}
 	}
+	return 0
 }
 
 func need(rest []string, n int) {
 	if len(rest) != n {
-		usage()
+		panic(usageError{})
 	}
 }
 
 func atoi(s string) int {
 	v, err := strconv.Atoi(s)
 	if err != nil {
-		fatal(fmt.Errorf("bad number %q", s))
+		panic(cmdError{fmt.Errorf("bad number %q", s)})
 	}
 	return v
 }
 
 func check(err error) {
 	if err != nil {
-		fatal(err)
+		panic(cmdError{err})
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "falconctl:", err)
-	os.Exit(1)
 }

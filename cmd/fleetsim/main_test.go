@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	code, _, _ := capture(t, "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestUnknownPolicyRejected(t *testing.T) {
+	code, _, stderr := capture(t, "-policy", "wishful")
+	if code != 2 || !strings.Contains(stderr, "unknown policy") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestListPolicies(t *testing.T) {
+	code, stdout, _ := capture(t, "-list-policies")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"firstfit", "drawer", "bandwidth", "static"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("policy list missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestSeededRunDeterministic is the CLI face of the acceptance criterion:
+// the same seed must print byte-identical telemetry, fingerprint included.
+func TestSeededRunDeterministic(t *testing.T) {
+	code1, out1, err1 := capture(t, "-seed", "42", "-fingerprint")
+	code2, out2, err2 := capture(t, "-seed", "42", "-fingerprint")
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("exits %d/%d, stderr %q %q", code1, code2, err1, err2)
+	}
+	if out1 != out2 {
+		t.Fatalf("two runs of the same seed diverged:\n--- first\n%s--- second\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "--- fingerprint") || !strings.Contains(out1, "makespan=") {
+		t.Errorf("fingerprint section missing:\n%s", out1)
+	}
+}
+
+func TestOverridesShapeTheRun(t *testing.T) {
+	code, stdout, stderr := capture(t,
+		"-seed", "3", "-policy", "firstfit", "-hosts", "2", "-gpus", "6", "-jobs", "3", "-attach-ms", "0")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "fleet-h2g6-firstfit") {
+		t.Errorf("overrides not reflected in scenario ID:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "invariants: all held") {
+		t.Errorf("invariant status missing:\n%s", stdout)
+	}
+	// 3 jobs requested → job rows 0..2 and no more.
+	if strings.Contains(stdout, "\n   3 ") {
+		t.Errorf("stream not trimmed to 3 jobs:\n%s", stdout)
+	}
+}
+
+func TestStaticPolicyRuns(t *testing.T) {
+	code, stdout, stderr := capture(t, "-seed", "5", "-policy", "static")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "policy static") || !strings.Contains(stdout, "0 recompositions") {
+		t.Errorf("static run should report zero recompositions:\n%s", stdout)
+	}
+}

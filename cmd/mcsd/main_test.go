@@ -180,4 +180,24 @@ func TestServedAPIEndToEnd(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "attach") {
 		t.Errorf("admin audit: %d %s", resp.StatusCode, body)
 	}
+
+	// Fleet job queue rides on the same served handler: submit as a
+	// tenant, drain as admin (policy run on the simulated fleet), read
+	// the telemetry back. Tenancy details are covered in internal/mcs.
+	resp, body = do("POST", "/api/jobs", "tok-alice",
+		map[string]any{"workload": "ResNet-50", "gpus": 2, "iters": 2})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("job submit: %d %s", resp.StatusCode, body)
+	}
+	if resp, _ = do("POST", "/api/jobs/run", "tok-alice", map[string]any{}); resp.StatusCode != http.StatusForbidden {
+		t.Errorf("tenant draining the queue: %d, want 403", resp.StatusCode)
+	}
+	resp, body = do("POST", "/api/jobs/run", "tok-root", map[string]any{"hosts": 2, "gpus": 4})
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ran":1`) {
+		t.Errorf("admin run: %d %s", resp.StatusCode, body)
+	}
+	resp, body = do("GET", "/api/jobs/0", "tok-alice", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"status":"done"`) {
+		t.Errorf("job status: %d %s", resp.StatusCode, body)
+	}
 }

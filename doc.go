@@ -6,7 +6,9 @@
 // figure of the paper's evaluation.
 //
 // The public entry points live in internal/core (composition + training),
-// internal/experiments (the paper's tables and figures) and the commands
-// under cmd/. See README.md for a module tour, a quickstart, and the
-// paper-to-module substitution map.
+// internal/experiments (the paper's tables and figures, plus the S1–S3
+// fleet-scheduling studies), internal/orchestrator (the multi-job fleet
+// scheduler with dynamic GPU recomposition) and the commands under cmd/.
+// See README.md for a module tour, a quickstart, and the paper-to-module
+// substitution map.
 package composable

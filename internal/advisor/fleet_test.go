@@ -1,0 +1,86 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecommendPolicyRanksAndExplains(t *testing.T) {
+	mix := FleetMix{
+		Classes: []FleetJobClass{
+			{Count: 4, GPUs: 4, Workload: "ResNet-50"},
+			{Count: 2, GPUs: 2, Workload: "BERT"},
+		},
+		ItersPerEpoch: 3,
+	}
+	rec, err := RecommendPolicy(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best.Policy == "" || rec.Best.Result == nil {
+		t.Fatalf("no best policy: %+v", rec.Best)
+	}
+	// Ranked evaluations are sorted by makespan.
+	var prev *PolicyEvaluation
+	for i := range rec.Ranked {
+		e := &rec.Ranked[i]
+		if e.Skipped != "" {
+			continue
+		}
+		if prev != nil && e.Result.Makespan < prev.Result.Makespan {
+			t.Errorf("ranking out of order: %s (%v) after %s (%v)",
+				e.Policy, e.Result.Makespan, prev.Policy, prev.Result.Makespan)
+		}
+		prev = e
+	}
+	report := rec.Report()
+	for _, want := range []string{"firstfit", "drawer", "bandwidth", "static", "→", rec.Best.Policy} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	// Determinism: the recommendation is a pure function of the mix.
+	again, err := RecommendPolicy(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Report() != report {
+		t.Error("two recommendations for the same mix differ")
+	}
+}
+
+// TestRecommendPolicySkipsInfeasibleStatic: a job bigger than any
+// tenant's static share makes the static policy unservable; it must be
+// reported as skipped, not ranked or fatal.
+func TestRecommendPolicySkipsInfeasibleStatic(t *testing.T) {
+	rec, err := RecommendPolicy(FleetMix{
+		Hosts: 3, GPUs: 12,
+		Classes:       []FleetJobClass{{Count: 2, GPUs: 8, Workload: "ResNet-50"}},
+		ItersPerEpoch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foundSkip bool
+	for _, e := range rec.Ranked {
+		if e.Policy == "static" {
+			foundSkip = e.Skipped != ""
+		}
+	}
+	if !foundSkip {
+		t.Errorf("static not skipped for an 8-GPU job on 4-GPU shares: %+v", rec.Ranked)
+	}
+	if rec.Best.Policy == "static" {
+		t.Error("infeasible policy recommended")
+	}
+}
+
+func TestRecommendPolicyRejectsEmptyMix(t *testing.T) {
+	if _, err := RecommendPolicy(FleetMix{}); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := RecommendPolicy(FleetMix{Classes: []FleetJobClass{{Count: 0, GPUs: 2}}}); err == nil {
+		t.Error("zero-count class accepted")
+	}
+}

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"composable/internal/fabric"
+	"composable/internal/falcon"
+	"composable/internal/gpu"
+	"composable/internal/hostcpu"
+	"composable/internal/pcie"
+	"composable/internal/sim"
+	"composable/internal/storage"
+	"composable/internal/units"
+)
+
+// FleetOptions shapes a fleet composition (ComposeFleet).
+type FleetOptions struct {
+	// Hosts is the number of independent host machines cabled to the
+	// chassis, 1..falcon.MaxHostsAdvanced (both drawers run in advanced
+	// mode so devices can be re-allocated on the fly, §III-B-3).
+	Hosts int
+	// GPUs is the chassis GPU inventory, 2..16, packed drawer 0 first.
+	GPUs int
+	// GPUModel selects the chassis part: "" or "V100" for the Tesla V100
+	// PCIe, "P100" for the Tesla P100.
+	GPUModel string
+	// Preattach assigns GPU i to host i%Hosts at compose time (a static
+	// per-host partition). When false every GPU starts detached and the
+	// orchestrator attaches on demand.
+	Preattach bool
+}
+
+// FleetHost is one host machine of a fleet: its own CPU complex, memory,
+// baseline storage and host adapter, sharing the chassis with its peers.
+type FleetHost struct {
+	Index int
+	Name  string
+	Port  string // chassis host port (H1..H3)
+
+	CPU     *hostcpu.Host
+	RC, Mem fabric.NodeID
+	Store   *storage.Device
+	Cache   *storage.PageCache
+	// AdapterLink is the rc ↔ host-adapter link, the host's bandwidth
+	// bottleneck into the chassis.
+	AdapterLink fabric.LinkID
+}
+
+// FleetSlot is one chassis GPU slot of a fleet: the installed device, its
+// fabric node and slot link. Which host owns it is control-plane state
+// (falcon.Chassis.Owner); the orchestrator moves ownership at run time.
+type FleetSlot struct {
+	Index  int
+	Ref    falcon.SlotRef
+	Dev    *gpu.Device
+	Node   fabric.NodeID
+	Link   fabric.LinkID
+	Drawer int
+}
+
+// FleetSystem is a composed multi-host testbed: several hosts cabled to
+// one Falcon chassis whose GPU inventory can be re-attached between them
+// mid-run. It is the hardware substrate of internal/orchestrator.
+type FleetSystem struct {
+	Env     *sim.Env
+	Net     *fabric.Network
+	Chassis *falcon.Chassis
+	Hosts   []*FleetHost
+	Slots   []*FleetSlot
+	Opts    FleetOptions
+}
+
+// ComposeFleet builds a fleet: opts.Hosts machines (each with its own
+// root complex, DRAM, CPU complex, baseline storage and host adapter)
+// cabled to one Falcon chassis holding opts.GPUs chassis GPUs. Both
+// drawers run in advanced mode; each host's adapter is cabled to every
+// drawer switch in use, so any GPU can be attached to any host and the
+// control plane alone decides ownership.
+func ComposeFleet(env *sim.Env, opts FleetOptions) (*FleetSystem, error) {
+	if opts.Hosts < 1 || opts.Hosts > falcon.MaxHostsAdvanced {
+		return nil, fmt.Errorf("cluster: fleet supports 1-%d hosts, got %d",
+			falcon.MaxHostsAdvanced, opts.Hosts)
+	}
+	maxGPUs := falcon.NumDrawers * falcon.SlotsPerDrawer
+	if opts.GPUs < 2 || opts.GPUs > maxGPUs {
+		return nil, fmt.Errorf("cluster: fleet GPU count %d out of range [2,%d]", opts.GPUs, maxGPUs)
+	}
+	spec := gpu.TeslaV100PCIe
+	switch opts.GPUModel {
+	case "", "V100":
+	case "P100":
+		spec = gpu.TeslaP100
+	default:
+		return nil, fmt.Errorf("cluster: unknown fleet GPU model %q", opts.GPUModel)
+	}
+
+	net := fabric.NewNetwork(env)
+	net.EndpointOverhead = pcie.EndpointOverhead
+
+	ch := falcon.New("falcon-1")
+	ch.Now = func() time.Duration { return env.Now() }
+	for d := 0; d < falcon.NumDrawers; d++ {
+		if err := ch.SetMode(d, falcon.ModeAdvanced); err != nil {
+			return nil, err
+		}
+	}
+
+	f := &FleetSystem{Env: env, Net: net, Chassis: ch, Opts: opts}
+
+	// Drawer switches for the drawers the inventory occupies.
+	drawersInUse := (opts.GPUs + falcon.SlotsPerDrawer - 1) / falcon.SlotsPerDrawer
+	switches := make([]fabric.NodeID, drawersInUse)
+	for d := range switches {
+		switches[d] = net.AddNode(fmt.Sprintf("falcon-sw%d", d), fabric.KindSwitch)
+	}
+
+	for h := 0; h < opts.Hosts; h++ {
+		host := &FleetHost{
+			Index: h,
+			Name:  fmt.Sprintf("host%d", h+1),
+			Port:  fmt.Sprintf("H%d", h+1),
+			CPU:   hostcpu.New(env, hostcpu.XeonGold6148x2),
+		}
+		if err := ch.CableHost(host.Port, host.Name); err != nil {
+			return nil, err
+		}
+		host.RC = net.AddNode(fmt.Sprintf("rc-%s", host.Name), fabric.KindRootComplex)
+		host.Mem = net.AddNode(fmt.Sprintf("dram-%s", host.Name), fabric.KindMemory)
+		net.ConnectSym(host.RC, host.Mem, memLinkBW, memLinkLatency, "SMP")
+
+		ha := net.AddNode(fmt.Sprintf("host-adapter-%s", host.Name), fabric.KindHostAdapter)
+		host.AdapterLink = net.ConnectSym(host.RC, ha, pcie.EffHostAdapter, pcie.AdapterLatency, pcie.Gen4.String())
+		for _, sw := range switches {
+			net.ConnectSym(ha, sw, pcie.CDFPHostCable, pcie.HostLinkLatency, "CDFP")
+		}
+
+		storeNode := net.AddNode(fmt.Sprintf("store-%s", host.Name), fabric.KindNVMe)
+		net.ConnectSym(storeNode, host.RC, baselineStoreLinkBW, 5*time.Microsecond, "SATA")
+		host.Store = storage.New(env, net, storage.BaselineStore, storeNode, false)
+		host.Cache = storage.NewPageCache(host.CPU)
+		f.Hosts = append(f.Hosts, host)
+	}
+
+	for i := 0; i < opts.GPUs; i++ {
+		drawer := i / falcon.SlotsPerDrawer
+		ref := falcon.SlotRef{Drawer: drawer, Slot: i % falcon.SlotsPerDrawer}
+		dev := falcon.DeviceInfo{
+			ID:    fmt.Sprintf("fleet-gpu-%d", i),
+			Type:  falcon.DeviceGPU,
+			Model: spec.Name, VendorID: "10de", LinkGen: 4, Lanes: 16,
+		}
+		if err := ch.Install(ref, dev); err != nil {
+			return nil, err
+		}
+		node := net.AddNode(fmt.Sprintf("fgpu%d", i), fabric.KindGPU)
+		link := net.ConnectSym(node, switches[drawer], pcie.EffSwitchP2P, pcie.SlotLatency, pcie.Gen4.String())
+		slot := &FleetSlot{
+			Index: i, Ref: ref, Node: node, Link: link, Drawer: drawer,
+			Dev: gpu.New(env, spec, i, node, false),
+		}
+		// Wire the GUI's port-traffic monitor to the slot link counters.
+		ch.SetTrafficSource(ref, func() (in, out units.Bytes) {
+			ab, ba := net.LinkTrafficSnapshot(link)
+			return ba, ab
+		})
+		if opts.Preattach {
+			if err := ch.Attach(ref, f.Hosts[i%opts.Hosts].Port); err != nil {
+				return nil, err
+			}
+		}
+		f.Slots = append(f.Slots, slot)
+	}
+	return f, nil
+}
+
+// OwnerHost returns the index of the host a slot is attached to, or -1
+// when the slot is detached. It reads the chassis control plane, so it is
+// always the ground truth an orchestrator's bookkeeping can be checked
+// against.
+func (f *FleetSystem) OwnerHost(slot *FleetSlot) int {
+	port := f.Chassis.Owner(slot.Ref)
+	if port == "" {
+		return -1
+	}
+	for _, h := range f.Hosts {
+		if h.Port == port {
+			return h.Index
+		}
+	}
+	return -1
+}
+
+// JobSystem assembles the per-job view the training engine runs on: the
+// owning host's CPU/memory/storage plus the job's GPU slots. The returned
+// System shares the fleet's simulation and fabric, so concurrent jobs
+// contend for the host adapter, CPU cores and storage exactly as
+// co-located tenants would.
+func (f *FleetSystem) JobSystem(host *FleetHost, slots []*FleetSlot, name string) *System {
+	sys := &System{
+		Env: f.Env, Net: f.Net, Chassis: f.Chassis,
+		Cfg:  Config{Name: name, FalconGPUs: len(slots), Storage: StorageBaseline},
+		Host: host.CPU,
+		RC:   host.RC, Mem: host.Mem,
+		Store: host.Store, Cache: host.Cache,
+	}
+	sys.HostAdapterLinks = append(sys.HostAdapterLinks, host.AdapterLink)
+	for _, s := range slots {
+		sys.GPUs = append(sys.GPUs, s.Dev)
+		sys.FalconGPUPortLinks = append(sys.FalconGPUPortLinks, s.Link)
+	}
+	return sys
+}

@@ -1,0 +1,96 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"composable/internal/cluster"
+	"composable/internal/dlmodel"
+	"composable/internal/falcon"
+	"composable/internal/gpu"
+	"composable/internal/sim"
+	"composable/internal/train"
+	"composable/internal/units"
+)
+
+type FleetOptions = cluster.FleetOptions
+
+var ComposeFleet = cluster.ComposeFleet
+
+func TestComposeFleetBounds(t *testing.T) {
+	for _, bad := range []FleetOptions{
+		{Hosts: 0, GPUs: 4},
+		{Hosts: falcon.MaxHostsAdvanced + 1, GPUs: 4},
+		{Hosts: 2, GPUs: 1},
+		{Hosts: 2, GPUs: 17},
+		{Hosts: 2, GPUs: 4, GPUModel: "H100"},
+	} {
+		if _, err := ComposeFleet(sim.NewEnv(), bad); err == nil {
+			t.Errorf("ComposeFleet(%+v) accepted", bad)
+		}
+	}
+}
+
+func TestComposeFleetInventoryAndPreattach(t *testing.T) {
+	env := sim.NewEnv()
+	f, err := ComposeFleet(env, FleetOptions{Hosts: 3, GPUs: 12, Preattach: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Hosts) != 3 || len(f.Slots) != 12 {
+		t.Fatalf("got %d hosts, %d slots", len(f.Hosts), len(f.Slots))
+	}
+	sum := f.Chassis.Summary()
+	if sum.GPUs != 12 || sum.Attached != 12 || sum.HostLinks != 3 {
+		t.Fatalf("chassis summary %+v", sum)
+	}
+	// Round-robin preattach: slot i belongs to host i%3, and OwnerHost
+	// agrees with the chassis control plane.
+	for i, slot := range f.Slots {
+		if got := f.OwnerHost(slot); got != i%3 {
+			t.Errorf("slot %d preattached to host %d, want %d", i, got, i%3)
+		}
+	}
+	// Drawer packing: first eight slots in drawer 0, rest in drawer 1.
+	for i, slot := range f.Slots {
+		if want := i / falcon.SlotsPerDrawer; slot.Drawer != want {
+			t.Errorf("slot %d in drawer %d, want %d", i, slot.Drawer, want)
+		}
+	}
+}
+
+func TestFleetJobSystemTrains(t *testing.T) {
+	env := sim.NewEnv()
+	f, err := ComposeFleet(env, FleetOptions{Hosts: 2, GPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := f.Hosts[1]
+	slots := f.Slots[:2]
+	for _, s := range slots {
+		if err := f.Chassis.Attach(s.Ref, host.Port); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys := f.JobSystem(host, slots, "fleet-test")
+	if len(sys.GPUs) != 2 || len(sys.FalconGPUPortLinks) != 2 {
+		t.Fatalf("job system has %d GPUs, %d port links", len(sys.GPUs), len(sys.FalconGPUPortLinks))
+	}
+	res, err := train.Run(sys, train.Options{
+		Workload: dlmodel.ResNet50Workload(), Precision: gpu.FP16,
+		Epochs: 1, ItersPerEpoch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 || res.FalconPCIeGBps <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+	// Chassis port-traffic monitors see the job's slot traffic.
+	var moved units.Bytes
+	for _, row := range f.Chassis.PortTraffic() {
+		moved += row.Ingress + row.Egress
+	}
+	if moved <= 0 {
+		t.Error("chassis port monitors recorded no traffic")
+	}
+}

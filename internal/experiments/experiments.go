@@ -201,7 +201,7 @@ type registry struct {
 
 var catalog = sync.OnceValue(func() *registry {
 	r := &registry{byID: make(map[string]Experiment)}
-	r.order = append(All(), Extensions()...)
+	r.order = append(append(All(), Extensions()...), FleetExperiments()...)
 	for _, e := range r.order {
 		r.byID[e.ID] = e
 	}
@@ -222,7 +222,7 @@ func ByID(id string) (Experiment, error) {
 	if e, ok := catalog().byID[id]; ok {
 		return e, nil
 	}
-	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have T1-T4, F9-F16, A1-A4, X1-X2)", id)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have T1-T4, F9-F16, A1-A4, X1-X2, S1-S3)", id)
 }
 
 // IDs lists the paper-artifact experiment IDs in paper order.

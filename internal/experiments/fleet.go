@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"composable/internal/orchestrator"
+	"composable/internal/scengen"
+)
+
+// FleetExperiments is the orchestrator experiment family (S1–S3): fleet
+// scheduling studies on the multi-host testbed, beyond anything the paper
+// measures — its §III-B advanced mode exercised as a serving system
+// instead of a one-shot composition. Every run executes under the full
+// fleet invariant probe set; a violation fails the experiment.
+func FleetExperiments() []Experiment {
+	return []Experiment{
+		{"S1", "Fleet: static partitioning vs dynamic GPU recomposition", FleetStaticVsDynamic},
+		{"S2", "Fleet: placement-policy shoot-out", FleetPolicyShootout},
+		{"S3", "Fleet: arrival-rate saturation sweep", FleetSaturation},
+	}
+}
+
+// fleetRun executes a scenario and fails on any invariant violation, so
+// the S experiments cannot silently publish numbers from a broken run.
+func fleetRun(sc scengen.FleetScenario) (*orchestrator.FleetResult, error) {
+	out, err := scengen.RunFleet(sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := out.Err(); err != nil {
+		return nil, err
+	}
+	return out.Result, nil
+}
+
+// burstyStream is S1's workload: tenant 0 dumps a burst of five 4-GPU
+// jobs at once (a deadline crunch), while tenants 1 and 2 each submit one
+// small job later. Under a static per-host partition the burst serializes
+// on tenant 0's fixed four GPUs while eight others idle; dynamic
+// recomposition spreads it across the fleet.
+func burstyStream(iters int) []orchestrator.JobSpec {
+	var jobs []orchestrator.JobSpec
+	for i := 0; i < 5; i++ {
+		jobs = append(jobs, orchestrator.JobSpec{
+			Arrival: time.Duration(i) * 200 * time.Millisecond,
+			Tenant:  0, GPUs: 4, Workload: "ResNet-50",
+			Epochs: 1, ItersPerEpoch: iters,
+		})
+	}
+	jobs = append(jobs,
+		orchestrator.JobSpec{Arrival: 6 * time.Second, Tenant: 1, GPUs: 2, Workload: "MobileNetV2", Epochs: 1, ItersPerEpoch: iters},
+		orchestrator.JobSpec{Arrival: 8 * time.Second, Tenant: 2, GPUs: 2, Workload: "BERT", Epochs: 1, ItersPerEpoch: iters},
+	)
+	return jobs
+}
+
+// FleetStaticVsDynamic (S1) runs the bursty stream through the static
+// per-host partition and through dynamic recomposition (drawer-local
+// policy) on the same 3-host × 12-GPU fleet, and compares makespan — the
+// headline claim of a composable system, quantified: re-cabling GPUs
+// between hosts on demand beats static ownership even though every move
+// costs a hot-plug delay.
+func FleetStaticVsDynamic(s *Session) (string, error) {
+	stream := burstyStream(s.Scale.ItersPerEpoch)
+	static := scengen.FleetScenario{
+		Hosts: 3, GPUs: 12, Preattach: true, Policy: "static",
+		AttachLatency: orchestrator.DefaultAttachLatency, Jobs: stream,
+	}
+	dynamic := static
+	dynamic.Policy = "drawer"
+
+	sres, err := fleetRun(static)
+	if err != nil {
+		return "", err
+	}
+	dres, err := fleetRun(dynamic)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bursty stream (%d jobs, tenant 0 bursts 5×4-GPU) on 3 hosts × 12 GPUs\n", len(stream))
+	fmt.Fprintf(&b, "%-22s %14s %14s %14s %8s\n", "composition", "makespan", "mean wait", "max wait", "moves")
+	for _, r := range []*orchestrator.FleetResult{sres, dres} {
+		label := "static partition"
+		if r.Policy != "static" {
+			label = "dynamic (" + r.Policy + ")"
+		}
+		fmt.Fprintf(&b, "%-22s %14v %14v %14v %8d\n", label,
+			r.Makespan.Round(time.Millisecond), r.MeanWait.Round(time.Millisecond),
+			r.MaxWait.Round(time.Millisecond), r.Recompositions)
+	}
+	speedup := sres.Makespan.Seconds() / dres.Makespan.Seconds()
+	fmt.Fprintf(&b, "\nDynamic recomposition finishes the stream %.2fx faster: the burst\n", speedup)
+	fmt.Fprintf(&b, "spreads over all three hosts (%d device moves at %v each) while the\n",
+		dres.Recompositions, orchestrator.DefaultAttachLatency)
+	fmt.Fprintf(&b, "static partition strands %.0f GPU-s of idle capacity behind ownership.\n",
+		sres.FragmentationGPUSeconds)
+	return b.String(), nil
+}
+
+// shootoutStream is S2's workload: all three tenants active with mixed
+// demands, enough overlap that placement quality matters.
+func shootoutStream(iters int) []orchestrator.JobSpec {
+	mk := func(at time.Duration, tenant, gpus int, wl string) orchestrator.JobSpec {
+		return orchestrator.JobSpec{Arrival: at, Tenant: tenant, GPUs: gpus, Workload: wl, Epochs: 1, ItersPerEpoch: iters}
+	}
+	return []orchestrator.JobSpec{
+		mk(0, 0, 4, "ResNet-50"),
+		mk(0, 1, 2, "BERT"),
+		mk(500*time.Millisecond, 2, 6, "MobileNetV2"),
+		mk(1*time.Second, 0, 2, "ResNet-50"),
+		mk(2*time.Second, 1, 4, "MobileNetV2"),
+		mk(3*time.Second, 2, 2, "BERT"),
+		mk(3*time.Second, 0, 4, "ResNet-50"),
+	}
+}
+
+// FleetPolicyShootout (S2) runs one mixed stream through every dynamic
+// placement policy on a warm fleet (GPUs preattached round-robin, the
+// state a running fleet is always in) and tabulates the scheduling
+// telemetry. On this fabric the drawer switch absorbs peer traffic
+// wherever a job lands, so what separates policies is mostly
+// recomposition — every device move costs a hot-plug window the queue
+// inherits — and which slots a policy is willing to move to get its
+// preferred layout shifts with the job mix and run length. The verdict
+// line is derived from the measured table, never asserted a priori.
+func FleetPolicyShootout(s *Session) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Mixed 7-job stream, 3 hosts × 12 GPUs, warm (preattached) fleet\n")
+	fmt.Fprintf(&b, "%-10s %14s %14s %8s %8s %12s\n", "policy", "makespan", "mean wait", "moves", "util", "stranded")
+	var best, worst *orchestrator.FleetResult
+	for _, policy := range []string{"firstfit", "drawer", "bandwidth"} {
+		sc := scengen.FleetScenario{
+			Hosts: 3, GPUs: 12, Preattach: true, Policy: policy,
+			AttachLatency: orchestrator.DefaultAttachLatency,
+			Jobs:          shootoutStream(s.Scale.ItersPerEpoch),
+		}
+		r, err := fleetRun(sc)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-10s %14v %14v %8d %7.1f%% %10.1fGs\n", policy,
+			r.Makespan.Round(time.Millisecond), r.MeanWait.Round(time.Millisecond),
+			r.Recompositions, r.Utilization*100, r.FragmentationGPUSeconds)
+		if best == nil || r.Makespan < best.Makespan {
+			best = r
+		}
+		if worst == nil || r.Makespan > worst.Makespan {
+			worst = r
+		}
+	}
+	fmt.Fprintf(&b, "\n%s wins this stream: %v makespan over %s's %v (%d moves vs %d\n",
+		best.Policy, best.Makespan.Round(time.Millisecond),
+		worst.Policy, worst.Makespan.Round(time.Millisecond),
+		best.Recompositions, worst.Recompositions)
+	fmt.Fprintf(&b, "at %v each). Placement quality here is recomposition\n", orchestrator.DefaultAttachLatency)
+	fmt.Fprintf(&b, "discipline: moves the policy spends buying its preferred layout.\n")
+	return b.String(), nil
+}
+
+// FleetSaturation (S3) replays the mixed stream at increasing arrival
+// rates (inter-arrival gaps ×4, ×1, ×¼) under the drawer-local policy:
+// the queueing curve of the fleet, from idle to saturated.
+func FleetSaturation(s *Session) (string, error) {
+	base := shootoutStream(s.Scale.ItersPerEpoch)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Arrival-rate sweep (drawer policy, 3 hosts × 12 GPUs)\n")
+	fmt.Fprintf(&b, "%-10s %14s %14s %14s %8s\n", "load", "makespan", "mean wait", "max wait", "util")
+	for _, load := range []struct {
+		label string
+		scale float64
+	}{
+		{"0.25x", 4}, {"1x", 1}, {"4x", 0.25},
+	} {
+		jobs := make([]orchestrator.JobSpec, len(base))
+		for i, j := range base {
+			j.Arrival = time.Duration(float64(j.Arrival) * load.scale)
+			jobs[i] = j
+		}
+		sc := scengen.FleetScenario{
+			Hosts: 3, GPUs: 12, Preattach: true, Policy: "drawer",
+			AttachLatency: orchestrator.DefaultAttachLatency, Jobs: jobs,
+		}
+		r, err := fleetRun(sc)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-10s %14v %14v %14v %7.1f%%\n", load.label,
+			r.Makespan.Round(time.Millisecond), r.MeanWait.Round(time.Millisecond),
+			r.MaxWait.Round(time.Millisecond), r.Utilization*100)
+	}
+	fmt.Fprintf(&b, "\nAs the same work arrives faster, waits grow superlinearly while\n")
+	fmt.Fprintf(&b, "utilization saturates — the fleet's queueing knee, measured.\n")
+	return b.String(), nil
+}

@@ -102,13 +102,13 @@ func TestRunnerNilDefaultsToRegistry(t *testing.T) {
 	if exps != nil {
 		t.Fatalf("nil Experiments should stay nil until RunAll")
 	}
-	if got, want := len(Registry()), len(All())+len(Extensions()); got != want {
+	if got, want := len(Registry()), len(All())+len(Extensions())+len(FleetExperiments()); got != want {
 		t.Fatalf("Registry() = %d experiments, want %d", got, want)
 	}
 }
 
 func TestRegistryLookupsAndCopies(t *testing.T) {
-	for _, id := range []string{"T1", "F16", "A4", "X2"} {
+	for _, id := range []string{"T1", "F16", "A4", "X2", "S1", "S3"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)

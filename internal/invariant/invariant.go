@@ -26,6 +26,7 @@ import (
 
 	"composable/internal/cluster"
 	"composable/internal/fabric"
+	"composable/internal/falcon"
 	"composable/internal/sim"
 	"composable/internal/train"
 	"composable/internal/units"
@@ -58,6 +59,15 @@ type Set struct {
 	lastEvent sim.Time
 	lastTrain sim.Time
 	linkSeen  map[fabric.LinkID][2]units.Bytes
+
+	// fleet watcher state (see orchestrator.go).
+	lastOrc          time.Duration
+	orcJobs          map[int]*jobLife
+	orcSlots         map[falcon.SlotRef]int
+	chassisAttached  map[falcon.SlotRef]bool
+	chassisAttaches  int
+	chassisDetaches  int
+	chassisReassigns int
 }
 
 // maxRecorded bounds the retained violations per Set.

@@ -1,0 +1,228 @@
+package invariant
+
+import (
+	"sort"
+	"time"
+
+	"composable/internal/cluster"
+	"composable/internal/falcon"
+	"composable/internal/orchestrator"
+)
+
+// Fleet-side invariants. The orchestrator exposes a lifecycle probe
+// (orchestrator.Options.Probe) and the chassis an observer hook
+// (falcon.Chassis.Observe); a Set attached to both checks, while the
+// fleet runs:
+//
+//   - no GPU double-assignment: a slot is held by at most one job at any
+//     instant, and only released by the job holding it;
+//   - queue-lifecycle monotonicity: every job moves arrive → place →
+//     launch → finish exactly once, at nondecreasing virtual times;
+//   - attach/detach conservation: the chassis event stream and the
+//     chassis aggregate state agree at every step — an attach lands on an
+//     owned slot, a detach on an unowned one, and the replayed event
+//     stream reproduces the attached-device count.
+//
+// CheckFleetResult adds the post-run structural checks (no leaked GPU
+// memory or flows, recomposition accounting consistent, aggregates in
+// range).
+
+// jobLife tracks one job through the orchestrator lifecycle.
+type jobLife struct {
+	phase int // 0 arrived, 1 placed, 2 launched, 3 finished
+	at    time.Duration
+}
+
+// phaseOf maps event kinds to lifecycle phases.
+func phaseOf(kind orchestrator.EventKind) int {
+	switch kind {
+	case orchestrator.EventArrive:
+		return 0
+	case orchestrator.EventPlace:
+		return 1
+	case orchestrator.EventLaunch:
+		return 2
+	case orchestrator.EventFinish:
+		return 3
+	}
+	return -1
+}
+
+// OrchestratorProbe returns a probe for orchestrator.Options.Probe that
+// checks queue-lifecycle monotonicity and GPU assignment exclusivity on
+// every scheduler event.
+func (s *Set) OrchestratorProbe() func(orchestrator.Event) {
+	if s.orcJobs == nil {
+		s.orcJobs = make(map[int]*jobLife)
+		s.orcSlots = make(map[falcon.SlotRef]int)
+	}
+	return func(ev orchestrator.Event) {
+		phase := phaseOf(ev.Kind)
+		if phase < 0 {
+			s.Report("orchestrator/event-kind", ev.At, "unknown event kind %q", ev.Kind)
+			return
+		}
+		if ev.At < s.lastOrc {
+			s.Report("orchestrator/time-monotonic", ev.At,
+				"event %s for job %d at %v after %v", ev.Kind, ev.Job, ev.At, s.lastOrc)
+		}
+		s.lastOrc = ev.At
+
+		life := s.orcJobs[ev.Job]
+		switch {
+		case life == nil && phase != 0:
+			s.Report("orchestrator/lifecycle", ev.At, "job %d %s before arriving", ev.Job, ev.Kind)
+			life = &jobLife{phase: phase, at: ev.At}
+			s.orcJobs[ev.Job] = life
+		case life == nil:
+			s.orcJobs[ev.Job] = &jobLife{phase: 0, at: ev.At}
+		default:
+			if phase != life.phase+1 {
+				s.Report("orchestrator/lifecycle", ev.At,
+					"job %d %s out of order (phase %d after %d)", ev.Job, ev.Kind, phase, life.phase)
+			}
+			if ev.At < life.at {
+				s.Report("orchestrator/lifecycle-time", ev.At,
+					"job %d %s at %v before its previous event at %v", ev.Job, ev.Kind, ev.At, life.at)
+			}
+			life.phase, life.at = phase, ev.At
+		}
+
+		switch ev.Kind {
+		case orchestrator.EventPlace:
+			for _, ref := range ev.Slots {
+				if holder, held := s.orcSlots[ref]; held {
+					s.Report("orchestrator/double-assign", ev.At,
+						"slot %v assigned to job %d while held by job %d", ref, ev.Job, holder)
+					continue
+				}
+				s.orcSlots[ref] = ev.Job
+			}
+		case orchestrator.EventFinish:
+			for _, ref := range ev.Slots {
+				if holder, held := s.orcSlots[ref]; !held || holder != ev.Job {
+					s.Report("orchestrator/release", ev.At,
+						"job %d released slot %v it did not hold (holder %d, held %t)", ev.Job, ref, holder, held)
+					continue
+				}
+				delete(s.orcSlots, ref)
+			}
+		}
+	}
+}
+
+// WatchChassis attaches the attach/detach conservation check to the
+// chassis event stream: every event must land on a slot in the matching
+// ownership state, and replaying the stream must reproduce the chassis's
+// aggregate attached-device count at every step. Attach events on
+// already-attached slots are counted as reassignments (advanced-mode
+// on-the-fly moves emit a single attach).
+func (s *Set) WatchChassis(ch *falcon.Chassis) {
+	s.chassisAttached = make(map[falcon.SlotRef]bool)
+	for _, ref := range ch.Slots() {
+		if ch.Owner(ref) != "" {
+			s.chassisAttached[ref] = true
+		}
+	}
+	ch.Observe(func(ev string, ref falcon.SlotRef) {
+		now := ch.Now()
+		switch ev {
+		case "attach":
+			if ch.Owner(ref) == "" {
+				s.Report("chassis/attach-state", now, "attach event on unowned slot %v", ref)
+				return
+			}
+			if s.chassisAttached[ref] {
+				s.chassisReassigns++
+			} else {
+				s.chassisAttaches++
+				s.chassisAttached[ref] = true
+			}
+		case "detach":
+			if ch.Owner(ref) != "" {
+				s.Report("chassis/detach-state", now, "detach event on owned slot %v", ref)
+				return
+			}
+			if !s.chassisAttached[ref] {
+				s.Report("chassis/conservation", now, "detach of never-attached slot %v", ref)
+				return
+			}
+			s.chassisDetaches++
+			delete(s.chassisAttached, ref)
+		default:
+			return
+		}
+		if got, want := ch.Summary().Attached, len(s.chassisAttached); got != want {
+			s.Report("chassis/conservation", now,
+				"chassis reports %d attached devices, event stream implies %d", got, want)
+		}
+	})
+}
+
+// CheckFleetResult runs the post-run structural checks on a completed
+// fleet run: lifecycle completeness, recomposition accounting against the
+// chassis event stream, aggregate ranges, and leak freedom on every
+// device and the fabric.
+func (s *Set) CheckFleetResult(f *cluster.FleetSystem, res *orchestrator.FleetResult) {
+	at := res.Makespan
+	if res.Makespan <= 0 {
+		s.Report("fleet/makespan", at, "nonpositive makespan %v", res.Makespan)
+	}
+	if res.Utilization < 0 || res.Utilization > 1+utilSlack {
+		s.Report("fleet/utilization", at, "utilization %v outside [0,1]", res.Utilization)
+	}
+	if res.GPUSeconds < 0 || res.FragmentationGPUSeconds < 0 {
+		s.Report("fleet/gpu-seconds", at, "negative GPU-second aggregates: %v delivered, %v stranded",
+			res.GPUSeconds, res.FragmentationGPUSeconds)
+	}
+
+	movesTotal := 0
+	for _, j := range res.Jobs {
+		movesTotal += j.Moves
+		if life := s.orcJobs[j.ID]; life == nil || life.phase != 3 {
+			s.Report("fleet/lifecycle-complete", at, "job %d did not complete its lifecycle (%+v)", j.ID, life)
+		}
+		if j.Wait < 0 || j.Wait != j.Launched-j.Arrival {
+			s.Report("fleet/wait", at, "job %d wait %v inconsistent with launch %v - arrival %v",
+				j.ID, j.Wait, j.Launched, j.Arrival)
+		}
+		if j.Runtime <= 0 {
+			s.Report("fleet/runtime", at, "job %d nonpositive runtime %v", j.ID, j.Runtime)
+		}
+		if j.Finished > res.Makespan {
+			s.Report("fleet/makespan", at, "job %d finished at %v after the makespan %v", j.ID, j.Finished, res.Makespan)
+		}
+	}
+	if res.Recompositions != movesTotal {
+		s.Report("fleet/recomposition-count", at,
+			"fleet reports %d recompositions, per-job moves sum to %d", res.Recompositions, movesTotal)
+	}
+	if s.chassisAttached != nil {
+		if stream := s.chassisAttaches + s.chassisReassigns; stream != res.Recompositions {
+			s.Report("fleet/recomposition-conservation", at,
+				"chassis event stream saw %d runtime moves (%d attaches + %d reassigns), orchestrator reports %d",
+				stream, s.chassisAttaches, s.chassisReassigns, res.Recompositions)
+		}
+	}
+
+	// No slot may remain assigned after the stream drains.
+	if len(s.orcSlots) > 0 {
+		held := make([]string, 0, len(s.orcSlots))
+		for ref := range s.orcSlots {
+			held = append(held, ref.String())
+		}
+		sort.Strings(held)
+		s.Report("fleet/slots-released", at, "%d slot(s) still assigned after the run: %v", len(held), held)
+	}
+	for _, slot := range f.Slots {
+		if slot.Dev.Used() != 0 {
+			s.Report("gpu/memory-leak", at, "%s still holds %v after the fleet run", slot.Dev.Name(), slot.Dev.Used())
+		}
+		if slot.Dev.PeakUsed() > slot.Dev.Usable() {
+			s.Report("gpu/peak-memory", at, "%s peak %v over usable %v", slot.Dev.Name(), slot.Dev.PeakUsed(), slot.Dev.Usable())
+		}
+	}
+	if n := f.Net.ActiveFlows(); n != 0 {
+		s.Report("fabric/flows-drained", at, "%d flows still active after the fleet run", n)
+	}
+}

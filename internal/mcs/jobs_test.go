@@ -1,0 +1,143 @@
+package mcs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"composable/internal/falcon"
+)
+
+func jobsTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ch := falcon.New("jobs-test")
+	srv := NewServer(ch, []User{
+		{Name: "root", Role: RoleAdmin, Token: "tok-root"},
+		{Name: "alice", Role: RoleUser, Token: "tok-alice", Hosts: []string{"host1"}},
+		{Name: "bob", Role: RoleUser, Token: "tok-bob", Hosts: []string{"host2"}},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, ts *httptest.Server, method, path, token string, body any, out any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, ts.URL+path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding: %v", method, path, err)
+		}
+	}
+	return resp
+}
+
+func TestJobSubmitListTenancy(t *testing.T) {
+	ts := jobsTestServer(t)
+
+	// Unauthenticated submit is rejected.
+	if resp := doJSON(t, ts, "POST", "/api/jobs", "", map[string]any{}, nil); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated submit: %d", resp.StatusCode)
+	}
+
+	var a, b JobRecord
+	if resp := doJSON(t, ts, "POST", "/api/jobs", "tok-alice",
+		map[string]any{"workload": "ResNet-50", "gpus": 4, "iters": 3}, &a); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("alice submit: %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, ts, "POST", "/api/jobs", "tok-bob",
+		map[string]any{"workload": "BERT", "gpus": 2, "iters": 3}, &b); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("bob submit: %d", resp.StatusCode)
+	}
+	if a.Owner != "alice" || a.Status != "queued" || b.Owner != "bob" {
+		t.Fatalf("records: %+v %+v", a, b)
+	}
+
+	// Tenancy: alice lists only her own jobs; admin sees both.
+	var aliceList, adminList []JobRecord
+	doJSON(t, ts, "GET", "/api/jobs", "tok-alice", nil, &aliceList)
+	doJSON(t, ts, "GET", "/api/jobs", "tok-root", nil, &adminList)
+	if len(aliceList) != 1 || aliceList[0].Owner != "alice" {
+		t.Errorf("alice sees %+v", aliceList)
+	}
+	if len(adminList) != 2 {
+		t.Errorf("admin sees %+v", adminList)
+	}
+
+	// Tenancy on the status endpoint: bob's job is invisible to alice
+	// (404, indistinguishable from nonexistent).
+	if resp := doJSON(t, ts, "GET", "/api/jobs/1", "tok-alice", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("alice reading bob's job: %d, want 404", resp.StatusCode)
+	}
+	var got JobRecord
+	if resp := doJSON(t, ts, "GET", "/api/jobs/1", "tok-bob", nil, &got); resp.StatusCode != http.StatusOK || got.ID != 1 {
+		t.Errorf("bob reading his job: %d %+v", resp.StatusCode, got)
+	}
+}
+
+func TestJobRunIsAdminOnlyAndFillsTelemetry(t *testing.T) {
+	ts := jobsTestServer(t)
+	for _, sub := range []struct {
+		token string
+		body  map[string]any
+	}{
+		{"tok-alice", map[string]any{"workload": "ResNet-50", "gpus": 4, "iters": 3}},
+		{"tok-alice", map[string]any{"workload": "MobileNetV2", "gpus": 2, "iters": 3}},
+		{"tok-bob", map[string]any{"workload": "BERT", "gpus": 2, "iters": 3}},
+	} {
+		if resp := doJSON(t, ts, "POST", "/api/jobs", sub.token, sub.body, nil); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit: %d", resp.StatusCode)
+		}
+	}
+
+	// A tenant may not drain the fleet queue.
+	if resp := doJSON(t, ts, "POST", "/api/jobs/run", "tok-alice", map[string]any{}, nil); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("alice running the queue: %d, want 403", resp.StatusCode)
+	}
+	// Unknown policy is rejected.
+	if resp := doJSON(t, ts, "POST", "/api/jobs/run", "tok-root",
+		map[string]any{"policy": "wishful"}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad policy: %d, want 400", resp.StatusCode)
+	}
+
+	var sum jobRunResponse
+	if resp := doJSON(t, ts, "POST", "/api/jobs/run", "tok-root",
+		map[string]any{"policy": "drawer", "hosts": 2, "gpus": 8}, &sum); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d", resp.StatusCode)
+	}
+	if sum.Ran != 3 || sum.Policy != "drawer" || sum.MakespanMS <= 0 {
+		t.Fatalf("run summary %+v", sum)
+	}
+
+	var all []JobRecord
+	doJSON(t, ts, "GET", "/api/jobs", "tok-root", nil, &all)
+	for _, rec := range all {
+		if rec.Status != "done" || rec.Host == "" || rec.RuntimeMS <= 0 {
+			t.Errorf("job %d not filled in: %+v", rec.ID, rec)
+		}
+	}
+
+	// An empty queue cannot be drained twice.
+	if resp := doJSON(t, ts, "POST", "/api/jobs/run", "tok-root", map[string]any{}, nil); resp.StatusCode != http.StatusConflict {
+		t.Errorf("second run: %d, want 409", resp.StatusCode)
+	}
+}

@@ -65,6 +65,10 @@ type Server struct {
 	users   map[string]*User // by token
 	audit   []AuditEntry
 	clock   func() time.Time
+	// jobs is the fleet batch queue (see jobs.go); draining marks an
+	// in-flight queue drain so the records cannot be raced.
+	jobs     []JobRecord
+	draining bool
 }
 
 // NewServer wraps a chassis. Pass the tenant set up front; the admin role
@@ -106,6 +110,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/attach", s.auth(s.handleAttach))
 	mux.HandleFunc("POST /api/detach", s.auth(s.handleDetach))
 	mux.HandleFunc("POST /api/mode", s.auth(s.adminOnly(s.handleMode)))
+	mux.HandleFunc("POST /api/jobs", s.auth(s.handleJobSubmit))
+	mux.HandleFunc("GET /api/jobs", s.auth(s.handleJobList))
+	mux.HandleFunc("GET /api/jobs/{id}", s.auth(s.handleJobGet))
+	mux.HandleFunc("POST /api/jobs/run", s.auth(s.adminOnly(s.handleJobRun)))
 	return mux
 }
 

@@ -1,0 +1,15 @@
+// The fleet-orchestrator micro-benchmark. The harness body lives in
+// internal/perfbench so that `go test -bench` here and `benchrunner
+// -bench-json` measure the exact same code.
+package orchestrator_test
+
+import (
+	"testing"
+
+	"composable/internal/perfbench"
+)
+
+// BenchmarkFleetSchedule measures one complete fleet scheduling round:
+// compose a 3-host × 8-GPU fleet and drive a fixed 6-job stream through
+// the orchestrator, dynamic recompositions included.
+func BenchmarkFleetSchedule(b *testing.B) { perfbench.BenchOrchestratorFleetSchedule(b) }

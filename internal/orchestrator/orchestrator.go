@@ -1,0 +1,500 @@
+// Package orchestrator is the fleet-level scheduler the paper's pitch
+// implies but never builds: it drives a *stream* of deep-learning training
+// jobs through a composable multi-host testbed, attaching and detaching
+// Falcon chassis GPUs between hosts on demand (§III-B-3 advanced mode)
+// instead of composing one static configuration per run.
+//
+// The scheduler is purely event-driven inside the deterministic simulation:
+// job arrivals, placement decisions, recomposition delays, launches and
+// completions are all sim-time events, so a given (fleet, job stream,
+// policy) triple always produces byte-identical telemetry — the property
+// the fleet scenario sweep pins.
+//
+// Placement is pluggable (Policy): first-fit, drawer-locality-aware,
+// bandwidth-aware, and the static per-host partition that serves as the
+// paper-world baseline. Jobs are served strictly FIFO — the head of the
+// queue blocks until the policy can place it — which keeps the comparison
+// between policies about *placement*, not queue discipline.
+package orchestrator
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"composable/internal/cluster"
+	"composable/internal/dlmodel"
+	"composable/internal/falcon"
+	"composable/internal/gpu"
+	"composable/internal/sim"
+	"composable/internal/train"
+)
+
+// JobSpec is one training job in the arrival stream.
+type JobSpec struct {
+	// ID is assigned by Run in stream order; caller-set values are
+	// overwritten.
+	ID int
+	// Arrival is the sim time the job enters the queue.
+	Arrival time.Duration
+	// Tenant is the index of the submitting host (the job's "home"
+	// machine). Dynamic policies ignore it; the static baseline may only
+	// run the job on this host's fixed GPU share.
+	Tenant int
+	// GPUs is the device demand (≥ 2: the collective layer needs a group).
+	GPUs int
+
+	Workload      string // Table II benchmark name
+	Strategy      train.Strategy
+	Precision     gpu.Precision
+	Sharded       bool
+	BatchPerGPU   int // 0 = workload default, clamped to fit
+	Epochs        int
+	ItersPerEpoch int
+}
+
+// Sanitize maps an arbitrary spec onto the nearest valid one for a fleet
+// of totalGPUs devices of the given part across hosts machines, mirroring
+// scengen.Sanitize: counts clamped, contradictory knobs resolved, batch
+// fitted to device memory (with the paper's relief valves — sharding, then
+// mixed precision — when nothing fits).
+func (j JobSpec) Sanitize(totalGPUs, hosts int, spec gpu.Spec) JobSpec {
+	if j.Arrival < 0 {
+		j.Arrival = 0
+	}
+	j.GPUs = clamp(j.GPUs, 2, totalGPUs)
+	j.Tenant = clamp(j.Tenant, 0, hosts-1)
+	if _, err := dlmodel.BenchmarkByName(j.Workload); err != nil {
+		j.Workload = "ResNet-50"
+	}
+	if j.Strategy != train.DP {
+		j.Strategy = train.DDP
+	}
+	if j.Precision != gpu.FP16 {
+		j.Precision = gpu.FP32
+	}
+	if j.Strategy != train.DDP {
+		j.Sharded = false
+	}
+	j.Epochs = clamp(j.Epochs, 1, 3)
+	j.ItersPerEpoch = clamp(j.ItersPerEpoch, 1, 50)
+
+	w, _ := dlmodel.BenchmarkByName(j.Workload)
+	maxB := j.maxBatch(w, spec)
+	if maxB < 1 {
+		if j.Strategy == train.DDP {
+			j.Sharded = true
+			maxB = j.maxBatch(w, spec)
+		}
+		if maxB < 1 {
+			j.Precision = gpu.FP16
+			maxB = j.maxBatch(w, spec)
+		}
+		if maxB < 1 {
+			maxB = 1
+		}
+	}
+	if j.BatchPerGPU == 0 {
+		j.BatchPerGPU = w.BatchPerGPU
+	}
+	j.BatchPerGPU = clamp(j.BatchPerGPU, 1, maxB)
+	return j
+}
+
+func (j JobSpec) maxBatch(w dlmodel.Workload, spec gpu.Spec) int {
+	shards := 1
+	if j.Sharded {
+		shards = j.GPUs
+	}
+	return w.MaxBatch(spec, j.Precision, shards)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// EventKind tags the orchestrator's lifecycle probe points.
+type EventKind string
+
+// Lifecycle events, in per-job order.
+const (
+	// EventArrive: the job entered the queue.
+	EventArrive EventKind = "arrive"
+	// EventPlace: the policy picked a host and GPU slots; any
+	// recomposition (attach/reassign) happened at this instant.
+	EventPlace EventKind = "place"
+	// EventLaunch: the training processes started (after the
+	// recomposition delay, if any).
+	EventLaunch EventKind = "launch"
+	// EventFinish: all ranks completed and the GPUs were released.
+	EventFinish EventKind = "finish"
+)
+
+// Event is one orchestrator lifecycle observation, the probe surface
+// internal/invariant hangs the fleet checks on (no double-assignment,
+// attach conservation, queue-lifecycle monotonicity).
+type Event struct {
+	Kind  EventKind
+	At    time.Duration
+	Job   int
+	Host  int // -1 on arrive
+	Slots []falcon.SlotRef
+	Moves int // place only: control-plane moves this placement needed
+}
+
+// DefaultAttachLatency is the per-device recomposition cost: the
+// hot-plug/rescan window between the control-plane attach and the device
+// being usable by the host. Dynamic recomposition pays it; static
+// partitioning never does — the trade the S1 experiment measures.
+const DefaultAttachLatency = 1500 * time.Millisecond
+
+// Options tunes a fleet run.
+type Options struct {
+	// Policy places jobs; nil means FirstFit.
+	Policy Policy
+	// AttachLatency is the sim-time cost per device move (0 = default;
+	// negative = free recomposition).
+	AttachLatency time.Duration
+	// Probe, when non-nil, observes every lifecycle event. It must not
+	// mutate scheduler state; internal/invariant attaches here.
+	Probe func(Event)
+}
+
+// jobState tracks one job through the queue.
+type jobState struct {
+	spec  JobSpec
+	host  int
+	slots []*cluster.FleetSlot
+	refs  []falcon.SlotRef
+	moves int
+	job   *train.Job
+	res   *train.Result
+
+	arrived, placed, launched, finished time.Duration
+	done                                bool
+}
+
+// scheduler is the event-driven core. Everything runs inside sim callbacks
+// and processes, one at a time, so no locking is needed and every decision
+// is deterministic.
+type scheduler struct {
+	fleet *cluster.FleetSystem
+	opts  Options
+	jobs  []*jobState
+	queue []*jobState // arrived, not yet placed; strict FIFO
+
+	slotJob  []int // per slot: owning job ID, -1 free
+	slotHost []int // per slot: attached host index, -1 detached
+	hostGPUs []int // assigned GPUs per host
+	hostJobs []int // assigned jobs per host
+
+	recomps int
+	err     error
+
+	// Fragmentation accounting: free-GPU-seconds accumulated while at
+	// least one job waits (capacity exists but the policy cannot use it).
+	lastT      time.Duration
+	fragGPUSec float64
+}
+
+// Run executes the job stream on the fleet to completion and returns the
+// fleet telemetry. The fleet must be freshly composed (its simulation not
+// yet run); Run drives the environment itself. Specs are sanitized and
+// re-IDed in stream order. An error is returned if the simulation fails,
+// a job cannot start (configuration error), or jobs remain unplaceable
+// under the policy once the stream drains.
+func Run(f *cluster.FleetSystem, specs []JobSpec, opts Options) (*FleetResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("orchestrator: empty job stream")
+	}
+	if opts.Policy == nil {
+		opts.Policy = FirstFit{}
+	}
+	switch {
+	case opts.AttachLatency == 0:
+		opts.AttachLatency = DefaultAttachLatency
+	case opts.AttachLatency < 0:
+		opts.AttachLatency = 0
+	}
+
+	s := &scheduler{
+		fleet:    f,
+		opts:     opts,
+		slotJob:  make([]int, len(f.Slots)),
+		slotHost: make([]int, len(f.Slots)),
+		hostGPUs: make([]int, len(f.Hosts)),
+		hostJobs: make([]int, len(f.Hosts)),
+	}
+	for i := range f.Slots {
+		s.slotJob[i] = -1
+		s.slotHost[i] = f.OwnerHost(f.Slots[i])
+	}
+	devSpec := f.Slots[0].Dev.Spec
+	for i := range specs {
+		spec := specs[i].Sanitize(len(f.Slots), len(f.Hosts), devSpec)
+		spec.ID = i
+		js := &jobState{spec: spec, host: -1}
+		s.jobs = append(s.jobs, js)
+		f.Env.Schedule(spec.Arrival, func() { s.arrive(js) })
+	}
+
+	if err := f.Env.Run(); err != nil {
+		return nil, fmt.Errorf("orchestrator: %w", err)
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	var stuck []string
+	for _, js := range s.jobs {
+		if !js.done {
+			stuck = append(stuck, strconv.Itoa(js.spec.ID))
+		}
+	}
+	if len(stuck) > 0 {
+		return nil, fmt.Errorf("orchestrator: policy %s left job(s) %s unplaceable on %d hosts × %d GPUs",
+			opts.Policy.Name(), strings.Join(stuck, ","), len(f.Hosts), len(f.Slots))
+	}
+	return s.result(), nil
+}
+
+func (s *scheduler) now() time.Duration { return s.fleet.Env.Now() }
+
+func (s *scheduler) probe(ev Event) {
+	if s.opts.Probe != nil {
+		s.opts.Probe(ev)
+	}
+}
+
+// account accrues fragmentation time up to now: while any job waits, every
+// free GPU is stranded capacity.
+func (s *scheduler) account(now time.Duration) {
+	if len(s.queue) > 0 && now > s.lastT {
+		free := 0
+		for _, j := range s.slotJob {
+			if j == -1 {
+				free++
+			}
+		}
+		s.fragGPUSec += float64(free) * (now - s.lastT).Seconds()
+	}
+	s.lastT = now
+}
+
+func (s *scheduler) arrive(js *jobState) {
+	if s.err != nil {
+		return
+	}
+	now := s.now()
+	s.account(now)
+	js.arrived = now
+	s.queue = append(s.queue, js)
+	s.probe(Event{Kind: EventArrive, At: now, Job: js.spec.ID, Host: -1})
+	s.trySchedule()
+}
+
+// trySchedule places queue heads for as long as the policy can.
+func (s *scheduler) trySchedule() {
+	for s.err == nil && len(s.queue) > 0 {
+		js := s.queue[0]
+		host, picks, ok := s.opts.Policy.Place(s.view(), Request{
+			Job: js.spec.ID, Tenant: js.spec.Tenant, GPUs: js.spec.GPUs,
+		})
+		if !ok {
+			return
+		}
+		if err := s.checkPlacement(js, host, picks); err != nil {
+			s.err = err
+			return
+		}
+		s.queue = s.queue[1:]
+		s.place(js, host, picks)
+	}
+}
+
+// checkPlacement validates a policy's pick before any state changes: the
+// scheduler trusts no Policy implementation with its invariants.
+func (s *scheduler) checkPlacement(js *jobState, host int, picks []int) error {
+	if host < 0 || host >= len(s.fleet.Hosts) {
+		return fmt.Errorf("orchestrator: policy %s placed job %d on host %d of %d",
+			s.opts.Policy.Name(), js.spec.ID, host, len(s.fleet.Hosts))
+	}
+	if len(picks) != js.spec.GPUs {
+		return fmt.Errorf("orchestrator: policy %s picked %d slots for job %d needing %d",
+			s.opts.Policy.Name(), len(picks), js.spec.ID, js.spec.GPUs)
+	}
+	seen := make(map[int]bool, len(picks))
+	for _, i := range picks {
+		if i < 0 || i >= len(s.fleet.Slots) || seen[i] {
+			return fmt.Errorf("orchestrator: policy %s picked invalid/duplicate slot %d for job %d",
+				s.opts.Policy.Name(), i, js.spec.ID)
+		}
+		seen[i] = true
+		if s.slotJob[i] != -1 {
+			return fmt.Errorf("orchestrator: policy %s double-assigned slot %d (held by job %d) to job %d",
+				s.opts.Policy.Name(), i, s.slotJob[i], js.spec.ID)
+		}
+	}
+	return nil
+}
+
+// place claims the slots, performs the control-plane recomposition, and
+// schedules the launch after the attach delay.
+func (s *scheduler) place(js *jobState, host int, picks []int) {
+	now := s.now()
+	s.account(now)
+	js.placed = now
+	js.host = host
+	port := s.fleet.Hosts[host].Port
+	for _, i := range picks {
+		slot := s.fleet.Slots[i]
+		s.slotJob[i] = js.spec.ID
+		js.slots = append(js.slots, slot)
+		js.refs = append(js.refs, slot.Ref)
+		if s.slotHost[i] == host {
+			continue
+		}
+		// Recomposition: advanced mode re-allocates on the fly; a detached
+		// device attaches, an attached one reassigns in a single step.
+		var err error
+		if s.slotHost[i] == -1 {
+			err = s.fleet.Chassis.Attach(slot.Ref, port)
+		} else {
+			err = s.fleet.Chassis.Reassign(slot.Ref, port)
+		}
+		if err != nil {
+			s.err = fmt.Errorf("orchestrator: recomposing %v for job %d: %w", slot.Ref, js.spec.ID, err)
+			return
+		}
+		s.slotHost[i] = host
+		js.moves++
+	}
+	s.recomps += js.moves
+	s.hostGPUs[host] += js.spec.GPUs
+	s.hostJobs[host]++
+	s.probe(Event{Kind: EventPlace, At: now, Job: js.spec.ID, Host: host, Slots: js.refs, Moves: js.moves})
+
+	if delay := s.opts.AttachLatency * time.Duration(js.moves); delay > 0 {
+		s.fleet.Env.After(delay, func() { s.launch(js) })
+	} else {
+		s.launch(js)
+	}
+}
+
+// launch starts the training processes on the job's system view.
+func (s *scheduler) launch(js *jobState) {
+	if s.err != nil {
+		return
+	}
+	now := s.now()
+	s.account(now)
+	js.launched = now
+	w, err := dlmodel.BenchmarkByName(js.spec.Workload)
+	if err != nil {
+		s.err = fmt.Errorf("orchestrator: job %d: %w", js.spec.ID, err)
+		return
+	}
+	name := fmt.Sprintf("fleet-j%d-h%d", js.spec.ID, js.host+1)
+	sys := s.fleet.JobSystem(s.fleet.Hosts[js.host], js.slots, name)
+	job, err := train.Start(sys, train.Options{
+		Workload:      w,
+		Precision:     js.spec.Precision,
+		Strategy:      js.spec.Strategy,
+		Sharded:       js.spec.Sharded,
+		BatchPerGPU:   js.spec.BatchPerGPU,
+		Epochs:        js.spec.Epochs,
+		ItersPerEpoch: js.spec.ItersPerEpoch,
+	})
+	if err != nil {
+		s.err = fmt.Errorf("orchestrator: starting job %d (%s ×%d on host%d): %w",
+			js.spec.ID, js.spec.Workload, js.spec.GPUs, js.host+1, err)
+		return
+	}
+	js.job = job
+	s.probe(Event{Kind: EventLaunch, At: now, Job: js.spec.ID, Host: js.host, Slots: js.refs})
+	s.fleet.Env.Go("fleet.watch.j"+strconv.Itoa(js.spec.ID), func(p *sim.Proc) {
+		job.Done().Wait(p)
+		s.finish(js, p.Now())
+	})
+}
+
+// finish collects the result, releases the GPUs (attachment is left in
+// place — the next placement reuses or reassigns it) and reschedules.
+func (s *scheduler) finish(js *jobState, now time.Duration) {
+	s.account(now)
+	js.finished = now
+	res, err := js.job.Collect()
+	if err != nil {
+		s.err = fmt.Errorf("orchestrator: collecting job %d: %w", js.spec.ID, err)
+		return
+	}
+	js.res = res
+	for _, slot := range js.slots {
+		s.slotJob[slot.Index] = -1
+	}
+	s.hostGPUs[js.host] -= js.spec.GPUs
+	s.hostJobs[js.host]--
+	js.done = true
+	s.probe(Event{Kind: EventFinish, At: now, Job: js.spec.ID, Host: js.host, Slots: js.refs})
+	s.trySchedule()
+}
+
+func (s *scheduler) view() View {
+	v := View{
+		Hosts:          len(s.fleet.Hosts),
+		Drawers:        falcon.NumDrawers,
+		HostActiveGPUs: append([]int(nil), s.hostGPUs...),
+		HostActiveJobs: append([]int(nil), s.hostJobs...),
+		Slots:          make([]SlotView, len(s.fleet.Slots)),
+	}
+	for i, slot := range s.fleet.Slots {
+		v.Slots[i] = SlotView{
+			Index:  i,
+			Drawer: slot.Drawer,
+			Host:   s.slotHost[i],
+			Free:   s.slotJob[i] == -1,
+		}
+	}
+	return v
+}
+
+func (s *scheduler) result() *FleetResult {
+	r := &FleetResult{
+		Policy: s.opts.Policy.Name(),
+		Hosts:  len(s.fleet.Hosts),
+		GPUs:   len(s.fleet.Slots),
+
+		Recompositions:          s.recomps,
+		FragmentationGPUSeconds: s.fragGPUSec,
+	}
+	for _, js := range s.jobs {
+		jr := JobResult{
+			ID: js.spec.ID, Workload: js.spec.Workload,
+			GPUs: js.spec.GPUs, Tenant: js.spec.Tenant, Host: js.host, Moves: js.moves,
+			Slots:   js.refs,
+			Arrival: js.arrived, Placed: js.placed, Launched: js.launched, Finished: js.finished,
+			Wait: js.launched - js.arrived, Runtime: js.finished - js.launched,
+			Train: js.res,
+		}
+		r.Jobs = append(r.Jobs, jr)
+		if jr.Finished > r.Makespan {
+			r.Makespan = jr.Finished
+		}
+		r.TotalWait += jr.Wait
+		if jr.Wait > r.MaxWait {
+			r.MaxWait = jr.Wait
+		}
+		r.GPUSeconds += float64(jr.GPUs) * jr.Runtime.Seconds()
+	}
+	r.MeanWait = r.TotalWait / time.Duration(len(r.Jobs))
+	if r.Makespan > 0 {
+		r.Utilization = r.GPUSeconds / (float64(r.GPUs) * r.Makespan.Seconds())
+	}
+	return r
+}

@@ -1,0 +1,278 @@
+package orchestrator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// View is the scheduler state a Policy decides over. It is a snapshot; a
+// policy must not retain it across calls.
+type View struct {
+	Hosts   int
+	Drawers int
+	// Slots in chassis slot order.
+	Slots []SlotView
+	// HostActiveGPUs / HostActiveJobs count currently assigned (placed or
+	// running) resources per host.
+	HostActiveGPUs []int
+	HostActiveJobs []int
+}
+
+// SlotView is one GPU slot as a policy sees it.
+type SlotView struct {
+	Index  int
+	Drawer int
+	// Host the slot is currently attached to (-1 detached). A free slot
+	// attached to another host can be taken, at the cost of one
+	// recomposition move.
+	Host int
+	Free bool
+}
+
+// Request is the head-of-queue job a policy must place.
+type Request struct {
+	Job    int
+	Tenant int
+	GPUs   int
+}
+
+// Policy picks a host and GPU slots for a job, or reports it cannot yet.
+// Implementations must be deterministic pure functions of (View, Request):
+// the fleet sweep runs every scenario twice and requires identical
+// telemetry.
+type Policy interface {
+	Name() string
+	Place(v View, r Request) (host int, slots []int, ok bool)
+}
+
+// Policies returns the built-in policies in shoot-out order.
+func Policies() []Policy {
+	return []Policy{FirstFit{}, DrawerLocal{}, BandwidthAware{}, Static{}}
+}
+
+// PolicyNames lists the built-in policy names.
+func PolicyNames() []string {
+	ps := Policies()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name()
+	}
+	return names
+}
+
+// PolicyByName resolves a built-in policy.
+func PolicyByName(name string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("orchestrator: unknown policy %q (have %s)",
+		name, strings.Join(PolicyNames(), ", "))
+}
+
+// freeSlots returns the indices of free slots, in slot order.
+func freeSlots(v View) []int {
+	var out []int
+	for _, s := range v.Slots {
+		if s.Free {
+			out = append(out, s.Index)
+		}
+	}
+	return out
+}
+
+// leastLoadedHost picks the host with the fewest assigned GPUs, breaking
+// ties by fewest assigned jobs, then lowest index.
+func leastLoadedHost(v View) int {
+	best := 0
+	for h := 1; h < v.Hosts; h++ {
+		switch {
+		case v.HostActiveGPUs[h] < v.HostActiveGPUs[best]:
+			best = h
+		case v.HostActiveGPUs[h] == v.HostActiveGPUs[best] &&
+			v.HostActiveJobs[h] < v.HostActiveJobs[best]:
+			best = h
+		}
+	}
+	return best
+}
+
+// attachRank orders slots by recomposition cost for a target host:
+// already attached there (0, free), detached (1, one attach), attached
+// elsewhere (2, one reassign).
+func attachRank(s SlotView, host int) int {
+	switch s.Host {
+	case host:
+		return 0
+	case -1:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// FirstFit is the naive baseline: every job goes to the lowest-index host
+// and takes the first free GPUs in slot order. It ignores drawer locality,
+// attachment state and host load — the contention it piles onto host 1's
+// CPU, storage and adapter is what the policy shoot-out (S2) measures.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "firstfit" }
+
+// Place implements Policy.
+func (FirstFit) Place(v View, r Request) (int, []int, bool) {
+	free := freeSlots(v)
+	if len(free) < r.GPUs {
+		return 0, nil, false
+	}
+	return 0, free[:r.GPUs], true
+}
+
+// DrawerLocal spreads jobs across hosts by load and packs each job's GPUs
+// into a single drawer when one has room, preferring slots already
+// attached to the chosen host: peer (all-reduce) traffic stays inside one
+// PCIe switch and recompositions are minimized — §III-B's locality
+// argument as a scheduling policy.
+type DrawerLocal struct{}
+
+// Name implements Policy.
+func (DrawerLocal) Name() string { return "drawer" }
+
+// Place implements Policy.
+func (DrawerLocal) Place(v View, r Request) (int, []int, bool) {
+	if len(freeSlots(v)) < r.GPUs {
+		return 0, nil, false
+	}
+	host := leastLoadedHost(v)
+	orderFor := func(candidates []SlotView) []int {
+		sort.SliceStable(candidates, func(i, j int) bool {
+			ri, rj := attachRank(candidates[i], host), attachRank(candidates[j], host)
+			if ri != rj {
+				return ri < rj
+			}
+			return candidates[i].Index < candidates[j].Index
+		})
+		out := make([]int, len(candidates))
+		for i, c := range candidates {
+			out[i] = c.Index
+		}
+		return out
+	}
+	// Single-drawer placements first: among drawers that fit the whole
+	// job, take the one whose best slots need the fewest moves (tie: lower
+	// drawer index).
+	bestMoves := -1
+	var best []int
+	for d := 0; d < v.Drawers; d++ {
+		var cands []SlotView
+		for _, s := range v.Slots {
+			if s.Free && s.Drawer == d {
+				cands = append(cands, s)
+			}
+		}
+		if len(cands) < r.GPUs {
+			continue
+		}
+		picks := orderFor(cands)[:r.GPUs]
+		moves := 0
+		for _, i := range picks {
+			if v.Slots[i].Host != host {
+				moves++
+			}
+		}
+		if bestMoves == -1 || moves < bestMoves {
+			bestMoves, best = moves, picks
+		}
+	}
+	if best != nil {
+		return host, best, true
+	}
+	// No drawer fits alone: span drawers, still minimizing moves.
+	var cands []SlotView
+	for _, s := range v.Slots {
+		if s.Free {
+			cands = append(cands, s)
+		}
+	}
+	return host, orderFor(cands)[:r.GPUs], true
+}
+
+// BandwidthAware spreads jobs across hosts by load and a job's GPUs across
+// drawers by active-device count, splitting peer traffic over both drawer
+// switches instead of saturating one — the opposite bet to DrawerLocal,
+// trading switch locality for aggregate link bandwidth.
+type BandwidthAware struct{}
+
+// Name implements Policy.
+func (BandwidthAware) Name() string { return "bandwidth" }
+
+// Place implements Policy.
+func (BandwidthAware) Place(v View, r Request) (int, []int, bool) {
+	if len(freeSlots(v)) < r.GPUs {
+		return 0, nil, false
+	}
+	host := leastLoadedHost(v)
+	// Per-drawer load: devices currently assigned to any job.
+	load := make([]int, v.Drawers)
+	for _, s := range v.Slots {
+		if !s.Free {
+			load[s.Drawer]++
+		}
+	}
+	taken := make(map[int]bool, r.GPUs)
+	picks := make([]int, 0, r.GPUs)
+	for len(picks) < r.GPUs {
+		// Least-loaded drawer that still has a free, untaken slot.
+		bestDrawer, bestSlot := -1, -1
+		for d := 0; d < v.Drawers; d++ {
+			if bestDrawer != -1 && load[d] >= load[bestDrawer] {
+				continue
+			}
+			slot := -1
+			bestRank := 0
+			for _, s := range v.Slots {
+				if !s.Free || s.Drawer != d || taken[s.Index] {
+					continue
+				}
+				if rank := attachRank(s, host); slot == -1 || rank < bestRank {
+					slot, bestRank = s.Index, rank
+				}
+			}
+			if slot != -1 {
+				bestDrawer, bestSlot = d, slot
+			}
+		}
+		picks = append(picks, bestSlot)
+		taken[bestSlot] = true
+		load[bestDrawer]++
+	}
+	sort.Ints(picks)
+	return host, picks, true
+}
+
+// Static is the paper-world baseline: GPUs are partitioned per host up
+// front (cluster.FleetOptions.Preattach) and a job may only run on its
+// submitting tenant's share. It never recomposes — and it strands capacity
+// whenever one tenant's queue bursts while another's share sits idle,
+// which is exactly what the S1 experiment quantifies.
+type Static struct{}
+
+// Name implements Policy.
+func (Static) Name() string { return "static" }
+
+// Place implements Policy.
+func (Static) Place(v View, r Request) (int, []int, bool) {
+	var picks []int
+	for _, s := range v.Slots {
+		if s.Free && s.Host == r.Tenant {
+			picks = append(picks, s.Index)
+			if len(picks) == r.GPUs {
+				return r.Tenant, picks, true
+			}
+		}
+	}
+	return 0, nil, false
+}

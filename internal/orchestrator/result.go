@@ -1,0 +1,103 @@
+package orchestrator
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"composable/internal/falcon"
+	"composable/internal/train"
+)
+
+// JobResult is one completed job's telemetry.
+type JobResult struct {
+	ID       int
+	Workload string
+	GPUs     int
+	Tenant   int
+	Host     int
+	Moves    int // recompositions this placement needed
+	Slots    []falcon.SlotRef
+
+	Arrival, Placed, Launched, Finished time.Duration
+	// Wait is queueing plus recomposition delay (Launched − Arrival).
+	Wait time.Duration
+	// Runtime is the training time (Finished − Launched).
+	Runtime time.Duration
+
+	Train *train.Result
+}
+
+// FleetResult is the telemetry of one complete fleet run.
+type FleetResult struct {
+	Policy string
+	Hosts  int
+	GPUs   int
+	Jobs   []JobResult // in stream (ID) order
+
+	// Makespan is the finish time of the last job.
+	Makespan time.Duration
+	// Wait aggregates over jobs.
+	TotalWait, MaxWait, MeanWait time.Duration
+	// Recompositions counts every control-plane device move.
+	Recompositions int
+	// GPUSeconds is Σ jobs (GPUs × runtime): delivered GPU time.
+	GPUSeconds float64
+	// Utilization is GPUSeconds / (fleet GPUs × makespan).
+	Utilization float64
+	// FragmentationGPUSeconds integrates free GPUs over the time at least
+	// one job was waiting: capacity that existed but the policy could not
+	// put under the queue head.
+	FragmentationGPUSeconds float64
+}
+
+// Fingerprint canonically renders every deterministic scalar of the fleet
+// telemetry. Durations are exact nanosecond integers and floats use the
+// shortest round-trip encoding, so two runs match if and only if they are
+// bit-identical — the fleet sweep's run-twice check diffs these strings.
+func (r *FleetResult) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy=%s hosts=%d gpus=%d jobs=%d\n", r.Policy, r.Hosts, r.GPUs, len(r.Jobs))
+	for _, j := range r.Jobs {
+		fmt.Fprintf(&b, "job id=%d wl=%s g=%d tenant=%d host=%d moves=%d slots=", j.ID, j.Workload, j.GPUs, j.Tenant, j.Host, j.Moves)
+		for i, ref := range j.Slots {
+			if i > 0 {
+				b.WriteByte('+')
+			}
+			b.WriteString(ref.String())
+		}
+		fmt.Fprintf(&b, " arr=%d placed=%d launch=%d fin=%d", int64(j.Arrival), int64(j.Placed), int64(j.Launched), int64(j.Finished))
+		if j.Train != nil {
+			fmt.Fprintf(&b, " total=%d avgIter=%d peak=%d", int64(j.Train.TotalTime), int64(j.Train.AvgIter), int64(j.Train.PeakGPUMem))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "makespan=%d recomp=%d waitTotal=%d waitMax=%d waitMean=%d\n",
+		int64(r.Makespan), r.Recompositions, int64(r.TotalWait), int64(r.MaxWait), int64(r.MeanWait))
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"gpuSec", r.GPUSeconds},
+		{"util", r.Utilization},
+		{"fragGPUSec", r.FragmentationGPUSeconds},
+	} {
+		b.WriteString(f.name)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(f.v, 'g', -1, 64))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Summary renders the fleet aggregates as a one-paragraph report line set.
+func (r *FleetResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy %-10s %d jobs on %d hosts × %d GPUs\n", r.Policy, len(r.Jobs), r.Hosts, r.GPUs)
+	fmt.Fprintf(&b, "  makespan %v  mean wait %v  max wait %v\n",
+		r.Makespan.Round(time.Millisecond), r.MeanWait.Round(time.Millisecond), r.MaxWait.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  %d recompositions, %.1f GPU-s delivered, utilization %.1f%%, %.1f GPU-s stranded\n",
+		r.Recompositions, r.GPUSeconds, r.Utilization*100, r.FragmentationGPUSeconds)
+	return b.String()
+}

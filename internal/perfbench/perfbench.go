@@ -19,8 +19,10 @@ import (
 	"testing"
 	"time"
 
+	"composable/internal/cluster"
 	"composable/internal/experiments"
 	"composable/internal/fabric"
+	"composable/internal/orchestrator"
 	"composable/internal/sim"
 	"composable/internal/units"
 )
@@ -72,6 +74,7 @@ func Suite() []Benchmark {
 		{"sim/sleep-wake", BenchSimSleepWake},
 		{"sim/same-instant-fifo", BenchSimSameInstantFIFO},
 		{"fabric/flow-churn-contended", BenchFabricFlowChurnContended},
+		{"orchestrator/fleet-schedule", BenchOrchestratorFleetSchedule},
 		{"suite/run-all-sequential", BenchSuiteRunAllSequential},
 	}
 }
@@ -314,6 +317,39 @@ func BenchFabricFlowChurnContended(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "flows/s")
+}
+
+// BenchOrchestratorFleetSchedule measures one complete fleet scheduling
+// round: compose a 3-host × 8-GPU fleet and drive a fixed 6-job stream
+// through the orchestrator under the drawer-local policy, dynamic
+// recompositions included. One op = one full fleet run, so the number
+// tracks the whole stack the fleet path crosses — composition, control
+// plane, scheduler, training engine, fabric.
+func BenchOrchestratorFleetSchedule(b *testing.B) {
+	stream := []orchestrator.JobSpec{
+		{Arrival: 0, Tenant: 0, GPUs: 4, Workload: "ResNet-50", Epochs: 1, ItersPerEpoch: 2},
+		{Arrival: 0, Tenant: 1, GPUs: 2, Workload: "BERT", Epochs: 1, ItersPerEpoch: 2},
+		{Arrival: time.Second, Tenant: 2, GPUs: 2, Workload: "MobileNetV2", Epochs: 1, ItersPerEpoch: 2},
+		{Arrival: 2 * time.Second, Tenant: 0, GPUs: 4, Workload: "MobileNetV2", Epochs: 1, ItersPerEpoch: 2},
+		{Arrival: 2 * time.Second, Tenant: 1, GPUs: 2, Workload: "ResNet-50", Epochs: 1, ItersPerEpoch: 2},
+		{Arrival: 3 * time.Second, Tenant: 2, GPUs: 4, Workload: "BERT", Epochs: 1, ItersPerEpoch: 2},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		fleet, err := cluster.ComposeFleet(env, cluster.FleetOptions{Hosts: 3, GPUs: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := orchestrator.Run(fleet, stream, orchestrator.Options{Policy: orchestrator.DrawerLocal{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Jobs) != len(stream) {
+			b.Fatal("incomplete fleet run")
+		}
+	}
+	b.ReportMetric(float64(b.N*len(stream))/b.Elapsed().Seconds(), "jobs/s")
 }
 
 // BenchSuiteRunAllSequential regenerates every registered experiment on a

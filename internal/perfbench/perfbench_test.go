@@ -33,9 +33,9 @@ func TestSuiteRegistration(t *testing.T) {
 		}
 		layers[layer] = true
 	}
-	// The suite's contract: it covers the sim core, the fabric allocator
-	// and the end-to-end experiment regeneration.
-	for _, layer := range []string{"sim", "fabric", "suite"} {
+	// The suite's contract: it covers the sim core, the fabric allocator,
+	// the fleet orchestrator and the end-to-end experiment regeneration.
+	for _, layer := range []string{"sim", "fabric", "orchestrator", "suite"} {
 		if !layers[layer] {
 			t.Errorf("suite does not cover the %s layer (have %v)", layer, layers)
 		}

@@ -1,0 +1,210 @@
+package scengen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"composable/internal/cluster"
+	"composable/internal/dlmodel"
+	"composable/internal/gpu"
+	"composable/internal/invariant"
+	"composable/internal/orchestrator"
+	"composable/internal/sim"
+	"composable/internal/train"
+)
+
+// FleetScenario is one fully specified fleet run: a multi-host testbed, a
+// placement policy, and a seeded arrival stream of training jobs. A
+// scenario produced by FleetFromSeed or SanitizeFleet is valid by
+// construction: it composes, every job is placeable under the policy, and
+// every batch fits device memory.
+type FleetScenario struct {
+	// Seed records provenance; it does not affect execution.
+	Seed int64
+
+	Hosts int // host machines cabled to the chassis, 1..3
+	GPUs  int // chassis GPU inventory, 2..16
+	// Preattach partitions the GPUs round-robin across hosts at compose
+	// time. Always true for the static policy (its whole premise).
+	Preattach bool
+	// Policy is an orchestrator policy name.
+	Policy string
+	// AttachLatency is the per-device recomposition cost, with the same
+	// convention as orchestrator.Options: 0 picks the orchestrator
+	// default, negative means free recomposition.
+	AttachLatency time.Duration
+
+	Jobs []orchestrator.JobSpec
+}
+
+// Fleet generation bounds. Job streams are kept short and cheap: the
+// sweep exists to cover the scheduling space, not to re-measure training.
+const (
+	fleetMaxJobs  = 8
+	fleetMaxIters = 4
+)
+
+// FleetFromSeed derives one valid fleet scenario from a seed. Equal seeds
+// yield equal scenarios; the mapping is fixed (extend ranges rather than
+// reorder draws).
+func FleetFromSeed(seed int64) FleetScenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := FleetScenario{Seed: seed}
+	sc.Hosts = 2 + rng.Intn(2)
+	sc.GPUs = 2*sc.Hosts + rng.Intn(17-2*sc.Hosts)
+	// Drawer-local is the production default; weight it accordingly.
+	sc.Policy = []string{"firstfit", "drawer", "drawer", "bandwidth", "static"}[rng.Intn(5)]
+	sc.Preattach = rng.Intn(2) == 1
+	sc.AttachLatency = time.Duration(200+rng.Intn(1800)) * time.Millisecond
+
+	bench := dlmodel.Benchmarks()
+	n := 3 + rng.Intn(fleetMaxJobs-2)
+	var arrival time.Duration
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 { // bursts: half the stream arrives back to back
+			arrival += time.Duration(rng.Intn(4000)) * time.Millisecond
+		}
+		j := orchestrator.JobSpec{
+			Arrival: arrival,
+			Tenant:  rng.Intn(sc.Hosts),
+			GPUs:    2 + rng.Intn(5),
+			Workload: bench[rng.Intn(len(bench))].Name,
+		}
+		if rng.Intn(5) == 0 {
+			j.Strategy = train.DP
+		} else {
+			j.Strategy = train.DDP
+		}
+		if rng.Intn(3) == 0 {
+			j.Precision = gpu.FP32
+		} else {
+			j.Precision = gpu.FP16
+		}
+		j.Sharded = rng.Intn(6) == 0
+		if rng.Intn(2) == 1 {
+			j.BatchPerGPU = 1 + rng.Intn(64)
+		}
+		j.Epochs = 1
+		j.ItersPerEpoch = 2 + rng.Intn(fleetMaxIters-1)
+		sc.Jobs = append(sc.Jobs, j)
+	}
+	return SanitizeFleet(sc)
+}
+
+// SanitizeFleet maps an arbitrary fleet scenario onto the nearest valid
+// one: counts clamped into composable ranges, the policy resolved to a
+// known one, the static policy forced onto a preattached partition with
+// per-tenant demands that fit its share, and every job spec sanitized.
+// It is idempotent.
+func SanitizeFleet(sc FleetScenario) FleetScenario {
+	sc.Hosts = clamp(sc.Hosts, 1, 3)
+	sc.GPUs = clamp(sc.GPUs, 2, 16)
+	if _, err := orchestrator.PolicyByName(sc.Policy); err != nil {
+		sc.Policy = "drawer"
+	}
+	if sc.Policy == "static" {
+		sc.Preattach = true
+		// Every tenant's share must fit at least a 2-GPU job.
+		if sc.GPUs < 2*sc.Hosts {
+			sc.GPUs = 2 * sc.Hosts
+		}
+	}
+	if sc.AttachLatency < 0 {
+		sc.AttachLatency = -1 // normalized "free recomposition"
+	}
+	if sc.AttachLatency > 10*time.Second {
+		sc.AttachLatency = 10 * time.Second
+	}
+	if len(sc.Jobs) == 0 {
+		sc.Jobs = []orchestrator.JobSpec{{GPUs: 2, Workload: "ResNet-50", Epochs: 1, ItersPerEpoch: 2}}
+	}
+	if len(sc.Jobs) > fleetMaxJobs {
+		sc.Jobs = sc.Jobs[:fleetMaxJobs]
+	}
+	for i := range sc.Jobs {
+		j := sc.Jobs[i].Sanitize(sc.GPUs, sc.Hosts, gpu.TeslaV100PCIe)
+		j.ItersPerEpoch = clamp(j.ItersPerEpoch, 1, fleetMaxIters)
+		j.Epochs = 1
+		if sc.Policy == "static" {
+			// Round-robin preattach gives tenant t every slot i with
+			// i%hosts == t.
+			share := (sc.GPUs + sc.Hosts - 1 - j.Tenant) / sc.Hosts
+			if j.GPUs > share {
+				j.GPUs = share
+			}
+		}
+		sc.Jobs[i] = j
+	}
+	return sc
+}
+
+// ID is a compact, deterministic label for the scenario.
+func (sc FleetScenario) ID() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet-h%dg%d-%s", sc.Hosts, sc.GPUs, sc.Policy)
+	if sc.Preattach {
+		b.WriteString("-pre")
+	}
+	switch eff := sc.AttachLatency; {
+	case eff < 0:
+		fmt.Fprintf(&b, "-j%d-alfree", len(sc.Jobs))
+	case eff == 0:
+		fmt.Fprintf(&b, "-j%d-al%dms", len(sc.Jobs), orchestrator.DefaultAttachLatency.Milliseconds())
+	default:
+		fmt.Fprintf(&b, "-j%d-al%dms", len(sc.Jobs), eff.Milliseconds())
+	}
+	return b.String()
+}
+
+// FleetOutcome is one executed fleet scenario: the fleet telemetry, the
+// invariant set that watched the run, and the canonical fingerprint used
+// by the run-twice determinism check.
+type FleetOutcome struct {
+	Scenario    FleetScenario
+	Result      *orchestrator.FleetResult
+	Inv         *invariant.Set
+	Fingerprint string
+}
+
+// Violations returns the invariant violations the run accumulated.
+func (o *FleetOutcome) Violations() []invariant.Violation { return o.Inv.Violations() }
+
+// Err returns nil when every invariant held.
+func (o *FleetOutcome) Err() error { return o.Inv.Err() }
+
+// RunFleet executes the scenario end to end on a fresh simulation with
+// the full fleet invariant probe set attached: sim event-time
+// monotonicity, fabric capacity/byte conservation, chassis attach/detach
+// conservation, orchestrator lifecycle and assignment exclusivity, and
+// the post-run structural checks. A non-nil error means the scenario
+// failed to compose or schedule; invariant violations are reported on the
+// FleetOutcome.
+func RunFleet(sc FleetScenario) (*FleetOutcome, error) {
+	env := sim.NewEnv()
+	f, err := cluster.ComposeFleet(env, cluster.FleetOptions{
+		Hosts: sc.Hosts, GPUs: sc.GPUs, Preattach: sc.Preattach,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scengen: compose %s: %w", sc.ID(), err)
+	}
+	pol, err := orchestrator.PolicyByName(sc.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("scengen: %s: %w", sc.ID(), err)
+	}
+	inv := invariant.New()
+	inv.WatchEnv(env)
+	inv.WatchNetwork(f.Net)
+	inv.WatchChassis(f.Chassis)
+	res, err := orchestrator.Run(f, sc.Jobs, orchestrator.Options{
+		Policy:        pol,
+		AttachLatency: sc.AttachLatency, // same 0=default/negative=free convention
+		Probe:         inv.OrchestratorProbe(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scengen: fleet %s: %w", sc.ID(), err)
+	}
+	inv.CheckFleetResult(f, res)
+	return &FleetOutcome{Scenario: sc, Result: res, Inv: inv, Fingerprint: res.Fingerprint()}, nil
+}
