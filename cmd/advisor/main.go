@@ -41,6 +41,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fleetMix  = fs.String("fleet", "", "job mix 'COUNTxWORKLOAD:GPUS[,...]' — recommend a placement policy instead of a topology")
 		hosts     = fs.Int("hosts", 3, "with -fleet: host machines on the chassis")
 		gpus      = fs.Int("gpus", 12, "with -fleet: chassis GPU inventory")
+		mtbf      = fs.Duration("mtbf", 0, "with -fleet: replay the mix under a seeded fault profile with this mean time between failures (0 = fault-free)")
+		faultSeed = fs.Int64("fault-seed", 1, "with -fleet -mtbf: fault schedule seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -54,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		mix.Hosts, mix.GPUs = *hosts, *gpus
 		mix.ItersPerEpoch = *iters
+		mix.MTBF, mix.FaultSeed = *mtbf, *faultSeed
 		rec, err := advisor.RecommendPolicy(mix)
 		if err != nil {
 			fmt.Fprintln(stderr, "advisor:", err)

@@ -77,3 +77,22 @@ func TestBadMixExitsTwo(t *testing.T) {
 		t.Fatalf("exit %d, stderr %q", code, stderr)
 	}
 }
+
+func TestFleetMTBFFlag(t *testing.T) {
+	code, stdout, stderr := capture(t,
+		"-fleet", "4xResNet-50:4,2xBERT:2", "-iters", "4", "-mtbf", "2s", "-fault-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"fault profile: MTBF 2s", "goodput", "kills", "→"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("faulty fleet report missing %q:\n%s", want, stdout)
+		}
+	}
+	// Deterministic: the same flags render the same report.
+	_, again, _ := capture(t,
+		"-fleet", "4xResNet-50:4,2xBERT:2", "-iters", "4", "-mtbf", "2s", "-fault-seed", "1")
+	if stdout != again {
+		t.Error("two identical -mtbf runs rendered different reports")
+	}
+}

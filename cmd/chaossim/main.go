@@ -1,0 +1,118 @@
+// Command chaossim drives the fleet orchestrator through seeded fault
+// scenarios: the fleetsim experience with the failure engine armed. It
+// generates a fleet scenario and a fault schedule from seeds, runs the
+// stream with checkpoint/restart recovery and GPU blacklisting, and
+// prints the fault plan, the per-job recovery telemetry, the fault
+// timeline, and the fleet summary. Every run executes under the full
+// fault-aware invariant probe set and fails loudly on any violation.
+//
+// Usage:
+//
+//	chaossim -seed 1                      # seeded fleet + seeded faults
+//	chaossim -seed 1 -fault-seed 9        # same fleet, different failures
+//	chaossim -seed 1 -policy static       # recovery under a fixed partition
+//	chaossim -seed 1 -retries 1           # tighter retry budget
+//	chaossim -seed 1 -fingerprint         # canonical fingerprint (faults included)
+//
+// The simulation is deterministic: the same flags always print the same
+// report, byte for byte — the chaossim-smoke CI job diffs two runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"composable/internal/orchestrator"
+	"composable/internal/scengen"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable main: parse flags, build the scenario, run it, and
+// return the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chaossim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed        = fs.Int64("seed", 1, "fleet scenario seed (job stream, fleet shape, policy)")
+		faultSeed   = fs.Int64("fault-seed", 0, "fault schedule seed (0 = derive from -seed)")
+		policy      = fs.String("policy", "", "override the placement policy")
+		hosts       = fs.Int("hosts", 0, "override the host count (1-3)")
+		gpus        = fs.Int("gpus", 0, "override the chassis GPU inventory (2-16)")
+		retries     = fs.Int("retries", 0, "per-job retry budget (0 = default, negative = none)")
+		fingerprint = fs.Bool("fingerprint", false, "print the canonical telemetry fingerprint after the report")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	sc := scengen.FaultsFromSeed(*seed)
+	if *policy != "" {
+		if _, err := orchestrator.PolicyByName(*policy); err != nil {
+			fmt.Fprintln(stderr, "chaossim:", err)
+			return 2
+		}
+		sc.Fleet.Policy = *policy
+	}
+	if *hosts != 0 {
+		sc.Fleet.Hosts = *hosts
+	}
+	if *gpus != 0 {
+		sc.Fleet.GPUs = *gpus
+	}
+	if *faultSeed != 0 {
+		sc.Plan = scengen.PlanForFleet(*faultSeed, sc.Fleet)
+	}
+	if *retries != 0 {
+		sc.MaxRetries = *retries
+	}
+	sc = scengen.SanitizeFaults(sc)
+
+	fmt.Fprintf(stdout, "chaossim scenario %s (seed %d)\n\nfault plan:\n", sc.ID(), *seed)
+	if len(sc.Plan.Events) == 0 {
+		fmt.Fprintf(stdout, "  (empty — fault-free run)\n")
+	}
+	for _, e := range sc.Plan.Events {
+		fmt.Fprintf(stdout, "  %v\n", e)
+	}
+
+	out, err := scengen.RunFaultyFleet(sc)
+	if err != nil {
+		fmt.Fprintln(stderr, "chaossim:", err)
+		return 1
+	}
+	res := out.Result
+
+	fmt.Fprintf(stdout, "\n%4s %-12s %3s %5s %8s %6s %10s %10s  %s\n",
+		"job", "workload", "g", "host", "retries", "ckpt", "lost", "finish", "state")
+	for _, j := range res.Jobs {
+		state := "done"
+		if j.Failed {
+			state = "FAILED: " + j.FailureCause
+		} else if j.Retries > 0 {
+			state = "recovered: " + j.FailureCause
+		}
+		fmt.Fprintf(stdout, "%4d %-12s %3d %5d %8d %4dep %8.1fGs %10v  %s\n",
+			j.ID, j.Workload, j.GPUs, j.Host+1, j.Retries, j.EpochsDone,
+			j.LostGPUSeconds, j.Finished.Round(time.Millisecond), state)
+	}
+	fmt.Fprintf(stdout, "\n%s", res.Summary())
+	if res.Track != nil && res.Track.Len() > 0 && res.Makespan > 0 {
+		fmt.Fprintf(stdout, "  fault timeline [0, %v]: %s\n",
+			res.Makespan.Round(time.Millisecond), res.Track.Timeline(48, res.Makespan))
+	}
+
+	if err := out.Err(); err != nil {
+		fmt.Fprintln(stderr, "chaossim: INVARIANT VIOLATIONS:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "  invariants: all held (%d jobs, %d faults; lifecycle+assignment+conservation+lost-work)\n",
+		len(res.Jobs), res.Faults)
+	if *fingerprint {
+		fmt.Fprintf(stdout, "\n--- fingerprint\n%s", out.Fingerprint)
+	}
+	return 0
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	if code, _, _ := capture(t, "-no-such-flag"); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code, _, stderr := capture(t, "-policy", "nope"); code != 2 || !strings.Contains(stderr, "unknown policy") {
+		t.Fatalf("bad policy: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestSeededRunReportsFaultsAndInvariants(t *testing.T) {
+	code, stdout, stderr := capture(t, "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"chaossim scenario", "fault plan:", "invariants: all held"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("report missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestRunTwiceByteIdentical(t *testing.T) {
+	args := []string{"-seed", "3", "-fingerprint"}
+	code1, out1, stderr1 := capture(t, args...)
+	code2, out2, _ := capture(t, args...)
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("exits %d/%d, stderr %q", code1, code2, stderr1)
+	}
+	if out1 != out2 {
+		t.Fatalf("two identical chaossim runs diverged:\n--- first\n%s--- second\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "--- fingerprint") {
+		t.Fatalf("missing fingerprint section:\n%s", out1)
+	}
+}
+
+func TestFaultSeedOverrideChangesSchedule(t *testing.T) {
+	_, base, _ := capture(t, "-seed", "1", "-fingerprint")
+	code, alt, stderr := capture(t, "-seed", "1", "-fault-seed", "99", "-fingerprint")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if base == alt {
+		t.Fatal("-fault-seed override did not change the run")
+	}
+}
+
+// TestSomeSeedExercisesRecovery guards against the driver silently
+// becoming fault-free: across a handful of seeds at least one run must
+// show a kill-and-recover (or fail) in the report.
+func TestSomeSeedExercisesRecovery(t *testing.T) {
+	for _, seed := range []string{"1", "2", "3", "4", "5", "6", "7", "8"} {
+		code, stdout, stderr := capture(t, "-seed", seed)
+		if code != 0 {
+			t.Fatalf("seed %s: exit %d, stderr %q", seed, code, stderr)
+		}
+		if strings.Contains(stdout, "recovered:") || strings.Contains(stdout, "FAILED:") {
+			return
+		}
+	}
+	t.Fatal("no seed in 1..8 exercised the recovery path")
+}

@@ -42,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jobs        = fs.Int("jobs", 0, "trim the stream to this many jobs")
 		attachMS    = fs.Int("attach-ms", -1, "override the per-device recomposition latency in ms (0 = free)")
 		warm        = fs.Bool("warm", false, "preattach GPUs round-robin (a warm fleet) regardless of the seed's draw")
+		faultSeed   = fs.Int64("fault-seed", 0, "arm a seeded fault schedule (failures + recovery; 0 = fault-free). See cmd/chaossim for the full fault driver.")
 		fingerprint = fs.Bool("fingerprint", false, "print the canonical telemetry fingerprint after the report")
 		listPol     = fs.Bool("list-policies", false, "list placement policies and exit")
 	)
@@ -83,7 +84,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	sc = scengen.SanitizeFleet(sc)
 
-	out, err := scengen.RunFleet(sc)
+	var out *scengen.FleetOutcome
+	var err error
+	if *faultSeed != 0 {
+		fc := scengen.SanitizeFaults(scengen.FaultScenario{
+			Fleet: sc, Plan: scengen.PlanForFleet(*faultSeed, sc),
+		})
+		out, err = scengen.RunFaultyFleet(fc)
+	} else {
+		out, err = scengen.RunFleet(sc)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "fleetsim:", err)
 		return 1

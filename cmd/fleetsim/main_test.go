@@ -82,3 +82,22 @@ func TestStaticPolicyRuns(t *testing.T) {
 		t.Errorf("static run should report zero recompositions:\n%s", stdout)
 	}
 }
+
+func TestFaultSeedArmsTheFailureEngine(t *testing.T) {
+	args := []string{"-seed", "1", "-fault-seed", "2", "-fingerprint"}
+	code1, out1, stderr := capture(t, args...)
+	if code1 != 0 {
+		t.Fatalf("exit %d, stderr %q", code1, stderr)
+	}
+	if !strings.Contains(out1, "faults:") {
+		t.Fatalf("faulty run summary missing fault telemetry:\n%s", out1)
+	}
+	_, out2, _ := capture(t, args...)
+	if out1 != out2 {
+		t.Fatal("two identical faulty fleetsim runs diverged")
+	}
+	_, clean, _ := capture(t, "-seed", "1", "-fingerprint")
+	if clean == out1 {
+		t.Fatal("-fault-seed did not change the run")
+	}
+}

@@ -7,8 +7,11 @@
 //
 // The public entry points live in internal/core (composition + training),
 // internal/experiments (the paper's tables and figures, plus the S1–S3
-// fleet-scheduling studies), internal/orchestrator (the multi-job fleet
-// scheduler with dynamic GPU recomposition) and the commands under cmd/.
+// fleet-scheduling and R1–R3 fault-recovery studies), internal/orchestrator
+// (the multi-job fleet scheduler with dynamic GPU recomposition and
+// fault recovery), internal/faults (the deterministic failure engine:
+// link degradation, GPU/drawer/host failures and repairs, played into a
+// run with checkpoint/restart recovery) and the commands under cmd/.
 // See README.md for a module tour, a quickstart, and the paper-to-module
 // substitution map.
 package composable

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"composable/internal/cluster"
+	"composable/internal/falcon"
+	"composable/internal/faults"
 	"composable/internal/orchestrator"
 	"composable/internal/sim"
 )
@@ -32,6 +34,16 @@ type FleetMix struct {
 	Classes       []FleetJobClass
 	BurstGap      time.Duration
 	ItersPerEpoch int
+
+	// MTBF, when positive, replays the mix under a seeded fault profile
+	// with that mean time between failures (dying GPUs, drawer flaps,
+	// link outages — all repairable) instead of a fault-free fleet. The
+	// same schedule hits every policy, so the ranking measures recovery:
+	// under a high fault rate the recommendation can flip, because a
+	// layout that wins on contention can lose on blast radius.
+	MTBF time.Duration
+	// FaultSeed selects the fault schedule (0 = 1).
+	FaultSeed int64
 }
 
 // stream synthesizes the deterministic job stream the description
@@ -99,6 +111,21 @@ func RecommendPolicy(mix FleetMix) (*PolicyRecommendation, error) {
 	}
 	stream := mix.stream()
 
+	// Optional fault profile: one schedule, replayed against every
+	// policy. Everything must heal (MaxPermanentGPUs 0) so the static
+	// baseline stays evaluable rather than wedged.
+	var plan *faults.Plan
+	if mix.MTBF > 0 {
+		seed := mix.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		p := faults.PlanMTBF(seed, mix.MTBF, faults.Bounds{
+			Slots: mix.GPUs, SlotsPerDrawer: falcon.SlotsPerDrawer, Hosts: mix.Hosts,
+		})
+		plan = &p
+	}
+
 	var evaluated, skipped []PolicyEvaluation
 	for _, pol := range orchestrator.Policies() {
 		env := sim.NewEnv()
@@ -108,7 +135,7 @@ func RecommendPolicy(mix FleetMix) (*PolicyRecommendation, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := orchestrator.Run(fleet, stream, orchestrator.Options{Policy: pol})
+		res, err := orchestrator.Run(fleet, stream, orchestrator.Options{Policy: pol, Faults: plan})
 		if err != nil {
 			skipped = append(skipped, PolicyEvaluation{Policy: pol.Name(), Skipped: err.Error()})
 			continue
@@ -120,6 +147,16 @@ func RecommendPolicy(mix FleetMix) (*PolicyRecommendation, error) {
 	}
 	sort.SliceStable(evaluated, func(i, j int) bool {
 		a, b := evaluated[i].Result, evaluated[j].Result
+		if mix.MTBF > 0 {
+			// Under faults the metric is recovery: first don't abandon
+			// jobs, then deliver useful work fastest.
+			if a.FailedJobs != b.FailedJobs {
+				return a.FailedJobs < b.FailedJobs
+			}
+			if a.Goodput != b.Goodput {
+				return a.Goodput > b.Goodput
+			}
+		}
 		if a.Makespan != b.Makespan {
 			return a.Makespan < b.Makespan
 		}
@@ -131,8 +168,26 @@ func RecommendPolicy(mix FleetMix) (*PolicyRecommendation, error) {
 		Best:   evaluated[0],
 		Ranked: append(evaluated, skipped...),
 	}
-	rec.Rationale = policyRationale(evaluated)
+	if mix.MTBF > 0 {
+		rec.Rationale = faultyRationale(mix, evaluated)
+	} else {
+		rec.Rationale = policyRationale(evaluated)
+	}
 	return rec, nil
+}
+
+func faultyRationale(mix FleetMix, evaluated []PolicyEvaluation) string {
+	best := evaluated[0]
+	if len(evaluated) == 1 {
+		return fmt.Sprintf("Only %s survives this mix under MTBF %v.", best.Policy, mix.MTBF)
+	}
+	worst := evaluated[len(evaluated)-1]
+	return fmt.Sprintf("Under MTBF %v the metric is goodput, not makespan: %s delivers %.2f "+
+		"useful GPU-s/s against %s's %.2f (%d vs %d kills, %.1f vs %.1f GPU-s of work lost "+
+		"and re-done from checkpoints).",
+		mix.MTBF, best.Policy, best.Result.Goodput, worst.Policy, worst.Result.Goodput,
+		best.Result.Kills, worst.Result.Kills,
+		best.Result.LostGPUSeconds, worst.Result.LostGPUSeconds)
 }
 
 func policyRationale(evaluated []PolicyEvaluation) string {
@@ -160,15 +215,29 @@ func (r *PolicyRecommendation) Report() string {
 	for _, c := range r.Mix.Classes {
 		fmt.Fprintf(&b, "  %d × %s on %d GPUs\n", c.Count, c.Workload, c.GPUs)
 	}
-	fmt.Fprintf(&b, "\n%-10s %14s %14s %8s %8s\n", "policy", "makespan", "mean wait", "moves", "util")
-	for _, e := range r.Ranked {
-		if e.Skipped != "" {
-			fmt.Fprintf(&b, "%-10s skipped: %s\n", e.Policy, e.Skipped)
-			continue
+	if r.Mix.MTBF > 0 {
+		fmt.Fprintf(&b, "  fault profile: MTBF %v (seeded, repairable GPU/drawer/link failures)\n", r.Mix.MTBF)
+		fmt.Fprintf(&b, "\n%-10s %14s %9s %6s %7s %10s\n", "policy", "makespan", "goodput", "kills", "failed", "lost")
+		for _, e := range r.Ranked {
+			if e.Skipped != "" {
+				fmt.Fprintf(&b, "%-10s skipped: %s\n", e.Policy, e.Skipped)
+				continue
+			}
+			fmt.Fprintf(&b, "%-10s %14v %7.2f/s %6d %7d %8.1fGs\n", e.Policy,
+				e.Result.Makespan.Round(time.Millisecond), e.Result.Goodput,
+				e.Result.Kills, e.Result.FailedJobs, e.Result.LostGPUSeconds)
 		}
-		fmt.Fprintf(&b, "%-10s %14v %14v %8d %7.1f%%\n", e.Policy,
-			e.Result.Makespan.Round(time.Millisecond), e.Result.MeanWait.Round(time.Millisecond),
-			e.Result.Recompositions, e.Result.Utilization*100)
+	} else {
+		fmt.Fprintf(&b, "\n%-10s %14s %14s %8s %8s\n", "policy", "makespan", "mean wait", "moves", "util")
+		for _, e := range r.Ranked {
+			if e.Skipped != "" {
+				fmt.Fprintf(&b, "%-10s skipped: %s\n", e.Policy, e.Skipped)
+				continue
+			}
+			fmt.Fprintf(&b, "%-10s %14v %14v %8d %7.1f%%\n", e.Policy,
+				e.Result.Makespan.Round(time.Millisecond), e.Result.MeanWait.Round(time.Millisecond),
+				e.Result.Recompositions, e.Result.Utilization*100)
+		}
 	}
 	fmt.Fprintf(&b, "\n→ %s\n\n%s\n", r.Best.Policy, r.Rationale)
 	return b.String()

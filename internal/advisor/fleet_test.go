@@ -3,6 +3,7 @@ package advisor
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRecommendPolicyRanksAndExplains(t *testing.T) {
@@ -82,5 +83,53 @@ func TestRecommendPolicyRejectsEmptyMix(t *testing.T) {
 	}
 	if _, err := RecommendPolicy(FleetMix{Classes: []FleetJobClass{{Count: 0, GPUs: 2}}}); err == nil {
 		t.Error("zero-count class accepted")
+	}
+}
+
+// TestRecommendPolicyFlipsUnderFaults pins the fault profile's headline
+// behavior: the same mix that static partitioning wins fault-free is won
+// by a dynamic policy under a high fault rate, because a fixed share
+// cannot reschedule around dying hardware — the recommendation flips.
+func TestRecommendPolicyFlipsUnderFaults(t *testing.T) {
+	mix := FleetMix{
+		Classes: []FleetJobClass{
+			{Count: 4, GPUs: 4, Workload: "ResNet-50"},
+			{Count: 2, GPUs: 2, Workload: "BERT"},
+		},
+	}
+	clean, err := RecommendPolicy(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Best.Policy != "static" {
+		t.Fatalf("fault-free best = %s, want static (mix chosen for the flip)", clean.Best.Policy)
+	}
+
+	mix.MTBF, mix.FaultSeed = 2*time.Second, 1
+	faulty, err := RecommendPolicy(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Best.Policy == "static" {
+		t.Fatalf("under MTBF %v the recommendation should flip away from static:\n%s",
+			mix.MTBF, faulty.Report())
+	}
+	if faulty.Best.Result.Kills == 0 {
+		t.Error("fault profile produced no kills; the flip proves nothing")
+	}
+	if !strings.Contains(faulty.Report(), "fault profile: MTBF") {
+		t.Errorf("report missing the fault profile line:\n%s", faulty.Report())
+	}
+	if !strings.Contains(faulty.Rationale, "goodput") {
+		t.Errorf("faulty rationale should explain via goodput: %q", faulty.Rationale)
+	}
+
+	// Same mix, same profile, run again: the recommendation is stable.
+	again, err := RecommendPolicy(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Best.Policy != faulty.Best.Policy {
+		t.Fatalf("recommendation not deterministic: %s then %s", faulty.Best.Policy, again.Best.Policy)
 	}
 }

@@ -201,7 +201,7 @@ type registry struct {
 
 var catalog = sync.OnceValue(func() *registry {
 	r := &registry{byID: make(map[string]Experiment)}
-	r.order = append(append(All(), Extensions()...), FleetExperiments()...)
+	r.order = append(append(append(All(), Extensions()...), FleetExperiments()...), RecoveryExperiments()...)
 	for _, e := range r.order {
 		r.byID[e.ID] = e
 	}

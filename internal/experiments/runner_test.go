@@ -102,7 +102,7 @@ func TestRunnerNilDefaultsToRegistry(t *testing.T) {
 	if exps != nil {
 		t.Fatalf("nil Experiments should stay nil until RunAll")
 	}
-	if got, want := len(Registry()), len(All())+len(Extensions())+len(FleetExperiments()); got != want {
+	if got, want := len(Registry()), len(All())+len(Extensions())+len(FleetExperiments())+len(RecoveryExperiments()); got != want {
 		t.Fatalf("Registry() = %d experiments, want %d", got, want)
 	}
 }

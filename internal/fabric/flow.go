@@ -437,6 +437,35 @@ func durationFromSeconds(s float64) time.Duration {
 	return d
 }
 
+// SetLinkCapacity changes both directions of a link mid-run — the fault
+// engine's degradation/outage/repair primitive. In-flight traffic is
+// integrated at the old rates up to the current instant, then the fair
+// shares are recomputed under the new capacities, so flows crossing the
+// link slow down (or thaw on repair) immediately and deterministically.
+// Capacities must stay positive: a true zero would wedge flows forever;
+// outages use a small floor (faults.OutageFloor) instead.
+func (n *Network) SetLinkCapacity(id LinkID, capAB, capBA units.BytesPerSec) {
+	if capAB <= 0 || capBA <= 0 {
+		panic(fmt.Sprintf("fabric: link %d capacity must stay positive (got %v/%v)", id, capAB, capBA))
+	}
+	n.advance()
+	l := n.links[id]
+	l.CapAtoB, l.CapBtoA = capAB, capBA
+	n.recompute()
+}
+
+// Traverses reports whether the flow's path crosses the link (either
+// direction). The fault-aware invariant probes use it to assert no live
+// flow rides a dead device's link.
+func (f *Flow) Traverses(id LinkID) bool {
+	for _, dl := range f.path {
+		if dl.link.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
 // ActiveFlows returns the number of in-flight flows.
 func (n *Network) ActiveFlows() int { return len(n.flows) }
 

@@ -1,0 +1,486 @@
+// Package faults is the failure engine of the composable test bed: a
+// deterministic, seeded schedule of failure and repair events played into
+// a running simulation. The paper's pitch — hot-plugged chassis, shared
+// Falcon links, re-cabled GPUs — creates failure surfaces a fixed server
+// never has, and every one of them maps to an event kind here:
+//
+//   - KindSlotLink / KindHostLink: a fabric link degrades (capacity × a
+//     factor) or suffers an outage (factor 0, clamped to a floor so frozen
+//     flows stay integrable and resume on repair);
+//   - KindGPU: a chassis GPU dies in its slot and is hot-unplugged from
+//     the control plane;
+//   - KindDrawer: a whole drawer flaps — every slot in it vanishes at once
+//     and returns on re-plug;
+//   - KindHost: a host machine crashes, taking its running jobs with it.
+//
+// The package only describes and schedules faults; what a fault *does* is
+// supplied by the layer that owns the hardware (Hooks). The fleet
+// orchestrator wires hooks that kill and reschedule jobs; single-system
+// experiments wire hooks that scale a training run's links. Plans are
+// plain data derived from a seed, so a faulty run is exactly as
+// reproducible as a fault-free one — the property the fault scenario
+// sweep pins byte for byte.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"composable/internal/sim"
+)
+
+// Kind classifies a fault event.
+type Kind string
+
+// Fault kinds.
+const (
+	// KindSlotLink degrades the fabric link of one chassis GPU slot
+	// (Target = slot index) to Factor × its healthy capacity.
+	KindSlotLink Kind = "slot-link"
+	// KindHostLink degrades a host's adapter link (Target = host index),
+	// the host's whole pipe into the chassis.
+	KindHostLink Kind = "host-link"
+	// KindGPU fails the device in one chassis slot (Target = slot index).
+	KindGPU Kind = "gpu"
+	// KindDrawer hot-unplugs a whole drawer (Target = drawer index).
+	KindDrawer Kind = "drawer"
+	// KindHost crashes a host machine (Target = host index).
+	KindHost Kind = "host"
+)
+
+// OutageFloor is the capacity fraction a link outage leaves behind: flows
+// over an "out" link are effectively frozen (they crawl at the floor rate)
+// but stay integrable, so they thaw when the repair restores capacity
+// instead of wedging the allocator.
+const OutageFloor = 1e-4
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the sim time the fault strikes.
+	At time.Duration
+	// Kind selects the failure surface; Target's meaning depends on it
+	// (slot, host or drawer index).
+	Kind   Kind
+	Target int
+	// Factor is the remaining capacity fraction for the link kinds
+	// (0 = outage, clamped to OutageFloor; ignored for device kinds).
+	Factor float64
+	// Repair, when positive, schedules recovery that long after the
+	// fault; zero means the fault is permanent.
+	Repair time.Duration
+}
+
+// Permanent reports whether the event never repairs.
+func (e Event) Permanent() bool { return e.Repair <= 0 }
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%v %s[%d]", e.At, e.Kind, e.Target)
+	if e.Kind == KindSlotLink || e.Kind == KindHostLink {
+		s += fmt.Sprintf(" x%.4g", e.Factor)
+	}
+	if e.Permanent() {
+		return s + " permanent"
+	}
+	return s + fmt.Sprintf(" repair+%v", e.Repair)
+}
+
+// Plan is a deterministic fault schedule.
+type Plan struct {
+	// Seed records provenance; it does not affect execution.
+	Seed   int64
+	Events []Event
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.Events) == 0 }
+
+// Ledger canonically renders the plan, one event per line — the fault
+// section of a run's byte-exact fingerprint.
+func (p Plan) Ledger() string {
+	var b strings.Builder
+	for _, e := range p.Events {
+		fmt.Fprintf(&b, "fault at=%d kind=%s target=%d factor=%s repair=%d\n",
+			int64(e.At), e.Kind, e.Target,
+			strconv.FormatFloat(e.Factor, 'g', -1, 64), int64(e.Repair))
+	}
+	return b.String()
+}
+
+// Bounds describes the composed system a plan targets, so generation and
+// sanitization can keep every event on real hardware.
+type Bounds struct {
+	Slots          int // chassis GPU slots
+	SlotsPerDrawer int // slot→drawer mapping (0 = single drawer)
+	Hosts          int
+	// Horizon bounds fault times; repairs may land past it.
+	Horizon time.Duration
+	// MaxEvents caps the schedule length (0 = DefaultMaxEvents).
+	MaxEvents int
+	// MaxPermanentGPUs caps how many GPUs may fail without repair, so a
+	// stream's largest job always has surviving capacity (0 = none
+	// permanent: every device fault must heal).
+	MaxPermanentGPUs int
+}
+
+// DefaultMaxEvents bounds generated plans.
+const DefaultMaxEvents = 8
+
+func (b Bounds) drawers() int {
+	if b.SlotsPerDrawer <= 0 || b.Slots <= b.SlotsPerDrawer {
+		return 1
+	}
+	return (b.Slots + b.SlotsPerDrawer - 1) / b.SlotsPerDrawer
+}
+
+func (b Bounds) drawerOf(slot int) int {
+	if b.SlotsPerDrawer <= 0 {
+		return 0
+	}
+	return slot / b.SlotsPerDrawer
+}
+
+// minFaultTime keeps faults off the t=0 instant, where composition and
+// arrival bookkeeping run.
+const minFaultTime = time.Millisecond
+
+// FromSeed derives a fault plan from a seed within bounds. Equal seeds
+// yield equal plans; the mapping is fixed (extend ranges rather than
+// reorder draws). The generated plan is already sanitized.
+func FromSeed(seed int64, b Bounds) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := Plan{Seed: seed}
+	n := 1 + rng.Intn(maxEvents(b))
+	for i := 0; i < n; i++ {
+		ev := Event{
+			At: minFaultTime + time.Duration(rng.Int63n(int64(horizon(b)))),
+		}
+		switch rng.Intn(6) {
+		case 0, 1: // link faults are the most common failure in the field
+			ev.Kind = KindSlotLink
+			ev.Target = rng.Intn(max(1, b.Slots))
+			ev.Factor = [...]float64{0, 0.1, 0.25, 0.5}[rng.Intn(4)]
+		case 2:
+			ev.Kind = KindHostLink
+			ev.Target = rng.Intn(max(1, b.Hosts))
+			ev.Factor = [...]float64{0.1, 0.25, 0.5}[rng.Intn(3)]
+		case 3, 4:
+			ev.Kind = KindGPU
+			ev.Target = rng.Intn(max(1, b.Slots))
+		case 5:
+			if rng.Intn(2) == 0 {
+				ev.Kind = KindDrawer
+				ev.Target = rng.Intn(b.drawers())
+			} else {
+				ev.Kind = KindHost
+				ev.Target = rng.Intn(max(1, b.Hosts))
+			}
+		}
+		// Most faults heal; a minority of device faults are permanent
+		// (Sanitize enforces the survivor budget).
+		if ev.Kind == KindGPU && rng.Intn(4) == 0 {
+			ev.Repair = 0
+		} else {
+			ev.Repair = time.Duration(500+rng.Intn(8000)) * time.Millisecond
+		}
+		p.Events = append(p.Events, ev)
+	}
+	return Sanitize(p, b)
+}
+
+// PlanMTBF derives a plan whose fault arrivals approximate a mean time
+// between failures over the horizon: the operator-facing knob ("my GPUs
+// die about every N minutes") the advisor's fault profile uses. The
+// schedule is deterministic in (seed, mtbf, bounds).
+func PlanMTBF(seed int64, mtbf time.Duration, b Bounds) Plan {
+	if mtbf <= 0 {
+		return Plan{Seed: seed}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := Plan{Seed: seed}
+	at := time.Duration(0)
+	for {
+		// Exponential inter-arrival with mean mtbf, deterministic draw.
+		gap := time.Duration(float64(mtbf) * rng.ExpFloat64())
+		if gap < minFaultTime {
+			gap = minFaultTime
+		}
+		at += gap
+		if at > horizon(b) || len(p.Events) >= 4*maxEvents(b) {
+			break
+		}
+		ev := Event{At: at, Repair: time.Duration(500+rng.Intn(4000)) * time.Millisecond}
+		switch rng.Intn(4) {
+		case 0:
+			ev.Kind = KindSlotLink
+			ev.Target = rng.Intn(max(1, b.Slots))
+			ev.Factor = [...]float64{0, 0.1, 0.25}[rng.Intn(3)]
+		case 1, 2:
+			ev.Kind = KindGPU
+			ev.Target = rng.Intn(max(1, b.Slots))
+		case 3:
+			ev.Kind = KindDrawer
+			ev.Target = rng.Intn(b.drawers())
+		}
+		p.Events = append(p.Events, ev)
+	}
+	return Sanitize(p, b)
+}
+
+func horizon(b Bounds) time.Duration {
+	if b.Horizon > 0 {
+		return b.Horizon
+	}
+	return 60 * time.Second
+}
+
+func maxEvents(b Bounds) int {
+	if b.MaxEvents > 0 {
+		return b.MaxEvents
+	}
+	return DefaultMaxEvents
+}
+
+// Sanitize maps an arbitrary plan onto the nearest valid one for the
+// bounds: targets clamped onto real hardware, times clamped into the
+// horizon, factors into [0,1), overlapping events on the same target
+// dropped (a target fails once at a time; a permanent fault shadows
+// everything after it), and the permanent-GPU budget enforced — device
+// faults beyond it are forced to heal. It is idempotent, and a sanitized
+// plan is safe to arm against any system matching the bounds.
+func Sanitize(p Plan, b Bounds) Plan {
+	out := Plan{Seed: p.Seed}
+	evs := append([]Event(nil), p.Events...)
+	for i := range evs {
+		e := &evs[i]
+		switch e.Kind {
+		case KindSlotLink, KindGPU:
+			e.Target = clampInt(e.Target, 0, max(0, b.Slots-1))
+		case KindHostLink, KindHost:
+			e.Target = clampInt(e.Target, 0, max(0, b.Hosts-1))
+		case KindDrawer:
+			e.Target = clampInt(e.Target, 0, b.drawers()-1)
+		default:
+			e.Kind = KindGPU
+			e.Target = clampInt(e.Target, 0, max(0, b.Slots-1))
+		}
+		if e.At < minFaultTime {
+			e.At = minFaultTime
+		}
+		if e.At > horizon(b) {
+			e.At = horizon(b)
+		}
+		switch {
+		case e.Kind != KindSlotLink && e.Kind != KindHostLink:
+			e.Factor = 0
+		case e.Factor < 0 || math.IsNaN(e.Factor):
+			e.Factor = 0
+		case e.Factor >= 1:
+			e.Factor = 0.5
+		}
+		if e.Repair < 0 {
+			e.Repair = 0
+		}
+		if e.Repair > 0 && e.Repair < 100*time.Millisecond {
+			e.Repair = 100 * time.Millisecond
+		}
+		// Hosts and drawers always come back: a stream must be able to
+		// drain, and a permanently-dead host would wedge its tenants.
+		if (e.Kind == KindHost || e.Kind == KindDrawer) && e.Permanent() {
+			e.Repair = 2 * time.Second
+		}
+	}
+	// Deterministic order, then overlap resolution per (kind, target).
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		if evs[i].Kind != evs[j].Kind {
+			return evs[i].Kind < evs[j].Kind
+		}
+		return evs[i].Target < evs[j].Target
+	})
+	type key struct {
+		k Kind
+		t int
+	}
+	busyUntil := make(map[key]time.Duration) // -1ns encodes "forever"
+	permanentGPUs := 0
+	for _, e := range evs {
+		if len(out.Events) >= maxEvents(b)*4 {
+			break
+		}
+		k := key{e.Kind, e.Target}
+		if until, ok := busyUntil[k]; ok && (until < 0 || e.At < until) {
+			continue // overlaps an earlier fault on the same target
+		}
+		if e.Kind == KindGPU && e.Permanent() {
+			if permanentGPUs >= b.MaxPermanentGPUs {
+				e.Repair = 2 * time.Second // budget spent: force healing
+			} else {
+				permanentGPUs++
+			}
+		}
+		if e.Permanent() {
+			busyUntil[k] = -1
+		} else {
+			busyUntil[k] = e.At + e.Repair
+		}
+		out.Events = append(out.Events, e)
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Record is one applied fault or repair observation, in application order.
+type Record struct {
+	At     time.Duration
+	Kind   Kind
+	Target int
+	Factor float64 // link kinds: capacity fraction now in effect
+	// Up is false when the fault strikes, true when the repair lands.
+	Up bool
+}
+
+func (r Record) String() string {
+	verb := "FAIL"
+	if r.Up {
+		verb = "repair"
+	}
+	s := fmt.Sprintf("%v %s %s[%d]", r.At, verb, r.Kind, r.Target)
+	if r.Kind == KindSlotLink || r.Kind == KindHostLink {
+		s += fmt.Sprintf(" x%.4g", r.Factor)
+	}
+	return s
+}
+
+// Hooks are the control points an injector drives. Nil hooks are skipped,
+// so a caller wires only the surfaces its system has. Link hooks receive
+// the capacity fraction now in effect (1 = healthy, OutageFloor = outage);
+// device hooks receive up=false on failure and up=true on repair.
+type Hooks struct {
+	SlotLink func(slot int, factor float64)
+	HostLink func(host int, factor float64)
+	GPU      func(slot int, up bool)
+	Drawer   func(drawer int, up bool)
+	Host     func(host int, up bool)
+}
+
+// Injector schedules a plan's events into a simulation and dispatches
+// them through the hooks, keeping the applied-record log the fingerprint
+// and the telemetry event track read from.
+type Injector struct {
+	env     *sim.Env
+	plan    Plan
+	hooks   Hooks
+	probe   func(Record)
+	records []Record
+	armed   bool
+}
+
+// NewInjector binds a (sanitized) plan to an environment and hook set.
+func NewInjector(env *sim.Env, plan Plan, hooks Hooks) *Injector {
+	return &Injector{env: env, plan: plan, hooks: hooks}
+}
+
+// SetProbe installs fn to observe every applied record, in application
+// order. The probe must not mutate simulation state; the invariant set
+// and telemetry tracks attach here.
+func (in *Injector) SetProbe(fn func(Record)) { in.probe = fn }
+
+// Arm schedules every event (and its repair) as sim callbacks. It must be
+// called before the environment runs and at most once.
+func (in *Injector) Arm() {
+	if in.armed {
+		panic("faults: injector armed twice")
+	}
+	in.armed = true
+	for _, e := range in.plan.Events {
+		e := e
+		in.env.Schedule(e.At, func() { in.apply(e, false) })
+		if !e.Permanent() {
+			in.env.Schedule(e.At+e.Repair, func() { in.apply(e, true) })
+		}
+	}
+}
+
+func (in *Injector) apply(e Event, up bool) {
+	factor := e.Factor
+	if factor < OutageFloor {
+		factor = OutageFloor
+	}
+	if up {
+		factor = 1
+	}
+	rec := Record{At: in.env.Now(), Kind: e.Kind, Target: e.Target, Up: up}
+	switch e.Kind {
+	case KindSlotLink:
+		rec.Factor = factor
+		if in.hooks.SlotLink != nil {
+			in.hooks.SlotLink(e.Target, factor)
+		}
+	case KindHostLink:
+		rec.Factor = factor
+		if in.hooks.HostLink != nil {
+			in.hooks.HostLink(e.Target, factor)
+		}
+	case KindGPU:
+		if in.hooks.GPU != nil {
+			in.hooks.GPU(e.Target, up)
+		}
+	case KindDrawer:
+		if in.hooks.Drawer != nil {
+			in.hooks.Drawer(e.Target, up)
+		}
+	case KindHost:
+		if in.hooks.Host != nil {
+			in.hooks.Host(e.Target, up)
+		}
+	}
+	in.records = append(in.records, rec)
+	if in.probe != nil {
+		in.probe(rec)
+	}
+}
+
+// Records returns the applied fault/repair log in application order.
+func (in *Injector) Records() []Record { return in.records }
+
+// AppliedLedger canonically renders the applied records, one per line —
+// appended to a faulty run's fingerprint so the run-twice determinism
+// check also covers what the engine actually did.
+func (in *Injector) AppliedLedger() string {
+	var b strings.Builder
+	for _, r := range in.records {
+		up := 0
+		if r.Up {
+			up = 1
+		}
+		fmt.Fprintf(&b, "applied at=%d kind=%s target=%d factor=%s up=%d\n",
+			int64(r.At), r.Kind, r.Target, strconv.FormatFloat(r.Factor, 'g', -1, 64), up)
+	}
+	return b.String()
+}

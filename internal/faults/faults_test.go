@@ -1,0 +1,133 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"composable/internal/sim"
+)
+
+func bounds() Bounds {
+	return Bounds{Slots: 12, SlotsPerDrawer: 8, Hosts: 3, Horizon: 30 * time.Second, MaxPermanentGPUs: 2}
+}
+
+func TestFromSeedDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := FromSeed(seed, bounds()), FromSeed(seed, bounds())
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: FromSeed not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+		if a.Ledger() != b.Ledger() {
+			t.Fatalf("seed %d: ledgers diverge", seed)
+		}
+	}
+}
+
+func TestPlanMTBFDeterministicAndDenser(t *testing.T) {
+	b := bounds()
+	a1, a2 := PlanMTBF(7, 5*time.Second, b), PlanMTBF(7, 5*time.Second, b)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("PlanMTBF not deterministic")
+	}
+	sparse := PlanMTBF(7, 20*time.Second, b)
+	dense := PlanMTBF(7, time.Second, b)
+	if len(dense.Events) <= len(sparse.Events) {
+		t.Errorf("mtbf 1s plan (%d events) not denser than 20s plan (%d events)",
+			len(dense.Events), len(sparse.Events))
+	}
+	if PlanMTBF(7, 0, b).Events != nil {
+		t.Errorf("mtbf 0 should disable injection")
+	}
+}
+
+func TestSanitizeIdempotentAndBounded(t *testing.T) {
+	b := bounds()
+	raw := Plan{Seed: 9, Events: []Event{
+		{At: -time.Second, Kind: KindGPU, Target: 99},                                // clamp target+time
+		{At: time.Second, Kind: KindSlotLink, Target: -4, Factor: 3.5},               // clamp factor
+		{At: time.Second, Kind: KindHost, Target: 1},                                 // permanent host → forced repair
+		{At: 2 * time.Second, Kind: "bogus", Target: 5},                              // unknown kind
+		{At: 3 * time.Second, Kind: KindGPU, Target: 2},                              // permanent GPU 1
+		{At: 4 * time.Second, Kind: KindGPU, Target: 3},                              // permanent GPU 2
+		{At: 5 * time.Second, Kind: KindGPU, Target: 4},                              // over budget → healed
+		{At: 3500 * time.Millisecond, Kind: KindGPU, Target: 2, Repair: time.Second}, // overlaps permanent
+	}}
+	once := Sanitize(raw, b)
+	twice := Sanitize(once, b)
+	if !reflect.DeepEqual(once, twice) {
+		t.Fatalf("Sanitize not idempotent:\n%+v\n%+v", once, twice)
+	}
+	permanentGPUs := 0
+	for _, e := range once.Events {
+		if e.Target < 0 || e.At < minFaultTime || e.At > b.Horizon {
+			t.Errorf("unsanitized event %+v", e)
+		}
+		switch e.Kind {
+		case KindSlotLink, KindHostLink:
+			if e.Factor < 0 || e.Factor >= 1 {
+				t.Errorf("bad factor %+v", e)
+			}
+		case KindGPU:
+			if e.Permanent() {
+				permanentGPUs++
+			}
+		case KindHost, KindDrawer:
+			if e.Permanent() {
+				t.Errorf("host/drawer fault left permanent: %+v", e)
+			}
+		default:
+			t.Errorf("unknown kind survived: %+v", e)
+		}
+	}
+	if permanentGPUs > b.MaxPermanentGPUs {
+		t.Errorf("%d permanent GPU faults over budget %d", permanentGPUs, b.MaxPermanentGPUs)
+	}
+	// The overlapping retry of the permanently-failed GPU 2 must be gone.
+	seen := 0
+	for _, e := range once.Events {
+		if e.Kind == KindGPU && e.Target == 2 {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Errorf("overlap on permanently-failed target not dropped (%d events)", seen)
+	}
+}
+
+func TestInjectorDispatchAndLedger(t *testing.T) {
+	env := sim.NewEnv()
+	plan := Sanitize(Plan{Seed: 1, Events: []Event{
+		{At: time.Second, Kind: KindSlotLink, Target: 3, Factor: 0, Repair: time.Second},
+		{At: 2 * time.Second, Kind: KindGPU, Target: 5, Repair: 3 * time.Second},
+		{At: 4 * time.Second, Kind: KindHost, Target: 1, Repair: time.Second},
+	}}, bounds())
+
+	var got []string
+	inj := NewInjector(env, plan, Hooks{
+		SlotLink: func(slot int, factor float64) {
+			if factor != OutageFloor && factor != 1 {
+				t.Errorf("outage factor %v, want floor %v or 1", factor, OutageFloor)
+			}
+			got = append(got, "slotlink")
+		},
+		GPU:  func(slot int, up bool) { got = append(got, "gpu") },
+		Host: func(host int, up bool) { got = append(got, "host") },
+	})
+	var probed int
+	inj.SetProbe(func(r Record) { probed++ })
+	inj.Arm()
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"slotlink", "slotlink", "gpu", "host", "gpu", "host"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("dispatch order %v, want %v", got, want)
+	}
+	if probed != len(inj.Records()) || probed != 6 {
+		t.Fatalf("probe saw %d records, injector logged %d, want 6", probed, len(inj.Records()))
+	}
+	if inj.AppliedLedger() == "" {
+		t.Fatal("empty applied ledger")
+	}
+}

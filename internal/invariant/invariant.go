@@ -59,11 +59,21 @@ type Set struct {
 	lastEvent sim.Time
 	lastTrain sim.Time
 	linkSeen  map[fabric.LinkID][2]units.Bytes
+	// Byte-conservation under capacity changes: the capacity integral is
+	// accumulated audit window by audit window using the capacity that was
+	// in effect during each window (capacity changes — fault degradations
+	// and repairs — always trigger an audit at the instant they land, so a
+	// window never spans a change).
+	lastAudit   sim.Time
+	linkCapInt  map[fabric.LinkID][2]float64
+	linkPrevCap map[fabric.LinkID][2]float64
 
 	// fleet watcher state (see orchestrator.go).
 	lastOrc          time.Duration
 	orcJobs          map[int]*jobLife
 	orcSlots         map[falcon.SlotRef]int
+	orcDownSlots     map[falcon.SlotRef]bool
+	orcDownHosts     map[int]bool
 	chassisAttached  map[falcon.SlotRef]bool
 	chassisAttaches  int
 	chassisDetaches  int
@@ -79,7 +89,13 @@ const capacitySlack = 1e-6
 
 // New returns an empty Set.
 func New() *Set {
-	return &Set{lastEvent: -1, lastTrain: -1, linkSeen: make(map[fabric.LinkID][2]units.Bytes)}
+	return &Set{
+		lastEvent:   -1,
+		lastTrain:   -1,
+		linkSeen:    make(map[fabric.LinkID][2]units.Bytes),
+		linkCapInt:  make(map[fabric.LinkID][2]float64),
+		linkPrevCap: make(map[fabric.LinkID][2]float64),
+	}
 }
 
 // Report records a violation. Exposed so higher layers (metamorphic checks
@@ -161,7 +177,11 @@ func (s *Set) WatchNetwork(net *fabric.Network) {
 				s.Report("fabric/flow-remaining", now, "flow %d→%d remaining %v", f.Src, f.Dst, f.Remaining())
 			}
 		})
-		elapsed := now.Seconds()
+		// Capacity integrals, accumulated per audit window. Before the
+		// first audit no flow has ever started (every flow change audits),
+		// so initializing a link's in-effect capacity lazily is exact.
+		dt := (now - s.lastAudit).Seconds()
+		s.lastAudit = now
 		for _, l := range net.Links() {
 			ab, ba := l.BytesAtoB(), l.BytesBtoA()
 			prev := s.linkSeen[l.ID]
@@ -170,11 +190,22 @@ func (s *Set) WatchNetwork(net *fabric.Network) {
 					"link %d counters went backwards: (%v,%v) after (%v,%v)", l.ID, ab, ba, prev[0], prev[1])
 			}
 			s.linkSeen[l.ID] = [2]units.Bytes{ab, ba}
-			if maxAB := float64(l.CapAtoB)*elapsed*(1+capacitySlack) + 1; float64(ab) > maxAB {
+
+			cap := s.linkPrevCap[l.ID] // capacity in effect during the window
+			if _, seen := s.linkPrevCap[l.ID]; !seen {
+				cap = [2]float64{float64(l.CapAtoB), float64(l.CapBtoA)}
+			}
+			integ := s.linkCapInt[l.ID]
+			integ[0] += cap[0] * dt
+			integ[1] += cap[1] * dt
+			s.linkCapInt[l.ID] = integ
+			s.linkPrevCap[l.ID] = [2]float64{float64(l.CapAtoB), float64(l.CapBtoA)}
+
+			if maxAB := integ[0]*(1+capacitySlack) + 1; float64(ab) > maxAB {
 				s.Report("fabric/bytes-conserved", now,
 					"link %d moved %v A→B, over the %v capacity integral", l.ID, ab, units.Bytes(maxAB))
 			}
-			if maxBA := float64(l.CapBtoA)*elapsed*(1+capacitySlack) + 1; float64(ba) > maxBA {
+			if maxBA := integ[1]*(1+capacitySlack) + 1; float64(ba) > maxBA {
 				s.Report("fabric/bytes-conserved", now,
 					"link %d moved %v B→A, over the %v capacity integral", l.ID, ba, units.Bytes(maxBA))
 			}

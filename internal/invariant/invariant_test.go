@@ -122,12 +122,49 @@ func TestWatchNetworkPassesContendedTransfers(t *testing.T) {
 	}
 }
 
+// TestWatchNetworkAcceptsSanctionedCapacityChange pins the conservation
+// audit's fault support: degrading a link through SetLinkCapacity while
+// traffic crosses it (and repairing it later) is what the fault engine
+// does, and must not read as a byte-conservation violation — the capacity
+// integral is accumulated window by window with the capacity that was in
+// effect, not recomputed from the final capacity.
+func TestWatchNetworkAcceptsSanctionedCapacityChange(t *testing.T) {
+	env := sim.NewEnv()
+	net := fabric.NewNetwork(env)
+	a := net.AddNode("a", fabric.KindGPU)
+	b := net.AddNode("b", fabric.KindGPU)
+	id := net.ConnectSym(a, b, units.GBps(10), time.Microsecond, "pcie")
+
+	s := New()
+	s.WatchNetwork(net)
+	env.Go("driver", func(p *sim.Proc) {
+		if err := net.Transfer(p, a, b, 100*units.MB); err != nil { // full speed
+			panic(err)
+		}
+		net.SetLinkCapacity(id, units.MBps(100), units.MBps(100)) // degrade ×100
+		if err := net.Transfer(p, a, b, 10*units.MB); err != nil {
+			panic(err)
+		}
+		net.SetLinkCapacity(id, units.GBps(10), units.GBps(10)) // repair
+		if err := net.Transfer(p, a, b, 100*units.MB); err != nil {
+			panic(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("sanctioned capacity changes flagged as violations: %v", err)
+	}
+}
+
 // TestWatchNetworkDetectsByteOverrun proves the conservation audit is not
-// vacuous. Capacity and rate-cap conservation are enforced by the allocator
-// on the same recompute that audits them, so they cannot be tripped from
-// outside; the capacity *integral* over already-moved bytes can. Shrinking
-// a link's capacity after traffic has crossed it makes the cumulative
-// counters exceed capacity × elapsed, which the next audit must flag.
+// vacuous. With window-by-window integration the allocator can only trip
+// it through an arithmetic bug (moving more bytes than the in-effect
+// capacity allowed), so the test forges exactly that state white-box:
+// erase the accumulated integral under counters that already carry 100 MB
+// and pin the in-effect capacity near zero — the next audit must flag the
+// history as unaffordable.
 func TestWatchNetworkDetectsByteOverrun(t *testing.T) {
 	env := sim.NewEnv()
 	net := fabric.NewNetwork(env)
@@ -141,9 +178,8 @@ func TestWatchNetworkDetectsByteOverrun(t *testing.T) {
 		if err := net.Transfer(p, a, b, 100*units.MB); err != nil {
 			panic(err)
 		}
-		// Sabotage: with 100 MB already on the counters, a 1 B/s capacity
-		// makes history unaffordable. The next recompute must notice.
-		net.Link(id).CapAtoB = units.BytesPerSec(1)
+		s.linkCapInt[id] = [2]float64{}
+		s.linkPrevCap[id] = [2]float64{1, 1} // 1 B/s forever: history unaffordable
 		if err := net.Transfer(p, b, a, units.KB); err != nil {
 			panic(err)
 		}

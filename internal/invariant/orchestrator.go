@@ -29,11 +29,13 @@ import (
 
 // jobLife tracks one job through the orchestrator lifecycle.
 type jobLife struct {
-	phase int // 0 arrived, 1 placed, 2 launched, 3 finished
-	at    time.Duration
+	phase  int // 0 arrived/queued, 1 placed, 2 launched, 3 finished
+	at     time.Duration
+	kills  int
+	failed bool
 }
 
-// phaseOf maps event kinds to lifecycle phases.
+// phaseOf maps lifecycle event kinds to phases (-1 for non-lifecycle).
 func phaseOf(kind orchestrator.EventKind) int {
 	switch kind {
 	case orchestrator.EventArrive:
@@ -50,25 +52,84 @@ func phaseOf(kind orchestrator.EventKind) int {
 
 // OrchestratorProbe returns a probe for orchestrator.Options.Probe that
 // checks queue-lifecycle monotonicity and GPU assignment exclusivity on
-// every scheduler event.
+// every scheduler event. Under faults it additionally checks that a kill
+// returns the job to the queue (and releases exactly the slots it held),
+// that a fail is terminal, and that nothing is ever placed or launched on
+// a down slot or crashed host.
 func (s *Set) OrchestratorProbe() func(orchestrator.Event) {
 	if s.orcJobs == nil {
 		s.orcJobs = make(map[int]*jobLife)
 		s.orcSlots = make(map[falcon.SlotRef]int)
+		s.orcDownSlots = make(map[falcon.SlotRef]bool)
+		s.orcDownHosts = make(map[int]bool)
 	}
 	return func(ev orchestrator.Event) {
-		phase := phaseOf(ev.Kind)
-		if phase < 0 {
-			s.Report("orchestrator/event-kind", ev.At, "unknown event kind %q", ev.Kind)
-			return
-		}
 		if ev.At < s.lastOrc {
 			s.Report("orchestrator/time-monotonic", ev.At,
 				"event %s for job %d at %v after %v", ev.Kind, ev.Job, ev.At, s.lastOrc)
 		}
 		s.lastOrc = ev.At
 
+		// Fault events: maintain the down sets the placement checks read.
+		switch ev.Kind {
+		case orchestrator.EventSlotDown:
+			for _, ref := range ev.Slots {
+				s.orcDownSlots[ref] = true
+			}
+			return
+		case orchestrator.EventSlotUp:
+			for _, ref := range ev.Slots {
+				delete(s.orcDownSlots, ref)
+			}
+			return
+		case orchestrator.EventHostDown:
+			s.orcDownHosts[ev.Host] = true
+			return
+		case orchestrator.EventHostUp:
+			delete(s.orcDownHosts, ev.Host)
+			return
+		}
+
 		life := s.orcJobs[ev.Job]
+
+		// Kill/fail: the fault-recovery transitions.
+		switch ev.Kind {
+		case orchestrator.EventKill:
+			if life == nil || (life.phase != 1 && life.phase != 2) {
+				s.Report("orchestrator/lifecycle", ev.At,
+					"job %d killed while not placed or launched (%+v)", ev.Job, life)
+				if life == nil {
+					life = &jobLife{}
+					s.orcJobs[ev.Job] = life
+				}
+			}
+			life.phase, life.at = 0, ev.At
+			life.kills++
+			for _, ref := range ev.Slots {
+				if holder, held := s.orcSlots[ref]; !held || holder != ev.Job {
+					s.Report("orchestrator/release", ev.At,
+						"killed job %d released slot %v it did not hold (holder %d, held %t)", ev.Job, ref, holder, held)
+					continue
+				}
+				delete(s.orcSlots, ref)
+			}
+			return
+		case orchestrator.EventFail:
+			if life == nil || life.phase != 0 || life.kills == 0 {
+				s.Report("orchestrator/lifecycle", ev.At,
+					"job %d failed without a preceding kill (%+v)", ev.Job, life)
+			}
+			if life != nil {
+				life.failed = true
+			}
+			return
+		}
+
+		phase := phaseOf(ev.Kind)
+		if phase < 0 {
+			s.Report("orchestrator/event-kind", ev.At, "unknown event kind %q", ev.Kind)
+			return
+		}
 		switch {
 		case life == nil && phase != 0:
 			s.Report("orchestrator/lifecycle", ev.At, "job %d %s before arriving", ev.Job, ev.Kind)
@@ -77,6 +138,9 @@ func (s *Set) OrchestratorProbe() func(orchestrator.Event) {
 		case life == nil:
 			s.orcJobs[ev.Job] = &jobLife{phase: 0, at: ev.At}
 		default:
+			if life.failed {
+				s.Report("orchestrator/lifecycle", ev.At, "failed job %d saw %s", ev.Job, ev.Kind)
+			}
 			if phase != life.phase+1 {
 				s.Report("orchestrator/lifecycle", ev.At,
 					"job %d %s out of order (phase %d after %d)", ev.Job, ev.Kind, phase, life.phase)
@@ -90,13 +154,28 @@ func (s *Set) OrchestratorProbe() func(orchestrator.Event) {
 
 		switch ev.Kind {
 		case orchestrator.EventPlace:
+			if s.orcDownHosts[ev.Host] {
+				s.Report("orchestrator/place-down-host", ev.At,
+					"job %d placed on crashed host %d", ev.Job, ev.Host)
+			}
 			for _, ref := range ev.Slots {
+				if s.orcDownSlots[ref] {
+					s.Report("orchestrator/place-down-slot", ev.At,
+						"job %d placed on down slot %v", ev.Job, ref)
+				}
 				if holder, held := s.orcSlots[ref]; held {
 					s.Report("orchestrator/double-assign", ev.At,
 						"slot %v assigned to job %d while held by job %d", ref, ev.Job, holder)
 					continue
 				}
 				s.orcSlots[ref] = ev.Job
+			}
+		case orchestrator.EventLaunch:
+			for _, ref := range ev.Slots {
+				if s.orcDownSlots[ref] {
+					s.Report("orchestrator/launch-down-slot", ev.At,
+						"job %d launched holding down slot %v", ev.Job, ref)
+				}
 			}
 		case orchestrator.EventFinish:
 			for _, ref := range ev.Slots {
@@ -161,12 +240,20 @@ func (s *Set) WatchChassis(ch *falcon.Chassis) {
 
 // CheckFleetResult runs the post-run structural checks on a completed
 // fleet run: lifecycle completeness, recomposition accounting against the
-// chassis event stream, aggregate ranges, and leak freedom on every
-// device and the fabric.
+// chassis event stream, aggregate ranges, leak freedom on every device
+// and the fabric, and — under faults — the lost-work ledger: kills match
+// retries, lost GPU time balances per job against the fleet total, and a
+// fault-free job lost nothing.
 func (s *Set) CheckFleetResult(f *cluster.FleetSystem, res *orchestrator.FleetResult) {
 	at := res.Makespan
-	if res.Makespan <= 0 {
-		s.Report("fleet/makespan", at, "nonpositive makespan %v", res.Makespan)
+	completed := 0
+	for _, j := range res.Jobs {
+		if !j.Failed {
+			completed++
+		}
+	}
+	if res.Makespan <= 0 && completed > 0 {
+		s.Report("fleet/makespan", at, "nonpositive makespan %v with %d completed jobs", res.Makespan, completed)
 	}
 	if res.Utilization < 0 || res.Utilization > 1+utilSlack {
 		s.Report("fleet/utilization", at, "utilization %v outside [0,1]", res.Utilization)
@@ -176,10 +263,31 @@ func (s *Set) CheckFleetResult(f *cluster.FleetSystem, res *orchestrator.FleetRe
 			res.GPUSeconds, res.FragmentationGPUSeconds)
 	}
 
-	movesTotal := 0
+	movesTotal, retriesTotal, lostTotal := 0, 0, 0.0
 	for _, j := range res.Jobs {
 		movesTotal += j.Moves
-		if life := s.orcJobs[j.ID]; life == nil || life.phase != 3 {
+		retriesTotal += j.Retries
+		lostTotal += j.LostGPUSeconds
+		if j.LostGPUSeconds < 0 {
+			s.Report("fleet/lost-work", at, "job %d negative lost work %v", j.ID, j.LostGPUSeconds)
+		}
+		if j.Retries == 0 && !j.Failed && j.LostGPUSeconds != 0 {
+			s.Report("fleet/lost-work", at, "job %d lost %v GPU-s without any kill", j.ID, j.LostGPUSeconds)
+		}
+		life := s.orcJobs[j.ID]
+		if life != nil && life.kills != j.Retries {
+			s.Report("fleet/retry-count", at, "job %d reports %d retries, probe saw %d kills", j.ID, j.Retries, life.kills)
+		}
+		if j.Failed {
+			if life == nil || !life.failed {
+				s.Report("fleet/lifecycle-complete", at, "job %d reported failed without a fail event (%+v)", j.ID, life)
+			}
+			if j.Finished != 0 || j.Runtime != 0 {
+				s.Report("fleet/failed-job", at, "failed job %d carries completion telemetry (%+v)", j.ID, j)
+			}
+			continue
+		}
+		if life == nil || life.phase != 3 {
 			s.Report("fleet/lifecycle-complete", at, "job %d did not complete its lifecycle (%+v)", j.ID, life)
 		}
 		if j.Wait < 0 || j.Wait != j.Launched-j.Arrival {
@@ -197,6 +305,29 @@ func (s *Set) CheckFleetResult(f *cluster.FleetSystem, res *orchestrator.FleetRe
 		s.Report("fleet/recomposition-count", at,
 			"fleet reports %d recompositions, per-job moves sum to %d", res.Recompositions, movesTotal)
 	}
+	if res.Kills != retriesTotal {
+		s.Report("fleet/kill-count", at, "fleet reports %d kills, per-job retries sum to %d", res.Kills, retriesTotal)
+	}
+	if diff := res.LostGPUSeconds - lostTotal; diff > 1e-9 || diff < -1e-9 {
+		s.Report("fleet/lost-work", at,
+			"fleet lost-work %v does not balance per-job sum %v", res.LostGPUSeconds, lostTotal)
+	}
+	if res.Faults == 0 && (res.Kills != 0 || res.FailedJobs != 0 || res.LostGPUSeconds != 0) {
+		s.Report("fleet/lost-work", at,
+			"fault-free run reports recovery activity: %d kills, %d failed, %v lost",
+			res.Kills, res.FailedJobs, res.LostGPUSeconds)
+	}
+	if res.Makespan > 0 {
+		if g := res.GPUSeconds / res.Makespan.Seconds(); g-res.Goodput > 1e-9 || res.Goodput-g > 1e-9 {
+			s.Report("fleet/goodput", at, "goodput %v inconsistent with %v GPU-s over %v", res.Goodput, res.GPUSeconds, res.Makespan)
+		}
+	}
+	// No job may be left holding a down slot once the stream drains.
+	for ref, job := range s.orcSlots {
+		if s.orcDownSlots[ref] {
+			s.Report("fleet/down-slot-held", at, "down slot %v still held by job %d after the run", ref, job)
+		}
+	}
 	if s.chassisAttached != nil {
 		if stream := s.chassisAttaches + s.chassisReassigns; stream != res.Recompositions {
 			s.Report("fleet/recomposition-conservation", at,
@@ -213,6 +344,11 @@ func (s *Set) CheckFleetResult(f *cluster.FleetSystem, res *orchestrator.FleetRe
 		}
 		sort.Strings(held)
 		s.Report("fleet/slots-released", at, "%d slot(s) still assigned after the run: %v", len(held), held)
+	}
+	// Device/fabric leak checks need the fleet; nil runs the pure ledger
+	// checks only (forged-result tests).
+	if f == nil {
+		return
 	}
 	for _, slot := range f.Slots {
 		if slot.Dev.Used() != 0 {

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"composable/internal/cluster"
+	"composable/internal/falcon"
+	"composable/internal/faults"
 	"composable/internal/gpu"
 	"composable/internal/orchestrator"
 	"composable/internal/sim"
@@ -39,12 +41,18 @@ type JobRecord struct {
 	Iters     int    `json:"iters"`
 	Epochs    int    `json:"epochs"`
 
-	Status string `json:"status"` // queued | done
+	Status string `json:"status"` // queued | done | failed
 	// Scheduling telemetry, populated when Status is "done".
 	Host      string `json:"host,omitempty"`
 	Moves     int    `json:"moves,omitempty"`
 	WaitMS    int64  `json:"waitMs"`
 	RuntimeMS int64  `json:"runtimeMs"`
+	// Fault-recovery telemetry (populated after a faulty run): attempts a
+	// fault killed, the last failure cause, and the checkpointed epochs
+	// the restarts resumed from.
+	Retries     int    `json:"retries"`
+	LastFailure string `json:"lastFailure,omitempty"`
+	EpochsDone  int    `json:"epochsDone"`
 }
 
 // jobSubmitRequest is the POST /api/jobs body.
@@ -59,12 +67,17 @@ type jobSubmitRequest struct {
 }
 
 // jobRunRequest is the POST /api/jobs/run body. Zero values pick the
-// defaults (drawer policy on a 3-host × 12-GPU fleet).
+// defaults (drawer policy on a 3-host × 12-GPU fleet, fault-free).
 type jobRunRequest struct {
 	Policy   string `json:"policy"`
 	Hosts    int    `json:"hosts"`
 	GPUs     int    `json:"gpus"`
 	AttachMS int    `json:"attachMs"`
+	// MtbfMS, when positive, drains the queue under a seeded fault
+	// profile with that mean time between failures; FaultSeed selects
+	// the schedule (0 = 1).
+	MtbfMS    int   `json:"mtbfMs"`
+	FaultSeed int64 `json:"faultSeed"`
 }
 
 // jobRunResponse summarizes a drained queue.
@@ -74,6 +87,11 @@ type jobRunResponse struct {
 	MakespanMS     int64   `json:"makespanMs"`
 	Recompositions int     `json:"recompositions"`
 	Utilization    float64 `json:"utilization"`
+	// Fault telemetry (zero on a fault-free drain).
+	Faults         int     `json:"faults"`
+	Kills          int     `json:"kills"`
+	FailedJobs     int     `json:"failedJobs"`
+	LostGPUSeconds float64 `json:"lostGpuSeconds"`
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request, u *User) {
@@ -232,12 +250,21 @@ func (s *Server) handleJobRun(w http.ResponseWriter, r *http.Request, u *User) {
 	for order, i := range queued {
 		rec := &s.jobs[i]
 		j := res.Jobs[order]
+		rec.Moves = j.Moves
+		rec.Retries = j.Retries
+		rec.LastFailure = j.FailureCause
+		rec.EpochsDone = j.EpochsDone
+		rec.GPUs = j.GPUs // sanitized demand is the scheduled truth
+		if j.Failed {
+			rec.Status = "failed"
+			rec.Host = ""
+			rec.WaitMS, rec.RuntimeMS = 0, 0
+			continue
+		}
 		rec.Status = "done"
 		rec.Host = fmt.Sprintf("host%d", j.Host+1)
-		rec.Moves = j.Moves
 		rec.WaitMS = j.Wait.Milliseconds()
 		rec.RuntimeMS = j.Runtime.Milliseconds()
-		rec.GPUs = j.GPUs // sanitized demand is the scheduled truth
 	}
 	s.record(u, "job-run", fmt.Sprintf("%d jobs via %s on %d hosts × %d GPUs",
 		len(queued), req.Policy, req.Hosts, req.GPUs), "ok")
@@ -245,6 +272,8 @@ func (s *Server) handleJobRun(w http.ResponseWriter, r *http.Request, u *User) {
 		Ran: len(queued), Policy: res.Policy,
 		MakespanMS: res.Makespan.Milliseconds(), Recompositions: res.Recompositions,
 		Utilization: res.Utilization,
+		Faults:      res.Faults, Kills: res.Kills, FailedJobs: res.FailedJobs,
+		LostGPUSeconds: res.LostGPUSeconds,
 	})
 }
 
@@ -264,7 +293,18 @@ func runFleetQueue(req jobRunRequest, pol orchestrator.Policy, specs []orchestra
 	if req.AttachMS == 0 {
 		latency = orchestrator.DefaultAttachLatency
 	}
-	res, err := orchestrator.Run(fleet, specs, orchestrator.Options{Policy: pol, AttachLatency: latency})
+	var plan *faults.Plan
+	if req.MtbfMS > 0 {
+		seed := req.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		p := faults.PlanMTBF(seed, time.Duration(req.MtbfMS)*time.Millisecond, faults.Bounds{
+			Slots: req.GPUs, SlotsPerDrawer: falcon.SlotsPerDrawer, Hosts: req.Hosts,
+		})
+		plan = &p
+	}
+	res, err := orchestrator.Run(fleet, specs, orchestrator.Options{Policy: pol, AttachLatency: latency, Faults: plan})
 	if err != nil {
 		return nil, http.StatusConflict, err
 	}

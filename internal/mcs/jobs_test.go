@@ -141,3 +141,61 @@ func TestJobRunIsAdminOnlyAndFillsTelemetry(t *testing.T) {
 		t.Errorf("second run: %d, want 409", resp.StatusCode)
 	}
 }
+
+// TestJobRunWithFaultProfile drains the queue under a seeded fault
+// profile and checks the fault-recovery telemetry lands in the records:
+// retry counts, last failure cause, checkpoint progress — and that the
+// tenancy rule (404, not 403) still holds for the enriched status.
+func TestJobRunWithFaultProfile(t *testing.T) {
+	ts := jobsTestServer(t)
+	for i := 0; i < 2; i++ {
+		if resp := doJSON(t, ts, "POST", "/api/jobs", "tok-alice",
+			map[string]any{"workload": "ResNet-50", "gpus": 4, "iters": 25, "epochs": 4}, nil); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+	}
+	var out struct {
+		Ran    int `json:"ran"`
+		Faults int `json:"faults"`
+		Kills  int `json:"kills"`
+	}
+	if resp := doJSON(t, ts, "POST", "/api/jobs/run", "tok-root",
+		map[string]any{"hosts": 2, "gpus": 8, "attachMs": 1, "mtbfMs": 1500, "faultSeed": 1}, &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d", resp.StatusCode)
+	}
+	if out.Ran != 2 || out.Faults == 0 {
+		t.Fatalf("faulty drain: %+v", out)
+	}
+	if out.Kills == 0 {
+		t.Fatalf("fault profile produced no kills; telemetry below is vacuous: %+v", out)
+	}
+
+	// The enriched status is visible to the owner…
+	var rec JobRecord
+	if resp := doJSON(t, ts, "GET", "/api/jobs/0", "tok-alice", nil, &rec); resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner status: %d", resp.StatusCode)
+	}
+	if rec.Status != "done" && rec.Status != "failed" {
+		t.Errorf("status %q after drain", rec.Status)
+	}
+	totalRetries := 0
+	var all []JobRecord
+	doJSON(t, ts, "GET", "/api/jobs", "tok-root", nil, &all)
+	for _, r := range all {
+		totalRetries += r.Retries
+		if r.Retries > 0 && r.LastFailure == "" {
+			t.Errorf("job %d retried %d times with no recorded cause", r.ID, r.Retries)
+		}
+		if r.Status == "failed" && (r.Host != "" || r.RuntimeMS != 0) {
+			t.Errorf("failed job %d carries completion telemetry: %+v", r.ID, r)
+		}
+	}
+	if totalRetries != out.Kills {
+		t.Errorf("record retries sum %d != reported kills %d", totalRetries, out.Kills)
+	}
+
+	// …and still a 404 (not 403) to other tenants.
+	if resp := doJSON(t, ts, "GET", "/api/jobs/0", "tok-bob", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("bob reading alice's job after faulty drain: %d, want 404", resp.StatusCode)
+	}
+}

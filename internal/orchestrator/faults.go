@@ -1,0 +1,252 @@
+package orchestrator
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"composable/internal/falcon"
+	"composable/internal/faults"
+	"composable/internal/units"
+)
+
+// Fault recovery. The scheduler arms a faults.Plan against the fleet and
+// reacts to every event the injector dispatches:
+//
+//   - link degradation/outage rescales the slot or host-adapter link in
+//     the live fabric (in-flight flows slow down or freeze, and thaw on
+//     repair);
+//   - a GPU failure or drawer unplug blacklists the slot(s) — detached
+//     from the control plane, excluded from placement — and kills any job
+//     holding them;
+//   - a host crash kills every job placed or running there and takes the
+//     host out of the placement pool until it recovers.
+//
+// A killed job winds down cooperatively (the training engine stops every
+// rank at a consistent iteration boundary, the simulated NCCL teardown),
+// releases its GPUs, and re-enters the queue in arrival order. Its next
+// launch resumes from the last epoch-boundary checkpoint: completed
+// epochs carry over, the restore cost is charged, and only the work since
+// the last checkpoint is lost — the ledger the lost-work invariant
+// balances. A job that exhausts its retry budget is marked Failed.
+
+// armFaults sanitizes the plan against the fleet's real shape and wires
+// the injector into the scheduler's recovery handlers.
+func (s *scheduler) armFaults(plan faults.Plan) {
+	f := s.fleet
+	bounds := faults.Bounds{
+		Slots:          len(f.Slots),
+		SlotsPerDrawer: falcon.SlotsPerDrawer,
+		Hosts:          len(f.Hosts),
+		Horizon:        1<<62 - 1, // the plan's own times stand
+	}
+	// Permanent device faults must leave the largest job enough survivors.
+	maxDemand := 2
+	for _, js := range s.jobs {
+		if js.spec.GPUs > maxDemand {
+			maxDemand = js.spec.GPUs
+		}
+	}
+	bounds.MaxPermanentGPUs = len(f.Slots) - maxDemand
+	if bounds.MaxPermanentGPUs < 0 {
+		bounds.MaxPermanentGPUs = 0
+	}
+	plan = faults.Sanitize(plan, bounds)
+
+	// Healthy link capacities, for degrade/repair rescaling.
+	slotCaps := make([][2]units.BytesPerSec, len(f.Slots))
+	for i, slot := range f.Slots {
+		l := f.Net.Link(slot.Link)
+		slotCaps[i] = [2]units.BytesPerSec{l.CapAtoB, l.CapBtoA}
+	}
+	hostCaps := make([][2]units.BytesPerSec, len(f.Hosts))
+	for h, host := range f.Hosts {
+		l := f.Net.Link(host.AdapterLink)
+		hostCaps[h] = [2]units.BytesPerSec{l.CapAtoB, l.CapBtoA}
+	}
+
+	inj := faults.NewInjector(f.Env, plan, faults.Hooks{
+		SlotLink: func(slot int, factor float64) {
+			c := slotCaps[slot]
+			f.Net.SetLinkCapacity(f.Slots[slot].Link,
+				units.BytesPerSec(float64(c[0])*factor), units.BytesPerSec(float64(c[1])*factor))
+		},
+		HostLink: func(host int, factor float64) {
+			c := hostCaps[host]
+			f.Net.SetLinkCapacity(f.Hosts[host].AdapterLink,
+				units.BytesPerSec(float64(c[0])*factor), units.BytesPerSec(float64(c[1])*factor))
+		},
+		GPU: func(slot int, up bool) {
+			s.slotFaulty[slot] = !up
+			if up {
+				s.slotRepaired(slot)
+				s.trySchedule()
+			} else {
+				s.slotLost(slot, "gpu failure in "+f.Slots[slot].Ref.String())
+			}
+		},
+		Drawer: func(drawer int, up bool) {
+			s.drawerDown[drawer] = !up
+			for i, slot := range f.Slots {
+				if slot.Drawer != drawer {
+					continue
+				}
+				if up {
+					// Probe every returning slot before any scheduling, so
+					// a placement never races its own slots' up events.
+					s.slotRepaired(i)
+				} else {
+					s.slotLost(i, "drawer "+strconv.Itoa(drawer)+" hot-unplugged")
+				}
+			}
+			if up {
+				s.trySchedule()
+			}
+		},
+		Host: func(host int, up bool) {
+			s.hostDown[host] = !up
+			now := s.now()
+			if up {
+				s.probe(Event{Kind: EventHostUp, At: now, Job: -1, Host: host})
+				s.trySchedule()
+				return
+			}
+			s.probe(Event{Kind: EventHostDown, At: now, Job: -1, Host: host})
+			for _, js := range s.jobs {
+				if !js.done && !js.failed && js.host == host {
+					s.kill(js, "host"+strconv.Itoa(host+1)+" crashed")
+				}
+			}
+		},
+	})
+	inj.SetProbe(func(r faults.Record) {
+		kind := "fault"
+		if r.Up {
+			kind = "repair"
+		}
+		s.track.Record(r.At, kind, fmt.Sprintf("%s[%d]", r.Kind, r.Target))
+	})
+	inj.Arm()
+	s.injector = inj
+}
+
+// slotAvailable reports whether a slot is schedulable: its device healthy
+// and its drawer plugged.
+func (s *scheduler) slotAvailable(i int) bool {
+	if s.slotFaulty == nil {
+		return true
+	}
+	return !s.slotFaulty[i] && !s.drawerDown[s.fleet.Slots[i].Drawer]
+}
+
+// slotLost handles a slot leaving the pool: hot-unplug from the control
+// plane and kill the holder. Idempotent — a GPU fault inside an already
+// unplugged drawer changes nothing.
+func (s *scheduler) slotLost(i int, cause string) {
+	if s.err != nil {
+		return
+	}
+	now := s.now()
+	s.account(now)
+	ref := s.fleet.Slots[i].Ref
+	if s.slotHost[i] != -1 && s.fleet.Chassis.Owner(ref) != "" {
+		if err := s.fleet.Chassis.Detach(ref); err != nil {
+			s.err = fmt.Errorf("orchestrator: unplugging failed slot %v: %w", ref, err)
+			return
+		}
+	}
+	s.slotHost[i] = -1
+	s.probe(Event{Kind: EventSlotDown, At: now, Job: -1, Host: -1, Slots: []falcon.SlotRef{ref}})
+	if id := s.slotJob[i]; id != -1 {
+		s.kill(s.jobs[id], cause)
+	}
+}
+
+// slotRepaired handles a slot rejoining the pool (detached; the next
+// placement re-attaches it). A slot stays out while its drawer is still
+// unplugged or its own device still failed. The caller runs trySchedule
+// once every returning slot is probed.
+func (s *scheduler) slotRepaired(i int) {
+	if s.err != nil || !s.slotAvailable(i) {
+		return
+	}
+	now := s.now()
+	s.account(now)
+	s.probe(Event{Kind: EventSlotUp, At: now, Job: -1, Host: -1, Slots: []falcon.SlotRef{s.fleet.Slots[i].Ref}})
+}
+
+// kill tears one job's attempt down. Launched jobs abort cooperatively
+// and reschedule when their wind-down drains; jobs still in the hot-plug
+// window reschedule when the pending launch callback fires. If the abort
+// loses the race against the final iteration the job completes normally
+// and the kill is withdrawn.
+func (s *scheduler) kill(js *jobState, cause string) {
+	if js.done || js.failed || js.killed {
+		return
+	}
+	if js.host == -1 {
+		return // queued: holds nothing, nothing to kill
+	}
+	if js.job != nil {
+		js.job.Abort()
+		if !js.job.Aborted() {
+			return // past the final iteration: the fault lost the race
+		}
+	}
+	js.killed = true
+	js.cause = cause
+	s.kills++
+	s.track.Record(s.now(), "kill", "job "+strconv.Itoa(js.spec.ID)+": "+cause)
+}
+
+// reschedule finishes a kill once the attempt has drained: accounts the
+// lost work, releases the GPUs, and requeues (or fails) the job.
+func (s *scheduler) reschedule(js *jobState, now time.Duration) {
+	// Checkpointed progress carries over; work past the last epoch
+	// boundary of this attempt is lost.
+	usefulEnd := js.launched
+	if js.job != nil {
+		js.epochsDone += js.job.EpochsDone()
+		if end, ok := js.job.LastEpochEnd(); ok {
+			usefulEnd = end
+		}
+		js.lostSec += float64(js.spec.GPUs) * (now - usefulEnd).Seconds()
+	}
+	for _, slot := range js.slots {
+		s.slotJob[slot.Index] = -1
+	}
+	s.hostGPUs[js.host] -= js.spec.GPUs
+	s.hostJobs[js.host]--
+	host := js.host
+	refs := js.refs
+	js.job, js.slots, js.refs, js.host = nil, nil, nil, -1
+	js.killed = false
+	js.retries++
+	s.probe(Event{Kind: EventKill, At: now, Job: js.spec.ID, Host: host, Slots: refs})
+	if js.retries > s.maxRetries {
+		js.failed = true
+		// "abandon", not "fail": the timeline marks kinds by first rune,
+		// and 'f' already means an injected fault.
+		s.track.Record(now, "abandon", "job "+strconv.Itoa(js.spec.ID)+" abandoned after "+strconv.Itoa(js.retries)+" kills")
+		s.probe(Event{Kind: EventFail, At: now, Job: js.spec.ID, Host: -1})
+	} else {
+		s.enqueue(js)
+	}
+	s.trySchedule()
+}
+
+// enqueue inserts a job into the wait queue in arrival order (ties by
+// ID), so a retried job regains its FIFO position rather than the tail.
+func (s *scheduler) enqueue(js *jobState) {
+	at := len(s.queue)
+	for i, q := range s.queue {
+		if q.spec.Arrival > js.spec.Arrival ||
+			(q.spec.Arrival == js.spec.Arrival && q.spec.ID > js.spec.ID) {
+			at = i
+			break
+		}
+	}
+	s.queue = append(s.queue, nil)
+	copy(s.queue[at+1:], s.queue[at:])
+	s.queue[at] = js
+}

@@ -26,8 +26,10 @@ import (
 	"composable/internal/cluster"
 	"composable/internal/dlmodel"
 	"composable/internal/falcon"
+	"composable/internal/faults"
 	"composable/internal/gpu"
 	"composable/internal/sim"
+	"composable/internal/telemetry"
 	"composable/internal/train"
 )
 
@@ -52,6 +54,12 @@ type JobSpec struct {
 	BatchPerGPU   int // 0 = workload default, clamped to fit
 	Epochs        int
 	ItersPerEpoch int
+	// CheckpointsPerEpoch overrides the workload's checkpoint write
+	// cadence (0 keeps it). Restart granularity is the epoch boundary,
+	// so extra mid-epoch writes are pure overhead — the recovery trade
+	// is swept by splitting the same work into more epochs (R1), not by
+	// raising this.
+	CheckpointsPerEpoch int
 }
 
 // Sanitize maps an arbitrary spec onto the nearest valid one for a fleet
@@ -77,8 +85,9 @@ func (j JobSpec) Sanitize(totalGPUs, hosts int, spec gpu.Spec) JobSpec {
 	if j.Strategy != train.DDP {
 		j.Sharded = false
 	}
-	j.Epochs = clamp(j.Epochs, 1, 3)
+	j.Epochs = clamp(j.Epochs, 1, 8)
 	j.ItersPerEpoch = clamp(j.ItersPerEpoch, 1, 50)
+	j.CheckpointsPerEpoch = clamp(j.CheckpointsPerEpoch, 0, 8)
 
 	w, _ := dlmodel.BenchmarkByName(j.Workload)
 	maxB := j.maxBatch(w, spec)
@@ -123,7 +132,10 @@ func clamp(v, lo, hi int) int {
 // EventKind tags the orchestrator's lifecycle probe points.
 type EventKind string
 
-// Lifecycle events, in per-job order.
+// Lifecycle events, in per-job order. A fault-free job moves arrive →
+// place → launch → finish; a fault may interpose kill (back to the queue,
+// resuming from its last checkpoint on the next place) or, once the retry
+// budget is spent, fail.
 const (
 	// EventArrive: the job entered the queue.
 	EventArrive EventKind = "arrive"
@@ -135,15 +147,33 @@ const (
 	EventLaunch EventKind = "launch"
 	// EventFinish: all ranks completed and the GPUs were released.
 	EventFinish EventKind = "finish"
+	// EventKill: a fault killed the job's attempt; its GPUs were released
+	// and the job re-entered the queue (or failed).
+	EventKill EventKind = "kill"
+	// EventFail: the job exhausted its retry budget and was abandoned.
+	EventFail EventKind = "fail"
+)
+
+// Fault events, interleaved with the lifecycle stream so one probe sees
+// the whole causal order (a slot goes down, then its holder is killed).
+const (
+	// EventSlotDown/Up: a chassis GPU slot left/rejoined the schedulable
+	// pool (device failure, drawer unplug, or the repair).
+	EventSlotDown EventKind = "slot-down"
+	EventSlotUp   EventKind = "slot-up"
+	// EventHostDown/Up: a host machine crashed/recovered.
+	EventHostDown EventKind = "host-down"
+	EventHostUp   EventKind = "host-up"
 )
 
 // Event is one orchestrator lifecycle observation, the probe surface
 // internal/invariant hangs the fleet checks on (no double-assignment,
-// attach conservation, queue-lifecycle monotonicity).
+// attach conservation, queue-lifecycle monotonicity, no placement on a
+// down slot).
 type Event struct {
 	Kind  EventKind
 	At    time.Duration
-	Job   int
+	Job   int // -1 on fault events
 	Host  int // -1 on arrive
 	Slots []falcon.SlotRef
 	Moves int // place only: control-plane moves this placement needed
@@ -155,6 +185,9 @@ type Event struct {
 // partitioning never does — the trade the S1 experiment measures.
 const DefaultAttachLatency = 1500 * time.Millisecond
 
+// DefaultMaxRetries is the per-job reschedule budget after fault kills.
+const DefaultMaxRetries = 3
+
 // Options tunes a fleet run.
 type Options struct {
 	// Policy places jobs; nil means FirstFit.
@@ -165,6 +198,16 @@ type Options struct {
 	// Probe, when non-nil, observes every lifecycle event. It must not
 	// mutate scheduler state; internal/invariant attaches here.
 	Probe func(Event)
+	// Faults, when non-nil, is armed against the fleet: link degradation,
+	// GPU/drawer/host failures and their repairs play out in sim time,
+	// and the scheduler recovers — killed jobs resume from their last
+	// epoch-boundary checkpoint on surviving GPUs, failed devices are
+	// blacklisted until repaired. The plan is sanitized against the
+	// fleet's real shape before arming.
+	Faults *faults.Plan
+	// MaxRetries caps fault-kill reschedules per job (0 = default 3;
+	// negative = no retries). A job over budget is marked Failed.
+	MaxRetries int
 }
 
 // jobState tracks one job through the queue.
@@ -173,12 +216,20 @@ type jobState struct {
 	host  int
 	slots []*cluster.FleetSlot
 	refs  []falcon.SlotRef
-	moves int
+	moves int // cumulative across attempts
 	job   *train.Job
 	res   *train.Result
 
 	arrived, placed, launched, finished time.Duration
 	done                                bool
+
+	// Fault recovery state.
+	killed     bool   // current attempt is being torn down
+	cause      string // last failure cause
+	retries    int    // attempts killed by faults so far
+	failed     bool   // retry budget exhausted; job abandoned
+	epochsDone int    // checkpointed epochs carried across attempts
+	lostSec    float64
 }
 
 // scheduler is the event-driven core. Everything runs inside sim callbacks
@@ -197,6 +248,17 @@ type scheduler struct {
 
 	recomps int
 	err     error
+
+	// Fault state (see faults.go). A slot is schedulable only while its
+	// device and drawer are healthy; a host only while it hasn't crashed.
+	slotFaulty []bool
+	drawerDown []bool
+	hostDown   []bool
+	slotConfig []int // compose-time owner per slot (-1 on a cold fleet)
+	maxRetries int
+	injector   *faults.Injector
+	track      *telemetry.Track
+	kills      int
 
 	// Fragmentation accounting: free-GPU-seconds accumulated while at
 	// least one job waits (capacity exists but the policy cannot use it).
@@ -224,18 +286,31 @@ func Run(f *cluster.FleetSystem, specs []JobSpec, opts Options) (*FleetResult, e
 		opts.AttachLatency = 0
 	}
 
+	maxRetries := opts.MaxRetries
+	switch {
+	case maxRetries == 0:
+		maxRetries = DefaultMaxRetries
+	case maxRetries < 0:
+		maxRetries = 0
+	}
 	s := &scheduler{
-		fleet:    f,
-		opts:     opts,
-		slotJob:  make([]int, len(f.Slots)),
-		slotHost: make([]int, len(f.Slots)),
-		hostGPUs: make([]int, len(f.Hosts)),
-		hostJobs: make([]int, len(f.Hosts)),
+		fleet:      f,
+		opts:       opts,
+		slotJob:    make([]int, len(f.Slots)),
+		slotHost:   make([]int, len(f.Slots)),
+		hostGPUs:   make([]int, len(f.Hosts)),
+		hostJobs:   make([]int, len(f.Hosts)),
+		slotFaulty: make([]bool, len(f.Slots)),
+		drawerDown: make([]bool, falcon.NumDrawers),
+		hostDown:   make([]bool, len(f.Hosts)),
+		maxRetries: maxRetries,
+		track:      telemetry.NewTrack("faults"),
 	}
 	for i := range f.Slots {
 		s.slotJob[i] = -1
 		s.slotHost[i] = f.OwnerHost(f.Slots[i])
 	}
+	s.slotConfig = append([]int(nil), s.slotHost...)
 	devSpec := f.Slots[0].Dev.Spec
 	for i := range specs {
 		spec := specs[i].Sanitize(len(f.Slots), len(f.Hosts), devSpec)
@@ -243,6 +318,9 @@ func Run(f *cluster.FleetSystem, specs []JobSpec, opts Options) (*FleetResult, e
 		js := &jobState{spec: spec, host: -1}
 		s.jobs = append(s.jobs, js)
 		f.Env.Schedule(spec.Arrival, func() { s.arrive(js) })
+	}
+	if opts.Faults != nil && !opts.Faults.Empty() {
+		s.armFaults(*opts.Faults)
 	}
 
 	if err := f.Env.Run(); err != nil {
@@ -253,7 +331,7 @@ func Run(f *cluster.FleetSystem, specs []JobSpec, opts Options) (*FleetResult, e
 	}
 	var stuck []string
 	for _, js := range s.jobs {
-		if !js.done {
+		if !js.done && !js.failed {
 			stuck = append(stuck, strconv.Itoa(js.spec.ID))
 		}
 	}
@@ -273,12 +351,13 @@ func (s *scheduler) probe(ev Event) {
 }
 
 // account accrues fragmentation time up to now: while any job waits, every
-// free GPU is stranded capacity.
+// free schedulable GPU is stranded capacity (a failed device is missing,
+// not stranded).
 func (s *scheduler) account(now time.Duration) {
 	if len(s.queue) > 0 && now > s.lastT {
 		free := 0
-		for _, j := range s.slotJob {
-			if j == -1 {
+		for i, j := range s.slotJob {
+			if j == -1 && s.slotAvailable(i) {
 				free++
 			}
 		}
@@ -325,6 +404,10 @@ func (s *scheduler) checkPlacement(js *jobState, host int, picks []int) error {
 		return fmt.Errorf("orchestrator: policy %s placed job %d on host %d of %d",
 			s.opts.Policy.Name(), js.spec.ID, host, len(s.fleet.Hosts))
 	}
+	if s.hostDown[host] {
+		return fmt.Errorf("orchestrator: policy %s placed job %d on crashed host %d",
+			s.opts.Policy.Name(), js.spec.ID, host)
+	}
 	if len(picks) != js.spec.GPUs {
 		return fmt.Errorf("orchestrator: policy %s picked %d slots for job %d needing %d",
 			s.opts.Policy.Name(), len(picks), js.spec.ID, js.spec.GPUs)
@@ -340,6 +423,10 @@ func (s *scheduler) checkPlacement(js *jobState, host int, picks []int) error {
 			return fmt.Errorf("orchestrator: policy %s double-assigned slot %d (held by job %d) to job %d",
 				s.opts.Policy.Name(), i, s.slotJob[i], js.spec.ID)
 		}
+		if !s.slotAvailable(i) {
+			return fmt.Errorf("orchestrator: policy %s picked failed slot %d for job %d",
+				s.opts.Policy.Name(), i, js.spec.ID)
+		}
 	}
 	return nil
 }
@@ -352,6 +439,7 @@ func (s *scheduler) place(js *jobState, host int, picks []int) {
 	js.placed = now
 	js.host = host
 	port := s.fleet.Hosts[host].Port
+	moves := 0 // this placement only; js.moves accumulates across attempts
 	for _, i := range picks {
 		slot := s.fleet.Slots[i]
 		s.slotJob[i] = js.spec.ID
@@ -373,43 +461,56 @@ func (s *scheduler) place(js *jobState, host int, picks []int) {
 			return
 		}
 		s.slotHost[i] = host
-		js.moves++
+		moves++
 	}
-	s.recomps += js.moves
+	js.moves += moves
+	s.recomps += moves
 	s.hostGPUs[host] += js.spec.GPUs
 	s.hostJobs[host]++
-	s.probe(Event{Kind: EventPlace, At: now, Job: js.spec.ID, Host: host, Slots: js.refs, Moves: js.moves})
+	s.probe(Event{Kind: EventPlace, At: now, Job: js.spec.ID, Host: host, Slots: js.refs, Moves: moves})
 
-	if delay := s.opts.AttachLatency * time.Duration(js.moves); delay > 0 {
+	if delay := s.opts.AttachLatency * time.Duration(moves); delay > 0 {
 		s.fleet.Env.After(delay, func() { s.launch(js) })
 	} else {
 		s.launch(js)
 	}
 }
 
-// launch starts the training processes on the job's system view.
+// launch starts the training processes on the job's system view. A job
+// killed during the hot-plug window (its host crashed, a picked device
+// died) reschedules here instead of starting.
 func (s *scheduler) launch(js *jobState) {
 	if s.err != nil {
 		return
 	}
 	now := s.now()
 	s.account(now)
+	if js.killed {
+		s.reschedule(js, now)
+		return
+	}
 	js.launched = now
 	w, err := dlmodel.BenchmarkByName(js.spec.Workload)
 	if err != nil {
 		s.err = fmt.Errorf("orchestrator: job %d: %w", js.spec.ID, err)
 		return
 	}
+	remaining := js.spec.Epochs - js.epochsDone
+	if remaining < 1 {
+		remaining = 1
+	}
 	name := fmt.Sprintf("fleet-j%d-h%d", js.spec.ID, js.host+1)
 	sys := s.fleet.JobSystem(s.fleet.Hosts[js.host], js.slots, name)
 	job, err := train.Start(sys, train.Options{
-		Workload:      w,
-		Precision:     js.spec.Precision,
-		Strategy:      js.spec.Strategy,
-		Sharded:       js.spec.Sharded,
-		BatchPerGPU:   js.spec.BatchPerGPU,
-		Epochs:        js.spec.Epochs,
-		ItersPerEpoch: js.spec.ItersPerEpoch,
+		Workload:            w,
+		Precision:           js.spec.Precision,
+		Strategy:            js.spec.Strategy,
+		Sharded:             js.spec.Sharded,
+		BatchPerGPU:         js.spec.BatchPerGPU,
+		Epochs:              remaining,
+		ItersPerEpoch:       js.spec.ItersPerEpoch,
+		CheckpointsPerEpoch: js.spec.CheckpointsPerEpoch,
+		ResumeEpochs:        js.epochsDone,
 	})
 	if err != nil {
 		s.err = fmt.Errorf("orchestrator: starting job %d (%s ×%d on host%d): %w",
@@ -418,16 +519,22 @@ func (s *scheduler) launch(js *jobState) {
 	}
 	js.job = job
 	s.probe(Event{Kind: EventLaunch, At: now, Job: js.spec.ID, Host: js.host, Slots: js.refs})
-	s.fleet.Env.Go("fleet.watch.j"+strconv.Itoa(js.spec.ID), func(p *sim.Proc) {
+	s.fleet.Env.Go("fleet.watch.j"+strconv.Itoa(js.spec.ID)+"r"+strconv.Itoa(js.retries), func(p *sim.Proc) {
 		job.Done().Wait(p)
 		s.finish(js, p.Now())
 	})
 }
 
 // finish collects the result, releases the GPUs (attachment is left in
-// place — the next placement reuses or reassigns it) and reschedules.
+// place — the next placement reuses or reassigns it) and reschedules. For
+// an attempt a fault killed, it routes to the recovery path instead once
+// the wind-down has drained.
 func (s *scheduler) finish(js *jobState, now time.Duration) {
 	s.account(now)
+	if js.killed {
+		s.reschedule(js, now)
+		return
+	}
 	js.finished = now
 	res, err := js.job.Collect()
 	if err != nil {
@@ -451,14 +558,21 @@ func (s *scheduler) view() View {
 		Drawers:        falcon.NumDrawers,
 		HostActiveGPUs: append([]int(nil), s.hostGPUs...),
 		HostActiveJobs: append([]int(nil), s.hostJobs...),
+		HostUp:         make([]bool, len(s.fleet.Hosts)),
 		Slots:          make([]SlotView, len(s.fleet.Slots)),
 	}
+	for h := range v.HostUp {
+		v.HostUp[h] = !s.hostDown[h]
+	}
 	for i, slot := range s.fleet.Slots {
+		down := !s.slotAvailable(i)
 		v.Slots[i] = SlotView{
 			Index:  i,
 			Drawer: slot.Drawer,
 			Host:   s.slotHost[i],
-			Free:   s.slotJob[i] == -1,
+			Free:   s.slotJob[i] == -1 && !down,
+			Down:   down,
+			Config: s.slotConfig[i],
 		}
 	}
 	return v
@@ -472,16 +586,39 @@ func (s *scheduler) result() *FleetResult {
 
 		Recompositions:          s.recomps,
 		FragmentationGPUSeconds: s.fragGPUSec,
+		Kills:                   s.kills,
+		Track:                   s.track,
 	}
+	if s.injector != nil {
+		for _, rec := range s.injector.Records() {
+			if !rec.Up {
+				r.Faults++
+			}
+		}
+		r.FaultLedger = s.injector.AppliedLedger()
+	}
+	completed := 0
 	for _, js := range s.jobs {
 		jr := JobResult{
 			ID: js.spec.ID, Workload: js.spec.Workload,
 			GPUs: js.spec.GPUs, Tenant: js.spec.Tenant, Host: js.host, Moves: js.moves,
 			Slots:   js.refs,
-			Arrival: js.arrived, Placed: js.placed, Launched: js.launched, Finished: js.finished,
-			Wait: js.launched - js.arrived, Runtime: js.finished - js.launched,
+			Retries: js.retries, EpochsDone: js.epochsDone, LostGPUSeconds: js.lostSec,
+			Failed: js.failed, FailureCause: js.cause,
 			Train: js.res,
 		}
+		r.LostGPUSeconds += js.lostSec
+		if js.failed {
+			// An abandoned job has no final attempt: only its arrival (and
+			// the lost work above) are meaningful.
+			jr.Arrival = js.arrived
+			r.FailedJobs++
+			r.Jobs = append(r.Jobs, jr)
+			continue
+		}
+		completed++
+		jr.Arrival, jr.Placed, jr.Launched, jr.Finished = js.arrived, js.placed, js.launched, js.finished
+		jr.Wait, jr.Runtime = js.launched-js.arrived, js.finished-js.launched
 		r.Jobs = append(r.Jobs, jr)
 		if jr.Finished > r.Makespan {
 			r.Makespan = jr.Finished
@@ -492,9 +629,12 @@ func (s *scheduler) result() *FleetResult {
 		}
 		r.GPUSeconds += float64(jr.GPUs) * jr.Runtime.Seconds()
 	}
-	r.MeanWait = r.TotalWait / time.Duration(len(r.Jobs))
+	if completed > 0 {
+		r.MeanWait = r.TotalWait / time.Duration(completed)
+	}
 	if r.Makespan > 0 {
 		r.Utilization = r.GPUSeconds / (float64(r.GPUs) * r.Makespan.Seconds())
+		r.Goodput = r.GPUSeconds / r.Makespan.Seconds()
 	}
 	return r
 }

@@ -169,7 +169,7 @@ func TestSanitizeSpec(t *testing.T) {
 	if got.Workload != "ResNet-50" || got.Strategy != train.DDP {
 		t.Errorf("bad fallbacks: %+v", got)
 	}
-	if got.Epochs != 3 || got.ItersPerEpoch != 1 {
+	if got.Epochs != 8 || got.ItersPerEpoch != 1 {
 		t.Errorf("bad run-length clamps: %+v", got)
 	}
 	if got.BatchPerGPU < 1 || got.BatchPerGPU >= 1<<20 {

@@ -17,7 +17,13 @@ type View struct {
 	// running) resources per host.
 	HostActiveGPUs []int
 	HostActiveJobs []int
+	// HostUp marks hosts that have not crashed. Nil (a fault-free
+	// scheduler build) means every host is up.
+	HostUp []bool
 }
+
+// hostUp reports whether host h is schedulable.
+func (v View) hostUp(h int) bool { return v.HostUp == nil || v.HostUp[h] }
 
 // SlotView is one GPU slot as a policy sees it.
 type SlotView struct {
@@ -27,7 +33,17 @@ type SlotView struct {
 	// attached to another host can be taken, at the cost of one
 	// recomposition move.
 	Host int
+	// Free marks a slot with no assigned job that is schedulable now; a
+	// Down slot is never Free.
 	Free bool
+	// Down marks a failed device or unplugged drawer: invisible capacity
+	// until the repair lands.
+	Down bool
+	// Config is the host the slot was attached to when the run began
+	// (-1 on a cold fleet): the fixed partition the static policy owns.
+	// After a drawer flap re-plugs a detached slot, Config is how the
+	// static layout is restored.
+	Config int
 }
 
 // Request is the head-of-queue job a policy must place.
@@ -83,12 +99,18 @@ func freeSlots(v View) []int {
 	return out
 }
 
-// leastLoadedHost picks the host with the fewest assigned GPUs, breaking
-// ties by fewest assigned jobs, then lowest index.
+// leastLoadedHost picks the up host with the fewest assigned GPUs,
+// breaking ties by fewest assigned jobs, then lowest index. It returns -1
+// when every host is down.
 func leastLoadedHost(v View) int {
-	best := 0
-	for h := 1; h < v.Hosts; h++ {
+	best := -1
+	for h := 0; h < v.Hosts; h++ {
+		if !v.hostUp(h) {
+			continue
+		}
 		switch {
+		case best == -1:
+			best = h
 		case v.HostActiveGPUs[h] < v.HostActiveGPUs[best]:
 			best = h
 		case v.HostActiveGPUs[h] == v.HostActiveGPUs[best] &&
@@ -128,7 +150,13 @@ func (FirstFit) Place(v View, r Request) (int, []int, bool) {
 	if len(free) < r.GPUs {
 		return 0, nil, false
 	}
-	return 0, free[:r.GPUs], true
+	// Lowest-index host that hasn't crashed (host 1 absent faults).
+	for h := 0; h < v.Hosts; h++ {
+		if v.hostUp(h) {
+			return h, free[:r.GPUs], true
+		}
+	}
+	return 0, nil, false
 }
 
 // DrawerLocal spreads jobs across hosts by load and packs each job's GPUs
@@ -147,6 +175,9 @@ func (DrawerLocal) Place(v View, r Request) (int, []int, bool) {
 		return 0, nil, false
 	}
 	host := leastLoadedHost(v)
+	if host == -1 {
+		return 0, nil, false
+	}
 	orderFor := func(candidates []SlotView) []int {
 		sort.SliceStable(candidates, func(i, j int) bool {
 			ri, rj := attachRank(candidates[i], host), attachRank(candidates[j], host)
@@ -215,6 +246,9 @@ func (BandwidthAware) Place(v View, r Request) (int, []int, bool) {
 		return 0, nil, false
 	}
 	host := leastLoadedHost(v)
+	if host == -1 {
+		return 0, nil, false
+	}
 	// Per-drawer load: devices currently assigned to any job.
 	load := make([]int, v.Drawers)
 	for _, s := range v.Slots {
@@ -265,9 +299,15 @@ func (Static) Name() string { return "static" }
 
 // Place implements Policy.
 func (Static) Place(v View, r Request) (int, []int, bool) {
+	if !v.hostUp(r.Tenant) {
+		return 0, nil, false // the tenant waits out its host's crash
+	}
 	var picks []int
 	for _, s := range v.Slots {
-		if s.Free && s.Host == r.Tenant {
+		// The tenant's share: slots attached to it, plus detached slots it
+		// owned at compose time (a repaired device or re-plugged drawer
+		// returns detached; the next placement restores the partition).
+		if s.Free && (s.Host == r.Tenant || (s.Host == -1 && s.Config == r.Tenant)) {
 			picks = append(picks, s.Index)
 			if len(picks) == r.GPUs {
 				return r.Tenant, picks, true

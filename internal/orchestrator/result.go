@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"composable/internal/falcon"
+	"composable/internal/telemetry"
 	"composable/internal/train"
 )
 
@@ -16,15 +17,28 @@ type JobResult struct {
 	Workload string
 	GPUs     int
 	Tenant   int
-	Host     int
-	Moves    int // recompositions this placement needed
+	Host     int // final (or last) host; -1 if never placed
+	Moves    int // recompositions across every attempt
 	Slots    []falcon.SlotRef
 
 	Arrival, Placed, Launched, Finished time.Duration
-	// Wait is queueing plus recomposition delay (Launched − Arrival).
+	// Wait is queueing plus recomposition delay of the final attempt
+	// (Launched − Arrival; includes time spent on killed attempts).
 	Wait time.Duration
-	// Runtime is the training time (Finished − Launched).
+	// Runtime is the final attempt's training time (Finished − Launched).
 	Runtime time.Duration
+
+	// Fault recovery telemetry.
+	// Retries counts attempts a fault killed; EpochsDone is the progress
+	// checkpoints carried between them; LostGPUSeconds is GPU time spent
+	// past the last checkpoint of killed attempts (work re-done).
+	Retries        int
+	EpochsDone     int
+	LostGPUSeconds float64
+	// Failed marks a job abandoned after its retry budget; FailureCause
+	// is the last fault that killed it.
+	Failed       bool
+	FailureCause string
 
 	Train *train.Result
 }
@@ -42,7 +56,8 @@ type FleetResult struct {
 	TotalWait, MaxWait, MeanWait time.Duration
 	// Recompositions counts every control-plane device move.
 	Recompositions int
-	// GPUSeconds is Σ jobs (GPUs × runtime): delivered GPU time.
+	// GPUSeconds is Σ completed jobs (GPUs × final runtime): delivered
+	// GPU time (killed attempts are in LostGPUSeconds, not here).
 	GPUSeconds float64
 	// Utilization is GPUSeconds / (fleet GPUs × makespan).
 	Utilization float64
@@ -50,6 +65,24 @@ type FleetResult struct {
 	// one job was waiting: capacity that existed but the policy could not
 	// put under the queue head.
 	FragmentationGPUSeconds float64
+
+	// Fault telemetry (all zero on a fault-free run).
+	// Faults counts injected failure events, Kills job attempts torn
+	// down, FailedJobs jobs abandoned over budget.
+	Faults, Kills, FailedJobs int
+	// LostGPUSeconds is Σ jobs' lost work: GPU time past the last
+	// checkpoint of killed attempts.
+	LostGPUSeconds float64
+	// Goodput is delivered useful GPU-seconds per second of makespan —
+	// the recovery metric experiment R2 compares across policies: lost
+	// and re-done work earns nothing.
+	Goodput float64
+	// FaultLedger is the canonical applied-fault log (empty without
+	// faults); it is part of the fingerprint.
+	FaultLedger string
+	// Track is the annotated fault/kill event track for CSV export and
+	// chart overlays.
+	Track *telemetry.Track
 }
 
 // Fingerprint canonically renders every deterministic scalar of the fleet
@@ -68,6 +101,8 @@ func (r *FleetResult) Fingerprint() string {
 			b.WriteString(ref.String())
 		}
 		fmt.Fprintf(&b, " arr=%d placed=%d launch=%d fin=%d", int64(j.Arrival), int64(j.Placed), int64(j.Launched), int64(j.Finished))
+		fmt.Fprintf(&b, " retries=%d edone=%d failed=%t lost=%s",
+			j.Retries, j.EpochsDone, j.Failed, strconv.FormatFloat(j.LostGPUSeconds, 'g', -1, 64))
 		if j.Train != nil {
 			fmt.Fprintf(&b, " total=%d avgIter=%d peak=%d", int64(j.Train.TotalTime), int64(j.Train.AvgIter), int64(j.Train.PeakGPUMem))
 		}
@@ -75,6 +110,7 @@ func (r *FleetResult) Fingerprint() string {
 	}
 	fmt.Fprintf(&b, "makespan=%d recomp=%d waitTotal=%d waitMax=%d waitMean=%d\n",
 		int64(r.Makespan), r.Recompositions, int64(r.TotalWait), int64(r.MaxWait), int64(r.MeanWait))
+	fmt.Fprintf(&b, "faults=%d kills=%d failedJobs=%d\n", r.Faults, r.Kills, r.FailedJobs)
 	for _, f := range []struct {
 		name string
 		v    float64
@@ -82,12 +118,15 @@ func (r *FleetResult) Fingerprint() string {
 		{"gpuSec", r.GPUSeconds},
 		{"util", r.Utilization},
 		{"fragGPUSec", r.FragmentationGPUSeconds},
+		{"lostGPUSec", r.LostGPUSeconds},
+		{"goodput", r.Goodput},
 	} {
 		b.WriteString(f.name)
 		b.WriteByte('=')
 		b.WriteString(strconv.FormatFloat(f.v, 'g', -1, 64))
 		b.WriteByte('\n')
 	}
+	b.WriteString(r.FaultLedger)
 	return b.String()
 }
 
@@ -99,5 +138,9 @@ func (r *FleetResult) Summary() string {
 		r.Makespan.Round(time.Millisecond), r.MeanWait.Round(time.Millisecond), r.MaxWait.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  %d recompositions, %.1f GPU-s delivered, utilization %.1f%%, %.1f GPU-s stranded\n",
 		r.Recompositions, r.GPUSeconds, r.Utilization*100, r.FragmentationGPUSeconds)
+	if r.Faults > 0 {
+		fmt.Fprintf(&b, "  %d faults: %d kills, %d jobs failed, %.1f GPU-s lost, goodput %.2f GPU/s\n",
+			r.Faults, r.Kills, r.FailedJobs, r.LostGPUSeconds, r.Goodput)
+	}
 	return b.String()
 }

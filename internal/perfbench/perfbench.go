@@ -22,6 +22,7 @@ import (
 	"composable/internal/cluster"
 	"composable/internal/experiments"
 	"composable/internal/fabric"
+	"composable/internal/faults"
 	"composable/internal/orchestrator"
 	"composable/internal/sim"
 	"composable/internal/units"
@@ -75,6 +76,7 @@ func Suite() []Benchmark {
 		{"sim/same-instant-fifo", BenchSimSameInstantFIFO},
 		{"fabric/flow-churn-contended", BenchFabricFlowChurnContended},
 		{"orchestrator/fleet-schedule", BenchOrchestratorFleetSchedule},
+		{"faults/recover-reschedule", BenchFaultsRecoverReschedule},
 		{"suite/run-all-sequential", BenchSuiteRunAllSequential},
 	}
 }
@@ -350,6 +352,41 @@ func BenchOrchestratorFleetSchedule(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N*len(stream))/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchFaultsRecoverReschedule measures the full fault-recovery path:
+// compose a 2-host × 8-GPU fleet, run a 4-epoch job plus a companion, kill
+// a held GPU mid-run, and let the scheduler abort the attempt, blacklist
+// the device, and restart the job from its last epoch-boundary checkpoint.
+// One op = one complete faulty fleet run, so the number tracks everything
+// the recovery path crosses — injection, cooperative wind-down, control
+// plane hot-unplug, requeue, checkpoint restore.
+func BenchFaultsRecoverReschedule(b *testing.B) {
+	stream := []orchestrator.JobSpec{
+		{Arrival: 0, Tenant: 0, GPUs: 4, Workload: "ResNet-50", Epochs: 4, ItersPerEpoch: 6},
+		{Arrival: time.Second, Tenant: 1, GPUs: 2, Workload: "MobileNetV2", Epochs: 1, ItersPerEpoch: 4},
+	}
+	plan := faults.Plan{Events: []faults.Event{
+		{At: 2 * time.Second, Kind: faults.KindGPU, Target: 0, Repair: 500 * time.Millisecond},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		fleet, err := cluster.ComposeFleet(env, cluster.FleetOptions{Hosts: 2, GPUs: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := orchestrator.Run(fleet, stream, orchestrator.Options{
+			Policy: orchestrator.DrawerLocal{}, AttachLatency: -1, Faults: &plan,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Kills == 0 {
+			b.Fatal("benchmark fault never killed: not measuring recovery")
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "recoveries/s")
 }
 
 // BenchSuiteRunAllSequential regenerates every registered experiment on a

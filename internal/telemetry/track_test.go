@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"composable/internal/sim"
+)
+
+func TestTrackRecordAndKinds(t *testing.T) {
+	tr := NewTrack("faults")
+	tr.Record(time.Second, "fault", "gpu[3]")
+	tr.Record(2*time.Second, "kill", "job 0")
+	tr.Record(3*time.Second, "repair", "gpu[3]")
+	tr.Record(4*time.Second, "fault", "host[1]")
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	kinds := tr.Kinds()
+	want := []string{"fault", "kill", "repair"}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestTrackCSV(t *testing.T) {
+	tr := NewTrack("faults")
+	tr.Record(1500*time.Millisecond, "fault", "gpu[3], drawer 0")
+	csv := tr.CSV()
+	if !strings.HasPrefix(csv, "time_s,faults_kind,label\n") {
+		t.Fatalf("bad header: %q", csv)
+	}
+	if !strings.Contains(csv, "1.500,fault,gpu[3]; drawer 0") {
+		t.Fatalf("bad row (commas must not break the format): %q", csv)
+	}
+}
+
+func TestTrackTimeline(t *testing.T) {
+	tr := NewTrack("faults")
+	tr.Record(0, "fault", "")
+	tr.Record(5*time.Second, "kill", "")
+	tr.Record(5*time.Second, "repair", "")
+	tr.Record(10*time.Second, "repair", "")
+	line := tr.Timeline(10, 10*time.Second)
+	if len([]rune(line)) != 10 {
+		t.Fatalf("timeline width %d, want 10: %q", len([]rune(line)), line)
+	}
+	runes := []rune(line)
+	if runes[0] != 'f' {
+		t.Errorf("t=0 marker %q, want 'f'", runes[0])
+	}
+	if runes[5] != '*' {
+		t.Errorf("colliding kinds at mid marker %q, want '*'", runes[5])
+	}
+	if runes[9] != 'r' {
+		t.Errorf("end marker %q, want 'r'", runes[9])
+	}
+	if tr.Timeline(0, time.Second) != "" || tr.Timeline(10, 0) != "" {
+		t.Error("degenerate timelines should be empty")
+	}
+}
+
+func TestRecorderTracks(t *testing.T) {
+	env := sim.NewEnv()
+	rec := NewRecorder(env, 0)
+	tr := rec.AddTrack("events")
+	tr.Record(time.Second, "checkpoint", "w")
+	if rec.Track("events") != tr {
+		t.Fatal("Track lookup failed")
+	}
+	if rec.Track("nope") != nil {
+		t.Fatal("unknown track should be nil")
+	}
+	if len(rec.Tracks()) != 1 {
+		t.Fatalf("tracks = %d", len(rec.Tracks()))
+	}
+}

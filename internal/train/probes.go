@@ -18,11 +18,19 @@ const (
 	SeriesFalconGBps = "falcon_pcie_gbps"
 )
 
+// TrackEvents is the recorder's annotated event track: training lifecycle
+// marks (epoch, checkpoint, restore, done/abort) recorded alongside the
+// gauge series, so figures and CSV exports can overlay when checkpoints
+// and faults happened on the utilization curves.
+const TrackEvents = "events"
+
 // recorder wires the telemetry probes the paper's tooling collected:
 // windowed GPU utilization (nvidia-smi), GPU memory, host CPU and memory
-// (wandb system metrics) and Falcon port traffic (chassis GUI).
+// (wandb system metrics) and Falcon port traffic (chassis GUI), plus the
+// annotated lifecycle event track.
 type recorder struct {
-	rec *telemetry.Recorder
+	rec    *telemetry.Recorder
+	events *telemetry.Track
 }
 
 func newRecorder(sys *cluster.System, interval time.Duration) *recorder {
@@ -77,10 +85,15 @@ func newRecorder(sys *cluster.System, interval time.Duration) *recorder {
 		})
 	}
 	rec.Start()
-	return &recorder{rec: rec}
+	return &recorder{rec: rec, events: rec.AddTrack(TrackEvents)}
 }
 
 func (r *recorder) stop() { r.rec.Stop() }
+
+// event annotates the lifecycle track.
+func (r *recorder) event(at time.Duration, kind, label string) {
+	r.events.Record(at, kind, label)
+}
 
 // fill copies the series means into the result.
 func (r *recorder) fill(res *Result) {

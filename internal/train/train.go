@@ -17,6 +17,7 @@ import (
 	"composable/internal/cluster"
 	"composable/internal/collective"
 	"composable/internal/dlmodel"
+	"composable/internal/fabric"
 	"composable/internal/gpu"
 	"composable/internal/sim"
 	"composable/internal/telemetry"
@@ -60,6 +61,18 @@ type Options struct {
 	// Channels overrides the collective's counter-rotating ring count
 	// (0 → library default; ablation knob).
 	Channels int
+	// CheckpointsPerEpoch overrides the workload's checkpoint write
+	// cadence (0 keeps it). Only epoch-boundary checkpoints are resume
+	// points (ResumeEpochs); mid-epoch writes model Figure 9's periodic
+	// dips, so raising this buys fidelity, not recovery.
+	CheckpointsPerEpoch int
+	// ResumeEpochs marks this run as a checkpoint restart: the job already
+	// completed that many epochs in a previous attempt, and before the
+	// first iteration rank 0 restores the checkpoint — a storage read plus
+	// a host→GPU parameter load per rank, charged against the same tiers
+	// the periodic checkpoint writes use. Epochs still counts only the
+	// epochs this run executes.
+	ResumeEpochs int
 	// Seed offsets nothing today but keeps the API honest about
 	// determinism: the simulation is deterministic for a given seed.
 	Seed int64
@@ -76,7 +89,9 @@ type Options struct {
 const (
 	ProbeEpoch      = "epoch"
 	ProbeCheckpoint = "checkpoint"
+	ProbeRestore    = "restore"
 	ProbeDone       = "done"
+	ProbeAbort      = "abort"
 )
 
 // Fingerprint canonically encodes every option that changes the outcome of
@@ -87,10 +102,10 @@ const (
 // which is what makes fingerprints safe as cache/deduplication keys — the
 // experiments session keys its shared-run cache on them.
 func (o Options) Fingerprint() string {
-	return fmt.Sprintf("%s|%v|%s|%t|%d|%d|%d|%d|%d|%d|%v|%d",
+	return fmt.Sprintf("%s|%v|%s|%t|%d|%d|%d|%d|%d|%d|%v|%d|%d|%d",
 		o.Workload.Name, o.Precision, o.Strategy, o.Sharded,
 		o.BatchPerGPU, o.Epochs, o.ItersPerEpoch, o.Buckets, o.Workers,
-		o.Channels, o.SampleInterval, o.Seed)
+		o.Channels, o.SampleInterval, o.Seed, o.CheckpointsPerEpoch, o.ResumeEpochs)
 }
 
 // launchBusyFraction is how much of the per-iteration launch overhead a
@@ -177,10 +192,58 @@ type Job struct {
 	epochEnds []time.Duration
 	portBase  units.Bytes
 	done      sim.Signal
+
+	// Abort machinery: when a fault kills the job, every rank stops at the
+	// same iteration boundary (cutoff) so no collective is left waiting on
+	// a rank that already quit — the simulated analog of NCCL tearing the
+	// process group down after a peer dies.
+	totalIters int
+	maxStarted int // highest iteration any rank has begun (-1 before iter 0)
+	cutoff     int
+	aborted    bool
 }
 
-// Done returns the signal fired when all ranks complete.
+// Done returns the signal fired when all ranks complete (or, for an
+// aborted job, when the wind-down drains).
 func (j *Job) Done() *sim.Signal { return &j.done }
+
+// Abort requests a cooperative stop: every rank finishes the last
+// iteration any rank has already begun (keeping in-flight collectives
+// consistent) and then exits; the loader and feeders drain so the
+// simulation winds down cleanly and the Done signal still fires. It must
+// be called from inside the simulation. If the run has already begun its
+// final iteration the abort is a no-op and the job completes normally —
+// the fault lost the race against the finish line.
+func (j *Job) Abort() {
+	if j.aborted || j.done.Fired() {
+		return
+	}
+	cut := j.maxStarted + 1
+	if cut >= j.totalIters {
+		return
+	}
+	j.aborted = true
+	j.cutoff = cut
+}
+
+// Aborted reports whether the job was stopped by Abort before completing.
+func (j *Job) Aborted() bool { return j.aborted }
+
+// EpochsDone returns the number of epoch boundaries this run completed —
+// the progress a checkpoint restart resumes from.
+func (j *Job) EpochsDone() int { return len(j.epochEnds) }
+
+// LastEpochEnd returns the virtual time of the last completed epoch
+// boundary, and false when no epoch completed.
+func (j *Job) LastEpochEnd() (time.Duration, bool) {
+	if len(j.epochEnds) == 0 {
+		return 0, false
+	}
+	return j.epochEnds[len(j.epochEnds)-1], true
+}
+
+// stopAt reports whether iteration it is past the abort cutoff.
+func (j *Job) stopAt(it int) bool { return j.aborted && it >= j.cutoff }
 
 // Start sets up and launches the training job's processes without running
 // the simulation. The caller runs sys.Env (once, possibly with several
@@ -272,11 +335,18 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 
 	rec := newRecorder(sys, opts.SampleInterval)
 
-	// Checkpoint schedule: CheckpointsPerEpoch marks per epoch, the last
-	// at the epoch boundary. Because the simulated epoch is a shortened
-	// subset of the real one, the bytes written per mark are scaled by
-	// simIters/realIters so checkpointing keeps the same share of
-	// training time it has in a full-length run.
+	// Checkpoint schedule: CheckpointsPerEpoch marks per epoch (workload
+	// default, overridable), the last at the epoch boundary. Because the
+	// simulated epoch is a shortened subset of the real one, the bytes
+	// written per mark are scaled by simIters/realIters so checkpointing
+	// keeps the same share of training time it has in a full-length run.
+	ckptPer := w.CheckpointsPerEpoch
+	if opts.CheckpointsPerEpoch > 0 {
+		ckptPer = opts.CheckpointsPerEpoch
+	}
+	if ckptPer > opts.ItersPerEpoch {
+		ckptPer = opts.ItersPerEpoch
+	}
 	ckptAt := make(map[int]*ckptPoint)
 	ckptScale := float64(opts.ItersPerEpoch) / float64(w.RealItersPerEpoch(nGPU))
 	if ckptScale > 1 {
@@ -284,8 +354,8 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 	}
 	ckptBytes := units.Bytes(float64(w.CheckpointWriteBytes()) * ckptScale)
 	for e := 0; e < epochs; e++ {
-		for j := 0; j < w.CheckpointsPerEpoch; j++ {
-			it := e*opts.ItersPerEpoch + (j+1)*opts.ItersPerEpoch/w.CheckpointsPerEpoch - 1
+		for j := 0; j < ckptPer; j++ {
+			it := e*opts.ItersPerEpoch + (j+1)*opts.ItersPerEpoch/ckptPer - 1
 			ckptAt[it] = newCkptPoint(nGPU)
 		}
 	}
@@ -300,6 +370,46 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 		rankStr[i] = strconv.Itoa(i)
 	}
 
+	res := &Result{
+		System: sys.Cfg.Name, Workload: w.Name,
+		Strategy: strategy, Precision: opts.Precision, Sharded: opts.Sharded,
+		BatchPerGPU: batch, Epochs: epochs, Iters: totalIters,
+	}
+	job := &Job{
+		sys: sys, res: res, rec: rec, opts: opts, batch: batch, start: env.Now(),
+		totalIters: totalIters, maxStarted: -1,
+	}
+	for _, id := range sys.FalconGPUPortLinks {
+		ab, ba := sys.Net.LinkTrafficSnapshot(id)
+		job.portBase += ab + ba
+	}
+
+	// Checkpoint restore on restart: before any rank computes, rank 0
+	// reads the last checkpoint back from the storage tier and every rank
+	// loads the restored parameters host→GPU — the price of resuming that
+	// the R1 checkpoint-interval experiment trades against lost work.
+	var restored sim.Signal
+	resuming := opts.ResumeEpochs > 0
+	if resuming {
+		env.Go("restore", func(p *sim.Proc) {
+			if err := sys.Store.Read(p, sys.Mem, ckptBytes, false); err != nil {
+				panic(err)
+			}
+			specs := make([]fabric.TransferSpec, nGPU)
+			for i, g := range sys.GPUs {
+				specs[i] = fabric.TransferSpec{Src: sys.Mem, Dst: g.Node, Size: ckptBytes}
+			}
+			if err := sys.Net.ParallelTransfer(p, specs); err != nil {
+				panic(err)
+			}
+			rec.event(p.Now(), ProbeRestore, w.Name)
+			if opts.Probe != nil {
+				opts.Probe(ProbeRestore, p.Now())
+			}
+			restored.Fire(env)
+		})
+	}
+
 	prefetch := sim.NewResource("loader.prefetch", prefetchDepth*nGPU)
 	queues := make([]*sim.Queue, nGPU)
 	for i := range queues {
@@ -307,7 +417,10 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 	}
 	cacheKey := w.Name + "/" + w.Data.Name
 	env.Go("loader", func(p *sim.Proc) {
-		for it := 0; it < totalIters; it++ {
+		if resuming {
+			restored.Wait(p)
+		}
+		for it := 0; it < totalIters && !job.stopAt(it); it++ {
 			prefetch.Acquire(p, nGPU)
 			if sys.Cache.CachedBytes(cacheKey) < datasetBytes {
 				if err := sys.Store.Read(p, sys.Mem, readPerIter, w.Data.RandomAccess); err != nil {
@@ -327,6 +440,8 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 
 	// Per-rank H2D feeders: double-buffered host→GPU input copies that
 	// overlap the previous iteration's compute (pinned-memory prefetch).
+	// After an abort they keep draining the loader's queue — releasing
+	// prefetch tokens without copying — so every process winds down.
 	h2dReady := make([]*sim.Queue, nGPU)
 	for i := range h2dReady {
 		h2dReady[i] = sim.NewQueue("h2d.gpu" + rankStr[i])
@@ -335,13 +450,16 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 		dev := sys.GPUs[rank]
 		env.Go("feeder"+rankStr[rank], func(p *sim.Proc) {
 			inflight := sim.NewResource("h2dbuf"+rankStr[rank], 2)
-			for {
+			for it := 0; ; it++ {
 				_, ok := queues[rank].Get(p)
 				if !ok {
 					h2dReady[rank].Close(env)
 					return
 				}
 				prefetch.Release(env, 1)
+				if job.stopAt(it) {
+					continue // past the cutoff: no rank will consume this
+				}
 				inflight.Acquire(p, 1)
 				f, err := sys.Net.StartFlow(sys.Mem, dev.Node, inputBytes)
 				if err != nil {
@@ -356,24 +474,25 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 	gradBytes := w.GradBytes(opts.Precision)
 	paramBytes := units.Bytes(w.Graph.Params()) * opts.Precision.BytesPerElement()
 
-	res := &Result{
-		System: sys.Cfg.Name, Workload: w.Name,
-		Strategy: strategy, Precision: opts.Precision, Sharded: opts.Sharded,
-		BatchPerGPU: batch, Epochs: epochs, Iters: totalIters,
-	}
-	job := &Job{sys: sys, res: res, rec: rec, opts: opts, batch: batch, start: env.Now()}
-	for _, id := range sys.FalconGPUPortLinks {
-		ab, ba := sys.Net.LinkTrafficSnapshot(id)
-		job.portBase += ab + ba
-	}
-
 	var ranksDone sim.WaitGroup
 	ranksDone.Add(nGPU)
 
 	for rank := 0; rank < nGPU; rank++ {
 		dev := sys.GPUs[rank]
 		env.Go("rank"+rankStr[rank], func(p *sim.Proc) {
+			if resuming {
+				restored.Wait(p)
+			}
 			for it := 0; it < totalIters; it++ {
+				// Abort cutoff: every rank runs exactly the iterations
+				// some rank had begun when Abort fired, then stops — so
+				// collectives never wait on a departed peer.
+				if job.stopAt(it) {
+					break
+				}
+				if it > job.maxStarted {
+					job.maxStarted = it
+				}
 				// Input batch: wait for the prefetched H2D copy.
 				v, ok := h2dReady[rank].Get(p)
 				if !ok {
@@ -440,15 +559,33 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 							panic(err)
 						}
 					})
-					if rank == 0 && opts.Probe != nil {
-						opts.Probe(ProbeCheckpoint, p.Now())
+					if rank == 0 {
+						rec.event(p.Now(), ProbeCheckpoint, w.Name)
+						if opts.Probe != nil {
+							opts.Probe(ProbeCheckpoint, p.Now())
+						}
 					}
 				}
 				if rank == 0 && (it+1)%opts.ItersPerEpoch == 0 {
 					job.epochEnds = append(job.epochEnds, p.Now())
+					rec.event(p.Now(), ProbeEpoch, w.Name)
 					if opts.Probe != nil {
 						opts.Probe(ProbeEpoch, p.Now())
 					}
+				}
+			}
+			// Abort wind-down: drain copies the feeder had in flight before
+			// it saw the cutoff, releasing their pinned buffers so the
+			// feeder can finish discarding and every process exits.
+			if job.aborted {
+				for {
+					v, ok := h2dReady[rank].Get(p)
+					if !ok {
+						break
+					}
+					item := v.(*h2dItem)
+					item.done.Wait(p)
+					item.buf.Release(env, 1)
 				}
 			}
 			ranksDone.Done(env)
@@ -461,8 +598,13 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 		rec.stop()
 		sys.Host.FreeMem(staging)
 		freeAll()
+		final := ProbeDone
+		if job.aborted {
+			final = ProbeAbort
+		}
+		rec.event(p.Now(), final, w.Name)
 		if opts.Probe != nil {
-			opts.Probe(ProbeDone, p.Now())
+			opts.Probe(final, p.Now())
 		}
 		job.done.Fire(env)
 	})
@@ -474,6 +616,9 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 func (j *Job) Collect() (*Result, error) {
 	if !j.done.Fired() {
 		return nil, errors.New("train: Collect before job completion (run the environment first)")
+	}
+	if j.aborted {
+		return nil, errors.New("train: job was aborted; no result (reschedule from the last checkpoint)")
 	}
 	sys, res, w := j.sys, j.res, j.opts.Workload
 	elapsed := j.finish - j.start
