@@ -27,11 +27,18 @@ import (
 	"composable/internal/perfbench"
 )
 
-func main() { os.Exit(run()) }
+func main() {
+	// The binary's only wall-clock read: run() reports suite wall time
+	// through this injected clock (the mcs.Server.clock pattern), keeping
+	// the nowallclock allowlist to this single annotated line.
+	//lint:allow nowallclock(sole telemetry clock injection point of the benchrunner binary)
+	os.Exit(run(time.Now))
+}
 
 // run holds the real main so profile-flushing defers execute before the
-// process exits with a status code.
-func run() int {
+// process exits with a status code. clock feeds the elapsed-time summary
+// lines; experiment outputs never depend on it.
+func run(clock func() time.Time) int {
 	var (
 		expFlag      = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 		scaleFlag    = flag.String("scale", "standard", "simulation scale: quick or standard")
@@ -163,9 +170,9 @@ func run() int {
 	fmt.Printf("composable benchrunner — scale %s (%d iters/epoch, ≤%d epochs), %d workers\n\n",
 		scale.Name, scale.ItersPerEpoch, scale.MaxEpochs, workers)
 
-	start := time.Now()
+	start := clock()
 	reports, err := runner.RunAll(context.Background(), workers)
-	wall := time.Since(start)
+	wall := clock().Sub(start)
 	for _, r := range reports {
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", r.Err)

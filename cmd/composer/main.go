@@ -35,11 +35,20 @@ import (
 	"composable/internal/train"
 )
 
-func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+func main() {
+	// The CLI's only wall-clock read: everything below reports elapsed
+	// time through this injected clock (the pattern mcs.Server.clock
+	// established), so tests run against a fake clock and the lint
+	// allowlist stays one line long.
+	//lint:allow nowallclock(sole telemetry clock injection point of the composer binary)
+	os.Exit(run(os.Args[1:], time.Now, os.Stdout, os.Stderr))
+}
 
 // run is the testable main: it parses args, dispatches to the list /
 // random / single-cell / grid paths, and returns the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+// clock feeds the elapsed-time telemetry lines; simulation results never
+// depend on it.
+func run(args []string, clock func() time.Time, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("composer", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -83,7 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if randomMode {
-		return runRandom(*randSeed, *randN, stdout, stderr)
+		return runRandom(*randSeed, *randN, clock, stdout, stderr)
 	}
 
 	cfgs, models, err := parseGrid(*cfgNames, *modelName)
@@ -122,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "composer: -topology, -dot and -csv need a single cell (one -config, one -model)")
 		return 1
 	}
-	return runGrid(cfgs, models, opts, *parallel, stdout, stderr)
+	return runGrid(cfgs, models, opts, *parallel, clock, stdout, stderr)
 }
 
 // parseGrid expands the comma-separated -config and -model lists.
@@ -148,13 +157,13 @@ func parseGrid(cfgNames, modelNames string) ([]core.Config, []dlmodel.Workload, 
 
 // runRandom executes n seeded random scenarios under the invariant probe
 // set — the CLI face of the TestScenarioSweep tier.
-func runRandom(seed int64, n int, stdout, stderr io.Writer) int {
+func runRandom(seed int64, n int, clock func() time.Time, stdout, stderr io.Writer) int {
 	if n < 1 {
 		fmt.Fprintln(stderr, "composer: -n must be at least 1")
 		return 1
 	}
 	runErrors, violated := 0, 0
-	start := time.Now()
+	start := clock()
 	for i := 0; i < n; i++ {
 		sc := scengen.FromSeed(seed + int64(i))
 		o, err := scengen.Run(sc)
@@ -176,7 +185,7 @@ func runRandom(seed int64, n int, stdout, stderr io.Writer) int {
 		invariants = fmt.Sprintf("violated on %d", violated)
 	}
 	fmt.Fprintf(stdout, "--- %d scenarios in %v, %d failed to run, invariants %s\n",
-		n, time.Since(start).Round(time.Millisecond), runErrors, invariants)
+		n, clock().Sub(start).Round(time.Millisecond), runErrors, invariants)
 	if runErrors > 0 || violated > 0 {
 		return 1
 	}
@@ -235,7 +244,7 @@ func runSingle(cfg core.Config, w dlmodel.Workload, opts train.Options, topo, do
 // runGrid runs the config × model cross product as ad-hoc experiments on
 // the parallel runner: cells sharing a training run deduplicate through
 // the session, and the report order matches the requested grid order.
-func runGrid(cfgs []core.Config, models []dlmodel.Workload, opts train.Options, parallelism int, stdout, stderr io.Writer) int {
+func runGrid(cfgs []core.Config, models []dlmodel.Workload, opts train.Options, parallelism int, clock func() time.Time, stdout, stderr io.Writer) int {
 	scale := experiments.Scale{
 		Name:           "cli",
 		ItersPerEpoch:  opts.ItersPerEpoch,
@@ -262,9 +271,9 @@ func runGrid(cfgs []core.Config, models []dlmodel.Workload, opts train.Options, 
 		}
 	}
 
-	start := time.Now()
+	start := clock()
 	reports, err := experiments.NewRunner(session, cells).RunAll(context.Background(), parallelism)
-	wall := time.Since(start)
+	wall := clock().Sub(start)
 	failed := false
 	for _, r := range reports {
 		if r.Err != nil {

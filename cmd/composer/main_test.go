@@ -4,12 +4,23 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
+
+// fakeClock is a deterministic stand-in for time.Now: each read advances
+// one second, so elapsed-time telemetry lines are stable under test.
+func fakeClock() func() time.Time {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
 
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
 	var out, errb bytes.Buffer
-	code = run(args, &out, &errb)
+	code = run(args, fakeClock(), &out, &errb)
 	return code, out.String(), errb.String()
 }
 

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestVersionHandshake pins the -V=full shape go vet's vettool handshake
+// parses: one line, tool name first, a buildID=... field for cache keys.
+func TestVersionHandshake(t *testing.T) {
+	for _, flag := range []string{"-V=full", "-V"} {
+		code, out, _ := runCLI(flag)
+		if code != 0 {
+			t.Fatalf("%s: exit %d", flag, code)
+		}
+		line := strings.TrimSpace(out)
+		if strings.Count(out, "\n") != 1 {
+			t.Errorf("%s printed %q, want a single line", flag, out)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || fields[1] != "version" {
+			t.Errorf("%s printed %q, want `<tool> version ...`", flag, line)
+		}
+		if !strings.Contains(line, "buildID=") {
+			t.Errorf("%s output missing buildID=: %q", flag, line)
+		}
+	}
+}
+
+// TestFlagsHandshake pins the -flags response: an empty JSON flag list.
+func TestFlagsHandshake(t *testing.T) {
+	code, out, _ := runCLI("-flags")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("-flags printed %q, want []", out)
+	}
+}
+
+// TestStandaloneCleanPackage runs the standalone loader on a package known
+// to be lint-clean and expects silence.
+func TestStandaloneCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks packages via the toolchain")
+	}
+	code, out, stderr := runCLI("composable/internal/detmap")
+	if code != 0 {
+		t.Fatalf("exit %d, stdout %q, stderr %q", code, out, stderr)
+	}
+	if out != "" {
+		t.Errorf("findings on a clean package:\n%s", out)
+	}
+}
+
+// TestStandaloneBadPattern reports operational errors on stderr with
+// exit 1, distinct from findings (exit 2).
+func TestStandaloneBadPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	code, _, stderr := runCLI("composable/internal/nosuchpackage")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "simlint:") {
+		t.Errorf("stderr %q missing simlint: prefix", stderr)
+	}
+}

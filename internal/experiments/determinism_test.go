@@ -1,0 +1,65 @@
+package experiments
+
+// Run-twice pinning for experiment output: the same experiment rendered
+// from two fresh sessions must be byte-identical, and a parallel RunAll
+// must render exactly what a sequential one does (Report.Elapsed is
+// wall-clock telemetry and is deliberately excluded — it is the one field
+// allowed to differ, per its nowallclock annotation in runner.go).
+
+import (
+	"context"
+	"testing"
+)
+
+func TestExperimentOutputIsRunStable(t *testing.T) {
+	for _, id := range []string{"T1", "F11"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out1, err := e.Run(NewSession(Quick))
+		if err != nil {
+			t.Fatalf("%s run 1: %v", id, err)
+		}
+		out2, err := e.Run(NewSession(Quick))
+		if err != nil {
+			t.Fatalf("%s run 2: %v", id, err)
+		}
+		if out1 == "" {
+			t.Fatalf("sanity: %s rendered empty output", id)
+		}
+		if out1 != out2 {
+			t.Errorf("%s output differs between fresh sessions:\n--- run 1\n%s\n--- run 2\n%s", id, out1, out2)
+		}
+	}
+}
+
+func TestParallelRunRendersSequentialOutput(t *testing.T) {
+	exps := []Experiment{mustByID(t, "T1"), mustByID(t, "F11"), mustByID(t, "F12")}
+	seq, err := NewRunner(NewSession(Quick), exps).RunAll(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewRunner(NewSession(Quick), exps).RunAll(context.Background(), len(exps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i].ID != par[i].ID {
+			t.Fatalf("report order differs at %d: %s vs %s", i, seq[i].ID, par[i].ID)
+		}
+		if seq[i].Output != par[i].Output {
+			t.Errorf("%s renders differently under parallelism:\n--- sequential\n%s\n--- parallel\n%s",
+				seq[i].ID, seq[i].Output, par[i].Output)
+		}
+	}
+}
+
+func mustByID(t *testing.T, id string) Experiment {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

@@ -79,9 +79,14 @@ func (r *Runner) RunAll(ctx context.Context, parallelism int) ([]Report, error) 
 					continue
 				}
 				e := exps[i]
+				// Genuine telemetry: Elapsed reports how long the worker
+				// spent, never feeds an experiment's rendered output, and
+				// is excluded from the byte-identity tests.
+				//lint:allow nowallclock(Report.Elapsed is wall-clock telemetry, not simulation output)
 				start := time.Now()
 				out, err := e.Run(r.Session)
 				reports[i].Output = out
+				//lint:allow nowallclock(Report.Elapsed is wall-clock telemetry, not simulation output)
 				reports[i].Elapsed = time.Since(start)
 				if err != nil {
 					reports[i].Err = fmt.Errorf("%s: %w", e.ID, err)

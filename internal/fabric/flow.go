@@ -184,6 +184,8 @@ func (n *Network) StartFlowLimited(src, dst NodeID, size units.Bytes, maxRate un
 
 // addFlow registers f with the active set and with the constraints on its
 // path — the only link state touched is the flow's own.
+//
+//perf:hot
 func (n *Network) addFlow(f *Flow) {
 	f.idx = len(n.flows)
 	n.flows = append(n.flows, f)
@@ -198,6 +200,7 @@ func (n *Network) addFlow(f *Flow) {
 		f.cons = append(f.cons, st)
 	}
 	if f.maxRate > 0 {
+		//lint:allow hotalloc(rate-capped flows only: one single-element constraint per capped flow at start)
 		st := &constraint{capped: f.maxRate, flows: []*Flow{f}, active: true}
 		n.cons = append(n.cons, st)
 		f.cons = append(f.cons, st)
@@ -207,6 +210,8 @@ func (n *Network) addFlow(f *Flow) {
 // removeFlow unregisters a completed flow, again touching only the
 // constraints on its own path. Emptied constraints are left in cons for the
 // next recompute to sweep out.
+//
+//perf:hot
 func (n *Network) removeFlow(f *Flow) {
 	last := len(n.flows) - 1
 	n.flows[f.idx] = n.flows[last]
@@ -228,6 +233,8 @@ func (n *Network) removeFlow(f *Flow) {
 
 // linkConstraint returns the persistent constraint for one link direction,
 // creating it on first use.
+//
+//perf:hot
 func (n *Network) linkConstraint(dl dirLink) *constraint {
 	i := 2 * int(dl.link.ID)
 	if !dl.forward {
@@ -288,6 +295,8 @@ type TransferSpec struct {
 
 // advance integrates all flows from lastUpdate to now at their current
 // rates, crediting per-link byte counters.
+//
+//perf:hot
 func (n *Network) advance() {
 	now := n.env.Now()
 	dt := (now - n.lastUpdate).Seconds()
@@ -315,6 +324,8 @@ func (n *Network) advance() {
 // calls (no byKey/flowCons maps are rebuilt), frozen state is an epoch
 // stamp on each flow, and per-constraint unfrozen counts replace the
 // per-round rescans of every constraint's flow list.
+//
+//perf:hot
 func (n *Network) recompute() {
 	n.epoch++
 	if len(n.flows) == 0 {
@@ -393,9 +404,11 @@ func (n *Network) recompute() {
 	if math.IsInf(nextIn, 1) {
 		// No flow can make progress: a configuration error (zero-capacity
 		// path). Surface loudly rather than hanging the simulation.
+		//lint:allow hotalloc(panic path only: formats a configuration-error report)
 		panic(fmt.Sprintf("fabric: %d flows with zero allocated rate", len(n.flows)))
 	}
 	epoch := n.epoch
+	//lint:allow hotalloc(one completion-timer closure per recompute; it carries the epoch guard)
 	n.env.After(durationFromSeconds(nextIn), func() {
 		if n.epoch != epoch {
 			return // superseded by a newer recompute
@@ -411,6 +424,7 @@ func (n *Network) recompute() {
 // completionEpsilon absorbs float rounding when deciding a flow is done.
 const completionEpsilon = 1e-3 // bytes
 
+//perf:hot
 func (n *Network) finishCompleted() {
 	for i := 0; i < len(n.flows); {
 		f := n.flows[i]
@@ -419,6 +433,7 @@ func (n *Network) finishCompleted() {
 			continue
 		}
 		n.removeFlow(f) // swaps the tail into slot i; revisit it
+		//lint:allow hotalloc(one latency-delay closure per completed flow, not per event)
 		n.env.After(f.latency, func() { f.done.Fire(n.env) })
 	}
 	n.recompute()

@@ -173,6 +173,7 @@ func (c *Chassis) Port(id string) (*HostPort, error) {
 // Ports returns the host ports sorted by ID.
 func (c *Chassis) Ports() []*HostPort {
 	out := make([]*HostPort, 0, len(c.ports))
+	//lint:allow maporder(order cannot leak: the slice is sorted by ID before returning)
 	for _, p := range c.ports {
 		out = append(out, p)
 	}

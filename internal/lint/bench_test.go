@@ -1,0 +1,16 @@
+// The lint micro-benchmark. The shared harness body lives in
+// internal/perfbench so that `go test -bench` here and `benchrunner
+// -bench-json` measure the exact same code; this file only wraps it.
+// (External test package: perfbench imports lint, so an in-package
+// benchmark would be an import cycle.)
+package lint_test
+
+import (
+	"testing"
+
+	"composable/internal/perfbench"
+)
+
+// BenchmarkSimlintFullRepo measures one full static-analysis pass over the
+// module — the cost the CI lint gate pays per run.
+func BenchmarkSimlintFullRepo(b *testing.B) { perfbench.BenchSimlintFullRepo(b) }

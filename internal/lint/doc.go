@@ -1,0 +1,79 @@
+// Package lint is simlint: a static-analysis suite that mechanically
+// enforces the repo's two load-bearing contracts — determinism and
+// hot-path allocation discipline — which every layer since the sim core
+// stakes its correctness on but which, before this package, lived only in
+// code review and after-the-fact run-twice sweeps.
+//
+// # The determinism contract
+//
+// A simulation result must be a pure function of its inputs (seed,
+// scenario, options): byte-identical fingerprints and rendered reports
+// across runs, machines, and GOMAXPROCS settings. Three bug classes break
+// it in practice, and each has an analyzer:
+//
+//   - nowallclock: sim-domain packages must not read the wall clock
+//     (time.Now, time.Since, time.Sleep, timers) or draw from the shared
+//     top-level math/rand source. Virtual time comes from sim.Env/Proc;
+//     randomness comes from rand.New(rand.NewSource(seed)). Genuine
+//     telemetry (a CLI reporting how long the suite took) goes through an
+//     injected clock and is annotated at the single read site.
+//
+//   - maporder: Go map iteration order is randomized per run, so a
+//     `range` over a map in any function reachable from a
+//     Fingerprint/Render/CSV-output path is a nondeterministic-output bug
+//     waiting to ship. Iterate via detmap.SortedKeys (or a local
+//     sortedKeys helper, which the analyzer recognizes as the sanctioned
+//     sorted-iteration point) or annotate the site with a reason why
+//     order cannot leak (e.g. the loop only builds a set).
+//
+//   - goroutine: the engine schedules exactly one process at a time;
+//     a raw `go` statement inside a sim.Proc body escapes the
+//     deterministic scheduler and races virtual time. Spawn processes
+//     with Env.Go instead.
+//
+// # The hot-path contract
+//
+// hotalloc guards the allocation-free work (PR 2, ROADMAP item 2):
+// functions annotated `//perf:hot` must not use the known allocators —
+// fmt.Sprintf/Sprint/Sprintln, string concatenation inside loops,
+// map/slice composite literals, make(map)/make(chan), or closure
+// literals. The annotation is a ratchet: once a function is marked hot
+// and clean, a regression fails the lint gate instead of showing up two
+// PRs later as a 10x allocs/op jump in BENCH_*.json.
+//
+// # Annotation grammar
+//
+// Two comment directives, both requiring written reasons:
+//
+//	//perf:hot
+//	//perf:hot <free-text note>
+//
+// marks the function whose doc comment contains it as hot-path (hotalloc
+// scope). And
+//
+//	//lint:allow <analyzer>(<reason>)
+//
+// suppresses <analyzer>'s diagnostics on the same line or the line
+// directly below. The reason is mandatory; an empty or missing reason is
+// itself a diagnostic. Example:
+//
+//	//lint:allow maporder(order-insensitive: loop only counts entries)
+//	for _, p := range c.ports {
+//
+// # Running simlint
+//
+// In-process (what the repo-wide self-test and perfbench entry do):
+//
+//	pkgs, _ := lint.Load("composable/...")
+//	diags, _ := lint.RunAnalyzers(pkgs, lint.Analyzers()...)
+//
+// From the command line, standalone or as a vet tool:
+//
+//	go run ./cmd/simlint ./...
+//	go build -o /tmp/simlint ./cmd/simlint && go vet -vettool=/tmp/simlint ./...
+//
+// Both modes load full type information; the vet-tool mode speaks the go
+// command's unitchecker .cfg protocol, so it composes with the build
+// cache and lints test files too. Analyzers skip _test.go files: tests
+// may legitimately measure wall time and iterate maps they then sort.
+package lint

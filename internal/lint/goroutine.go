@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineInProc flags raw `go` statements inside sim.Proc bodies. The
+// engine runs exactly one process at a time over virtual time; a goroutine
+// spawned from inside a process body runs on the host scheduler instead,
+// racing the simulation and destroying determinism. Processes are spawned
+// with Env.Go, which hands the goroutine to the event loop.
+//
+// A "proc body" is any function literal or declaration whose signature is
+// func(*sim.Proc) — the shape Env.Go accepts — so both inline bodies and
+// named process functions are covered. The engine's own internal
+// goroutine handoff lives in plain func() callbacks and is not matched.
+var GoroutineInProc = &Analyzer{
+	Name: "goroutine",
+	Doc: "flag raw go statements inside sim.Proc bodies, which bypass the " +
+		"deterministic scheduler; spawn processes with Env.Go instead",
+	Run: runGoroutineInProc,
+}
+
+// isProcBody reports whether t is func(*sim.Proc) with no results.
+func isProcBody(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok || sig.Results().Len() != 0 || sig.Params().Len() != 1 {
+		return false
+	}
+	named := namedOf(sig.Params().At(0).Type())
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	if _, isPtr := sig.Params().At(0).Type().(*types.Pointer); !isPtr {
+		return false
+	}
+	return obj.Name() == "Proc" && obj.Pkg() != nil && obj.Pkg().Path() == "composable/internal/sim"
+}
+
+func runGoroutineInProc(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Collect the spans of every proc body in the file, then flag go
+		// statements landing inside one.
+		var procBodies []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if tv, ok := pass.TypesInfo.Types[n]; ok && isProcBody(tv.Type) {
+					procBodies = append(procBodies, n)
+				}
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+				if fn, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok && fn.Type() != nil && isProcBody(fn.Type()) {
+					procBodies = append(procBodies, n)
+				}
+			}
+			return true
+		})
+		if len(procBodies) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok || pass.InTestFile(gs.Pos()) {
+				return true
+			}
+			for _, body := range procBodies {
+				if body.Pos() <= gs.Pos() && gs.Pos() < body.End() {
+					pass.Reportf(gs.Pos(),
+						"go statement inside a sim.Proc body bypasses the deterministic scheduler; spawn a process with Env.Go")
+					return true
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotDirective marks a function as hot-path. The annotation lives in the
+// function's doc comment, optionally with a note:
+//
+//	//perf:hot — inner event loop, one call per dispatched event
+//	func (e *Env) heapPush(ev event) { ... }
+const hotDirective = "//perf:hot"
+
+// HotAlloc flags the known allocators inside functions annotated
+// //perf:hot: fmt.Sprintf/Sprint/Sprintln, string concatenation inside
+// loops, map/slice composite literals, make(map)/make(chan), and closure
+// literals (a func literal that captures variables allocates even when it
+// never escapes analysis in practice). It is a ratchet for the
+// allocation-free hot paths: a function marked hot and clean cannot
+// silently regress to allocating without failing the lint gate.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "in //perf:hot functions, flag fmt.Sprintf-family calls, string + in " +
+		"loops, map/slice literals, make(map)/make(chan) and closures",
+	Run: runHotAlloc,
+}
+
+// sprintFamily are the fmt formatters that always allocate their result.
+var sprintFamily = map[string]bool{"Sprintf": true, "Sprint": true, "Sprintln": true}
+
+func isHot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHot(fd) || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	// Spans of the loops inside fd, for the string-+-in-loop check.
+	var loops []ast.Node
+	inLoop := func(pos token.Pos) bool {
+		for _, l := range loops {
+			if l.Pos() <= pos && pos < l.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.TypesInfo, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "fmt" && sprintFamily[fn.Name()] {
+				pass.Reportf(n.Pos(), "fmt.%s allocates in //perf:hot %s; precompute or render lazily", fn.Name(), fd.Name.Name)
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" && len(n.Args) > 0 {
+				if tv, ok := pass.TypesInfo.Types[n.Args[0]]; ok {
+					switch tv.Type.Underlying().(type) {
+					case *types.Map:
+						pass.Reportf(n.Pos(), "make(map) allocates in //perf:hot %s; reuse a scratch map or switch to an indexed slice", fd.Name.Name)
+					case *types.Chan:
+						pass.Reportf(n.Pos(), "make(chan) allocates in //perf:hot %s", fd.Name.Name)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "map literal allocates per call in //perf:hot %s", fd.Name.Name)
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "slice literal allocates per call in //perf:hot %s", fd.Name.Name)
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal allocates in //perf:hot %s; hoist it or pass data explicitly", fd.Name.Name)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && inLoop(n.Pos()) {
+				if tv, ok := pass.TypesInfo.Types[n]; ok && isString(tv.Type) {
+					pass.Reportf(n.Pos(), "string concatenation in a loop in //perf:hot %s; use precomputed names or a reused builder", fd.Name.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && inLoop(n.Pos()) && len(n.Lhs) == 1 {
+				if tv, ok := pass.TypesInfo.Types[n.Lhs[0]]; ok && isString(tv.Type) {
+					pass.Reportf(n.Pos(), "string += in a loop in //perf:hot %s; use precomputed names or a reused builder", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves a call's static callee, nil for dynamic calls and
+// builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

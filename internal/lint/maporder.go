@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// MapOrder flags `range` over a map in any function reachable from a
+// rendered-output path. Go randomizes map iteration order per run, so a
+// map range on a Fingerprint/Render/CSV path is the classic
+// nondeterministic-fingerprint bug: output that differs between two runs
+// of the same seed. Iteration must go through detmap.SortedKeys (ranging
+// the returned slice is naturally exempt) or a local sortedKeys helper,
+// or carry a //lint:allow maporder(reason) explaining why order cannot
+// leak into output.
+//
+// Output roots are recognized structurally rather than by a name list: a
+// function that returns string or []byte, or writes through an io.Writer
+// / *strings.Builder / *bytes.Buffer parameter, renders output. The
+// per-package call graph (references count as calls, so callbacks stored
+// in registries are followed) extends the root set to everything such a
+// path can execute. Dynamic dispatch through interfaces is not resolved —
+// the analyzer is a ratchet, not a proof.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map in functions reachable from Fingerprint/Render/" +
+		"CSV-output paths; iterate via detmap.SortedKeys or annotate why order cannot leak",
+	Run: runMapOrder,
+}
+
+// sortedIterationHelper reports whether fn is a sanctioned sorted-iteration
+// point: the detmap package, or a local sortedKeys helper (whose whole job
+// is to range the map once and sort the keys).
+func sortedIterationHelper(fn *types.Func) bool {
+	if fn.Pkg() != nil && fn.Pkg().Path() == "composable/internal/detmap" {
+		return true
+	}
+	return fn.Name() == "sortedKeys" || fn.Name() == "SortedKeys"
+}
+
+// rendersOutput reports whether sig is an output root: its results
+// include string or []byte, or it takes a writer-shaped parameter.
+func rendersOutput(sig *types.Signature) bool {
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if isString(t) || isByteSlice(t) {
+			return true
+		}
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isWriterish(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isWriterish(t types.Type) bool {
+	if named := namedOf(t); named != nil {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() + "." + obj.Name() {
+			case "io.Writer", "strings.Builder", "bytes.Buffer":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// namedOf unwraps one level of pointer and returns the named type, if any.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func runMapOrder(pass *Pass) error {
+	if !inSimDomain(pass.Pkg.Path()) {
+		return nil
+	}
+
+	// Collect this package's function declarations.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	// Reference graph: fn -> every same-package function its body mentions
+	// (called or stored; both make the callee executable from fn).
+	edges := make(map[*types.Func][]*types.Func)
+	for fn, fd := range decls {
+		ast.Inspect(fd, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if callee, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+				if _, local := decls[callee]; local && callee != fn {
+					edges[fn] = append(edges[fn], callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// BFS from the output roots, remembering which root reached each
+	// function so diagnostics can name the output path.
+	rootOf := make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	var roots []*types.Func
+	for fn := range decls {
+		if rendersOutput(fn.Type().(*types.Signature)) {
+			roots = append(roots, fn)
+		}
+	}
+	// Deterministic traversal order so "reachable from X" is stable.
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	for _, fn := range roots {
+		rootOf[fn] = fn
+		queue = append(queue, fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range edges[fn] {
+			if _, seen := rootOf[callee]; !seen {
+				rootOf[callee] = rootOf[fn]
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	for fn, fd := range decls {
+		root, reachable := rootOf[fn]
+		if !reachable || sortedIterationHelper(fn) || pass.InTestFile(fd.Pos()) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			via := ""
+			if root != fn {
+				via = " (reachable from " + root.Name() + ")"
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map on the rendered-output path through %s%s; iterate detmap.SortedKeys(m) or annotate why order cannot leak",
+				fn.Name(), via)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// wallClockFuncs are the package time functions that read or wait on the
+// host's real clock. time.Duration arithmetic and constants stay legal —
+// virtual time is represented as time.Duration throughout the repo.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// sharedRandOK are the math/rand (and /v2) package-level functions that do
+// NOT draw from the shared, non-reproducible top-level source: the
+// constructors used to build explicitly seeded generators.
+var sharedRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// NoWallClock forbids wall-clock reads and top-level math/rand draws in
+// sim-domain packages. Both are flagged at every use — including bare
+// references like `clock: time.Now` — because storing the function is as
+// nondeterministic as calling it.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid time.Now/Since/Sleep/timers and unseeded top-level math/rand " +
+		"in sim-domain packages; virtual time comes from sim.Env, randomness " +
+		"from rand.New(rand.NewSource(seed))",
+	Run: runNoWallClock,
+}
+
+func runNoWallClock(pass *Pass) error {
+	if !inSimDomain(pass.Pkg.Path()) {
+		return nil
+	}
+	for ident, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if pass.InTestFile(ident.Pos()) {
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if wallClockFuncs[fn.Name()] && fn.Type().(*types.Signature).Recv() == nil {
+				pass.Reportf(ident.Pos(),
+					"time.%s reads the wall clock; sim-domain code must use virtual time (sim.Env/Proc) or an injected clock", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if fn.Type().(*types.Signature).Recv() == nil && !sharedRandOK[fn.Name()] {
+				pass.Reportf(ident.Pos(),
+					"%s.%s draws from the shared top-level source; use rand.New(rand.NewSource(seed)) for reproducible runs", fn.Pkg().Path(), fn.Name())
+			}
+		}
+	}
+	return nil
+}

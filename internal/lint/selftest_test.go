@@ -1,0 +1,28 @@
+package lint
+
+import "testing"
+
+// TestRepoIsLintClean is the acceptance gate: the full simlint suite over
+// the whole module must come back empty. Every wall-clock read, rendered
+// map range, hot-path allocator and raw goroutine in the repo is either
+// fixed or carries a //lint:allow with a written reason — and this test is
+// what keeps it that way.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module pattern is broken", len(pkgs))
+	}
+	diags, err := RunAnalyzers(pkgs, Analyzers()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

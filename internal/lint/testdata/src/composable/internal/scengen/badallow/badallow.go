@@ -1,0 +1,21 @@
+// Package badallow is the lintdirective golden file: suppressions that
+// fail the grammar must themselves be diagnosed, so an allow can never
+// slip through without a written reason. The expectations live in
+// TestLintDirectiveGrammar rather than want comments, because appending a
+// want comment to a directive line would change the directive's own text.
+package badallow
+
+import "time"
+
+//lint:allow nowallclock()
+func emptyReason() time.Time { return time.Now() }
+
+//lint:allow notananalyzer(some reason)
+func unknownAnalyzer() {}
+
+//lint:allow bogus directive with no parens
+func malformed() {}
+
+var _ = emptyReason
+var _ = unknownAnalyzer
+var _ = malformed

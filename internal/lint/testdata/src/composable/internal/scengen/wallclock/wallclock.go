@@ -1,0 +1,42 @@
+// Package wallclock is the nowallclock golden file: wall-clock reads and
+// shared-source rand draws in a sim-domain package, next to the sanctioned
+// alternatives and the allow escape hatch.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// tick shows that time.Duration arithmetic stays legal: virtual time is
+// represented as time.Duration throughout the repo.
+const tick = 10 * time.Millisecond
+
+// clock shows that a bare reference is as nondeterministic as a call.
+var clock = time.Now // want `time\.Now reads the wall clock`
+
+// Bad reads the wall clock every way the analyzer covers.
+func Bad() time.Duration {
+	t := time.Now()      // want `time\.Now reads the wall clock`
+	time.Sleep(tick)     // want `time\.Sleep reads the wall clock`
+	d := time.Since(t)   // want `time\.Since reads the wall clock`
+	_ = time.After(tick) // want `time\.After reads the wall clock`
+	return d
+}
+
+// Draw pulls from the shared top-level source.
+func Draw() int {
+	return rand.Intn(6) // want `math/rand\.Intn draws from the shared top-level source`
+}
+
+// Seeded is the sanctioned pattern: an explicitly seeded generator.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Allowed carries a written reason, so the read is suppressed.
+func Allowed() time.Time {
+	//lint:allow nowallclock(golden-file case: telemetry timestamp outside any fingerprint)
+	return time.Now()
+}

@@ -1,0 +1,20 @@
+// Package sim is a minimal stand-in for the real engine: just enough
+// surface (Proc, Env.Go) for golden packages to type-check against the
+// import path the goroutine analyzer matches on.
+package sim
+
+// Proc is a running simulation process.
+type Proc struct{ name string }
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Env is a simulation environment.
+type Env struct{}
+
+// Go spawns fn as a new process.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{name: name}
+	fn(p)
+	return p
+}

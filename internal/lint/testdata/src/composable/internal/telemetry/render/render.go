@@ -1,0 +1,79 @@
+// Package render is the maporder golden file: map ranges on and off the
+// rendered-output path, the sortedKeys exemption, and the allow escape
+// hatch.
+package render
+
+import (
+	"io"
+	"sort"
+	"strings"
+)
+
+// Render is an output root (returns string) ranging a map directly.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `range over map on the rendered-output path through Render`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Keys reaches a map range through a non-root helper, exercising the
+// reachability search.
+func Keys(m map[string]int) string {
+	var keys []string
+	collect(m, &keys)
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+func collect(m map[string]int, dst *[]string) {
+	for k := range m { // want `through collect \(reachable from Keys\)`
+		*dst = append(*dst, k)
+	}
+}
+
+// WriteTo exercises the writer-shaped root detection.
+func WriteTo(w io.Writer, m map[string]int) {
+	for k := range m { // want `range over map on the rendered-output path through WriteTo`
+		_, _ = io.WriteString(w, k)
+	}
+}
+
+// sortedKeys is the sanctioned helper shape: exempt by name.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sorted iterates via the helper: no diagnostics.
+func Sorted(m map[string]int) string {
+	return strings.Join(sortedKeys(m), ",")
+}
+
+// Ports mirrors the falcon.Ports shape: flagged by the ratchet unless the
+// sort-after-range is explained in an allow.
+func Ports(m map[string]int) string {
+	var keys []string
+	//lint:allow maporder(golden-file case: keys are sorted before they reach the output)
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// count is unreachable from any output root; its range is fine.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+var _ = count

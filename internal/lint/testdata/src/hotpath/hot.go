@@ -1,0 +1,69 @@
+// Package hotpath is the hotalloc golden file: allocators inside and
+// outside //perf:hot functions, the preallocation idiom the ratchet leaves
+// alone, and the allow escape hatch.
+package hotpath
+
+import "fmt"
+
+// Step is hot and clean: no diagnostics.
+//
+//perf:hot
+func Step(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Dirty trips every allocator class the ratchet knows.
+//
+//perf:hot
+func Dirty(names []string) string {
+	msg := fmt.Sprintf("%d names", len(names)) // want `fmt\.Sprintf allocates in //perf:hot Dirty`
+	seen := make(map[string]bool)              // want `make\(map\) allocates in //perf:hot Dirty`
+	ch := make(chan int)                       // want `make\(chan\) allocates in //perf:hot Dirty`
+	pairs := []string{msg}                     // want `slice literal allocates per call in //perf:hot Dirty`
+	f := func() {}                             // want `closure literal allocates in //perf:hot Dirty`
+	f()
+	out := ""
+	for _, n := range names {
+		out += n // want `string \+= in a loop in //perf:hot Dirty`
+	}
+	_, _, _ = seen, ch, pairs
+	return out
+}
+
+// Concat trips the binary-+ form of the loop check.
+//
+//perf:hot
+func Concat(names []string) string {
+	out := ""
+	for _, n := range names {
+		out = out + n // want `string concatenation in a loop in //perf:hot Concat`
+	}
+	return out
+}
+
+// Prealloc shows the sanctioned idiom: make([]T, 0, n) is how hot paths
+// reserve capacity, so the ratchet does not flag it.
+//
+//perf:hot
+func Prealloc(n int) []int {
+	return make([]int, 0, n)
+}
+
+// Cold is unannotated; the same allocators are fine here.
+func Cold(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+// Guarded keeps a panic-path formatter behind an allow.
+//
+//perf:hot
+func Guarded(n int) {
+	if n < 0 {
+		//lint:allow hotalloc(golden-file case: panic path only, never runs in steady state)
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+}

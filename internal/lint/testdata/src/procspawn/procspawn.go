@@ -1,0 +1,29 @@
+// Package procspawn is the goroutine golden file: raw go statements inside
+// and outside sim.Proc bodies.
+package procspawn
+
+import "composable/internal/sim"
+
+// worker is a named proc body: the go statement bypasses the scheduler.
+func worker(p *sim.Proc) {
+	go report(p) // want `go statement inside a sim\.Proc body`
+	_ = p.Name()
+}
+
+func report(p *sim.Proc) { _ = p }
+
+// Spawn uses the sanctioned Env.Go; the raw go statement nested inside the
+// inline proc body is still flagged.
+func Spawn(e *sim.Env) {
+	e.Go("ok", func(p *sim.Proc) {
+		go func() {}() // want `go statement inside a sim\.Proc body`
+	})
+}
+
+// Helper is a plain function: go statements outside proc bodies are the
+// host program's business.
+func Helper() {
+	go func() {}()
+}
+
+var _ = worker

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+)
+
+// vetConfig is the .cfg file the go command hands a -vettool for each
+// package: file lists, the import remapping, and the export-data file of
+// every dependency. The field set mirrors what cmd/go emits (and what
+// x/tools' unitchecker consumes); unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitChecker executes the analyzers on the single package described
+// by the vet config file and returns the process exit code: 0 clean, 1
+// operational failure, 2 diagnostics reported. It is the protocol half of
+// `go vet -vettool=simlint` — the go command invokes the tool once per
+// package with a fresh .cfg.
+func RunUnitChecker(cfgFile string, analyzers []*Analyzer, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "simlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "simlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The facts file must exist for the go command's caching even though
+	// simlint's analyzers exchange no cross-package facts.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, []byte("simlint: no facts\n"), 0o666)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newGCImporter(fset, func(path string) (string, bool) {
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	}, cfg.ImportMap)
+	pkg, err := checkPackage(fset, cfg.ImportPath, cfg.Dir, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(stderr, "simlint:", err)
+		return 1
+	}
+	writeVetx()
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	diags, err := RunAnalyzers([]*Package{pkg}, analyzers...)
+	if err != nil {
+		fmt.Fprintln(stderr, "simlint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// PrintVersion emits the `-V=full` line the go command uses to fold the
+// vet tool's identity into its build cache key. The hash of the binary
+// itself stands in for a version: rebuilding simlint invalidates cached
+// vet results, exactly as intended.
+func PrintVersion(w io.Writer) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Fprintf(w, "%s version devel comments-go-here buildID=%02x\n", os.Args[0], h.Sum(nil))
+}
+
+// PrintFlags emits the `-flags` JSON the go command queries to learn
+// which command-line flags the vet tool supports. simlint keeps its CLI
+// flag-free: analyzers are always all on.
+func PrintFlags(w io.Writer) {
+	fmt.Fprintln(w, "[]")
+}

@@ -1,0 +1,118 @@
+package mcs
+
+// Run-twice pinning for the control plane's rendered output: two servers
+// built the same way, driven through the same API sequence under a fixed
+// clock, must render byte-identical device lists, config exports and audit
+// logs. The audit log is the tenancy story's paper trail — nondeterministic
+// rendering would make its diffs meaningless.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"composable/internal/falcon"
+)
+
+// driveServer builds a fresh chassis+server with a fixed clock, walks one
+// API sequence, and returns the rendered bodies of the read endpoints.
+func driveServer(t *testing.T) map[string]string {
+	t.Helper()
+	ch := falcon.New("falcon-det")
+	for i, h := range []string{"hostA", "hostA", "hostB", "hostB"} {
+		if err := ch.CableHost(fmt.Sprintf("H%d", i+1), h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ch.SetMode(0, falcon.ModeAdvanced); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		ref := falcon.SlotRef{Drawer: 0, Slot: s}
+		dev := falcon.DeviceInfo{ID: fmt.Sprintf("gpu-%d", s), Type: falcon.DeviceGPU, Model: "V100"}
+		if err := ch.Install(ref, dev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(ch, []User{
+		{Name: "alice", Role: RoleUser, Token: "tok-alice", Hosts: []string{"hostA"}},
+		{Name: "root", Role: RoleAdmin, Token: "tok-root"},
+	})
+	// Fixed injected clock: each audit entry lands one simulated second
+	// after the previous, identically in both runs.
+	tick := time.Unix(1000, 0).UTC()
+	srv.clock = func() time.Time {
+		tick = tick.Add(time.Second)
+		return tick
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	do := func(method, path, token, body string) {
+		t.Helper()
+		var rdr io.Reader
+		if body != "" {
+			rdr = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	// The mutation sequence: an attach, a denied attach, a detach.
+	do("POST", "/api/attach", "tok-alice", `{"drawer":0,"slot":0,"port":"H1"}`)
+	do("POST", "/api/attach", "tok-alice", `{"drawer":0,"slot":1,"port":"H3"}`) // not alice's host: denied
+	do("POST", "/api/attach", "tok-root", `{"drawer":0,"slot":1,"port":"H3"}`)
+	do("POST", "/api/detach", "tok-alice", `{"drawer":0,"slot":0}`)
+
+	read := func(path, token string) string {
+		t.Helper()
+		req, err := http.NewRequest("GET", ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d %s", path, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+	return map[string]string{
+		"devices": read("/api/devices", "tok-alice"),
+		"summary": read("/api/summary", "tok-alice"),
+		"config":  read("/api/config", "tok-root"),
+		"audit":   read("/api/audit", "tok-root"),
+	}
+}
+
+func TestControlPlaneOutputIsRunStable(t *testing.T) {
+	first := driveServer(t)
+	second := driveServer(t)
+	for name, body := range first {
+		if body == "" {
+			t.Fatalf("sanity: %s body is empty", name)
+		}
+		if second[name] != body {
+			t.Errorf("%s differs between identical runs:\n--- run 1\n%s\n--- run 2\n%s", name, body, second[name])
+		}
+	}
+}

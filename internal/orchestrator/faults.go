@@ -124,7 +124,7 @@ func (s *scheduler) armFaults(plan faults.Plan) {
 		if r.Up {
 			kind = "repair"
 		}
-		s.track.Record(r.At, kind, fmt.Sprintf("%s[%d]", r.Kind, r.Target))
+		s.track.Record(r.At, kind, string(r.Kind)+"["+strconv.Itoa(r.Target)+"]")
 	})
 	inj.Arm()
 	s.injector = inj
@@ -132,6 +132,8 @@ func (s *scheduler) armFaults(plan faults.Plan) {
 
 // slotAvailable reports whether a slot is schedulable: its device healthy
 // and its drawer plugged.
+//
+//perf:hot
 func (s *scheduler) slotAvailable(i int) bool {
 	if s.slotFaulty == nil {
 		return true
@@ -237,6 +239,8 @@ func (s *scheduler) reschedule(js *jobState, now time.Duration) {
 
 // enqueue inserts a job into the wait queue in arrival order (ties by
 // ID), so a retried job regains its FIFO position rather than the tail.
+//
+//perf:hot
 func (s *scheduler) enqueue(js *jobState) {
 	at := len(s.queue)
 	for i, q := range s.queue {

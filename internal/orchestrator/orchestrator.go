@@ -353,6 +353,8 @@ func (s *scheduler) probe(ev Event) {
 // account accrues fragmentation time up to now: while any job waits, every
 // free schedulable GPU is stranded capacity (a failed device is missing,
 // not stranded).
+//
+//perf:hot
 func (s *scheduler) account(now time.Duration) {
 	if len(s.queue) > 0 && now > s.lastT {
 		free := 0
@@ -379,6 +381,8 @@ func (s *scheduler) arrive(js *jobState) {
 }
 
 // trySchedule places queue heads for as long as the policy can.
+//
+//perf:hot
 func (s *scheduler) trySchedule() {
 	for s.err == nil && len(s.queue) > 0 {
 		js := s.queue[0]
@@ -499,7 +503,7 @@ func (s *scheduler) launch(js *jobState) {
 	if remaining < 1 {
 		remaining = 1
 	}
-	name := fmt.Sprintf("fleet-j%d-h%d", js.spec.ID, js.host+1)
+	name := "fleet-j" + strconv.Itoa(js.spec.ID) + "-h" + strconv.Itoa(js.host+1)
 	sys := s.fleet.JobSystem(s.fleet.Hosts[js.host], js.slots, name)
 	job, err := train.Start(sys, train.Options{
 		Workload:            w,

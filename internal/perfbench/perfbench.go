@@ -23,6 +23,7 @@ import (
 	"composable/internal/experiments"
 	"composable/internal/fabric"
 	"composable/internal/faults"
+	"composable/internal/lint"
 	"composable/internal/orchestrator"
 	"composable/internal/sim"
 	"composable/internal/units"
@@ -78,6 +79,7 @@ func Suite() []Benchmark {
 		{"orchestrator/fleet-schedule", BenchOrchestratorFleetSchedule},
 		{"faults/recover-reschedule", BenchFaultsRecoverReschedule},
 		{"suite/run-all-sequential", BenchSuiteRunAllSequential},
+		{"lint/simlint-full-repo", BenchSimlintFullRepo},
 	}
 }
 
@@ -402,6 +404,28 @@ func BenchSuiteRunAllSequential(b *testing.B) {
 		}
 		if len(reports) == 0 {
 			b.Fatal("no reports")
+		}
+	}
+}
+
+// BenchSimlintFullRepo measures one full static-analysis pass over the
+// module: `go list -export` package loading, type-checking every package
+// from export data, and all four analyzers. This is the cost the lint CI
+// job pays per run and what a pre-commit hook would feel; ops/sec is
+// full-repo passes per second.
+func BenchSimlintFullRepo(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkgs, err := lint.Load("./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		diags, err := lint.RunAnalyzers(pkgs, lint.Analyzers()...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("repo not lint-clean: %d finding(s), first: %s", len(diags), diags[0])
 		}
 	}
 }

@@ -34,8 +34,9 @@ func TestSuiteRegistration(t *testing.T) {
 		layers[layer] = true
 	}
 	// The suite's contract: it covers the sim core, the fabric allocator,
-	// the fleet orchestrator and the end-to-end experiment regeneration.
-	for _, layer := range []string{"sim", "fabric", "orchestrator", "suite"} {
+	// the fleet orchestrator, the end-to-end experiment regeneration and
+	// the static-analysis pass the lint gate pays per CI run.
+	for _, layer := range []string{"sim", "fabric", "orchestrator", "suite", "lint"} {
 		if !layers[layer] {
 			t.Errorf("suite does not cover the %s layer (have %v)", layer, layers)
 		}

@@ -40,8 +40,11 @@ func (r *Resource) InUse() int { return r.inUse }
 // Acquire blocks the process until n units are available, then takes them.
 // Requests are granted strictly FIFO, so a large request cannot be starved
 // by a stream of small ones.
+//
+//perf:hot
 func (r *Resource) Acquire(p *Proc, n int) {
 	if n <= 0 || n > r.capacity {
+		//lint:allow hotalloc(panic path only: formats a misuse report, never runs in steady state)
 		panic(fmt.Sprintf("sim: acquire %d of resource %q (capacity %d)", n, r.name, r.capacity))
 	}
 	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
@@ -65,8 +68,11 @@ func (r *Resource) TryAcquire(e *Env, n int) bool {
 }
 
 // Release returns n units and wakes as many FIFO waiters as now fit.
+//
+//perf:hot
 func (r *Resource) Release(e *Env, n int) {
 	if n <= 0 || n > r.inUse {
+		//lint:allow hotalloc(panic path only: formats a misuse report, never runs in steady state)
 		panic(fmt.Sprintf("sim: release %d of resource %q (in use %d)", n, r.name, r.inUse))
 	}
 	r.account(e)
@@ -83,6 +89,7 @@ func (r *Resource) Release(e *Env, n int) {
 	}
 }
 
+//perf:hot
 func (r *Resource) take(e *Env, n int) {
 	r.account(e)
 	r.inUse += n
@@ -104,6 +111,8 @@ func (r *Resource) AddBusy(e *Env, d Time) {
 }
 
 // account accrues busy time weighted by occupancy since the last change.
+//
+//perf:hot
 func (r *Resource) account(e *Env) {
 	dt := e.now - r.lastChange
 	if dt > 0 && r.inUse > 0 {
@@ -196,6 +205,7 @@ func (q *Queue) Close(e *Env) {
 	}
 }
 
+//perf:hot
 func (q *Queue) wakeOne(e *Env) {
 	if len(q.waiters) == 0 {
 		return
@@ -208,6 +218,8 @@ func (q *Queue) wakeOne(e *Env) {
 
 // Get removes and returns the oldest item, blocking while the queue is
 // empty. ok is false when the queue is closed and drained.
+//
+//perf:hot
 func (q *Queue) Get(p *Proc) (item interface{}, ok bool) {
 	for len(q.items) == 0 {
 		if q.closed {

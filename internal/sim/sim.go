@@ -90,6 +90,8 @@ func (e *Env) Now() Time { return e.now }
 // Schedule registers fn to run at absolute virtual time at. Times in the
 // past are clamped to the current instant. Schedule may be called before
 // Run or from inside a running process or event callback.
+//
+//perf:hot
 func (e *Env) Schedule(at Time, fn func()) {
 	if at < e.now {
 		at = e.now
@@ -100,6 +102,8 @@ func (e *Env) Schedule(at Time, fn func()) {
 
 // scheduleWake registers a wake-up of p at absolute time at. It is the
 // closure-free fast path behind every blocking primitive in the package.
+//
+//perf:hot
 func (e *Env) scheduleWake(p *Proc, at Time) {
 	if at < e.now {
 		at = e.now
@@ -108,6 +112,9 @@ func (e *Env) scheduleWake(p *Proc, at Time) {
 	e.enqueue(event{at: at, seq: e.seq, proc: p})
 }
 
+// enqueue routes an event to the same-instant FIFO or the heap.
+//
+//perf:hot
 func (e *Env) enqueue(ev event) {
 	if ev.at == e.now {
 		e.fifo = append(e.fifo, ev)
@@ -123,6 +130,8 @@ func (e *Env) After(d time.Duration, fn func()) { e.Schedule(e.now+d, fn) }
 // the tree depth of the binary heap, and sifting event values directly
 // avoids both container/heap's interface{} boxing and a pointer chase per
 // comparison.
+//
+//perf:hot
 func (e *Env) heapPush(ev event) {
 	h := append(e.heap, ev)
 	i := len(h) - 1
@@ -137,6 +146,7 @@ func (e *Env) heapPush(ev event) {
 	e.heap = h
 }
 
+//perf:hot
 func (e *Env) heapPop() event {
 	h := e.heap
 	top := h[0]
@@ -250,6 +260,8 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 }
 
 // wake hands control to p and blocks until p yields or finishes.
+//
+//perf:hot
 func (e *Env) wake(p *Proc) {
 	p.waitKind = waitNone
 	p.resume <- struct{}{}
@@ -258,6 +270,8 @@ func (e *Env) wake(p *Proc) {
 
 // yield returns control from the process to the event loop and blocks the
 // process until it is woken again. kind is recorded for deadlock reports.
+//
+//perf:hot
 func (p *Proc) yield(kind waitKind) {
 	p.waitKind = kind
 	p.env.ack <- struct{}{}
@@ -273,6 +287,8 @@ func (p *Proc) yieldNamed(kind waitKind, name string) {
 // Sleep suspends the process for d of virtual time. Negative durations are
 // treated as zero (the process is rescheduled after already-queued events
 // at the same instant).
+//
+//perf:hot
 func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0

@@ -1,0 +1,61 @@
+package telemetry
+
+// Run-twice pinning for the rendered-output paths maporder polices: two
+// identical simulated recordings must render byte-identical CSV, sparkline
+// and timeline artifacts. Telemetry output feeding experiment fingerprints
+// is only trustworthy if it cannot vary between runs of the same seed.
+
+import (
+	"testing"
+	"time"
+
+	"composable/internal/sim"
+)
+
+// record drives one deterministic simulated recording and renders every
+// output format the package exposes.
+func record(t *testing.T) (csv, spark, trackCSV, timeline string) {
+	t.Helper()
+	env := sim.NewEnv()
+	rec := NewRecorder(env, 50*time.Millisecond)
+	v := 0.0
+	rec.AddProbe("util", func() float64 { v += 7; return float64(int(v*13) % 97) })
+	tr := rec.AddTrack("events")
+	rec.Start()
+	env.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(90 * time.Millisecond)
+			kind := "tick"
+			if i%3 == 0 {
+				kind = "mark"
+			}
+			tr.Record(p.Now(), kind, "step")
+		}
+		rec.Stop()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Series("util")
+	return s.CSV(), s.Sparkline(40), tr.CSV(), tr.Timeline(60, time.Second)
+}
+
+func TestRenderedOutputIsRunStable(t *testing.T) {
+	csv1, spark1, track1, tl1 := record(t)
+	csv2, spark2, track2, tl2 := record(t)
+	if csv1 != csv2 {
+		t.Errorf("Series.CSV differs between identical runs:\n--- run 1\n%s\n--- run 2\n%s", csv1, csv2)
+	}
+	if spark1 != spark2 {
+		t.Errorf("Sparkline differs between identical runs: %q vs %q", spark1, spark2)
+	}
+	if track1 != track2 {
+		t.Errorf("Track.CSV differs between identical runs:\n--- run 1\n%s\n--- run 2\n%s", track1, track2)
+	}
+	if tl1 != tl2 {
+		t.Errorf("Timeline differs between identical runs:\n%q\nvs\n%q", tl1, tl2)
+	}
+	if csv1 == "" || track1 == "" {
+		t.Fatal("sanity: rendered artifacts are empty")
+	}
+}
