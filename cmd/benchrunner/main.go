@@ -100,8 +100,12 @@ func run(clock func() time.Time) int {
 				fmt.Fprintln(os.Stderr, "benchrunner:", err)
 				return 1
 			}
-			deltas := perfbench.Compare(base, perfbench.NewPerfReport(*benchLabel, results), *benchTol)
+			current := perfbench.NewPerfReport(*benchLabel, results)
+			deltas := perfbench.Compare(base, current, *benchTol)
 			fmt.Printf("\nvs %s (label %s):\n", *benchAgainst, base.Label)
+			for _, w := range perfbench.EnvMismatch(base, current) {
+				fmt.Printf("warning: environment mismatch: %s\n", w)
+			}
 			for _, d := range deltas {
 				switch {
 				case d.Missing:

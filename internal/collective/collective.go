@@ -13,7 +13,6 @@ package collective
 import (
 	"fmt"
 	"strconv"
-	"time"
 
 	"composable/internal/fabric"
 	"composable/internal/gpu"
@@ -51,9 +50,77 @@ type Communicator struct {
 	eff      float64
 	channels int
 	queue    []*op // FIFO of operations being assembled/executed
-	// chanNames holds the precomputed per-channel process names, so the
-	// per-collective spawn path never formats strings.
-	chanNames []string
+	// fanSpecs is scratch for armFanTransfer (ops execute serially, so
+	// one buffer per communicator suffices).
+	fanSpecs []fabric.TransferSpec
+	// ringChans holds one persistent goroutine-free ring driver per
+	// channel, reused across every op on this communicator (ops execute
+	// serially — NCCL stream semantics — so reuse is safe). Each round of
+	// each channel then costs zero context switches: the stepper's
+	// continuation runs inline in the event dispatcher.
+	ringChans []*ringChannel
+}
+
+// ringChannel drives one counter-rotating ring channel as a stepper state
+// machine: each step releases the previous round's flows, starts the next
+// round's, and re-arms on their completion, padded by the protocol
+// overhead. The event positions are identical to the goroutine-per-channel
+// formulation, so execution order — and the simulation's determinism — is
+// unchanged; only the context switches are gone.
+type ringChannel struct {
+	c       *Communicator
+	sp      *sim.Proc
+	reverse bool
+	specs   []fabric.TransferSpec
+	flows   []*fabric.Flow
+	chunk   units.Bytes
+	r       int
+	rounds  int
+	wg      *sim.WaitGroup
+}
+
+// start primes the channel for one op and schedules its first step at the
+// current instant — the same event a per-op process spawn would occupy.
+func (rc *ringChannel) start(chunk units.Bytes, rounds int, wg *sim.WaitGroup) {
+	rc.chunk, rc.rounds, rc.r, rc.wg = chunk, rounds, 0, wg
+	rc.c.env.Ready(rc.sp)
+}
+
+// step advances the channel: release the finished round's flows, start the
+// next round, re-arm on its completion; when the rounds are done, report
+// to the op's wait group.
+//
+//perf:hot
+func (rc *ringChannel) step() {
+	c := rc.c
+	if len(rc.flows) > 0 {
+		c.net.ReleaseFlows(&rc.flows)
+	}
+	n := len(c.ring)
+	for rc.r < rc.rounds {
+		rc.r++
+		for i := 0; i < n; i++ {
+			src := c.gpus[c.ring[i]].Node
+			var dst fabric.NodeID
+			if rc.reverse {
+				dst = c.gpus[c.ring[(i+n-1)%n]].Node
+			} else {
+				dst = c.gpus[c.ring[(i+1)%n]].Node
+			}
+			rc.specs[i] = fabric.TransferSpec{Src: src, Dst: dst, Size: rc.chunk}
+		}
+		// The pad charges the round's protocol overhead beyond payload
+		// movement in the same event as the completion wake.
+		armed, err := c.net.ArmParallelTransfer(rc.sp, rc.specs, 1/c.eff-1, &rc.flows)
+		if err != nil {
+			panic(err)
+		}
+		if armed {
+			return
+		}
+		c.net.ReleaseFlows(&rc.flows) // every leg finished instantly
+	}
+	rc.wg.Done(c.env)
 }
 
 // SetChannels overrides the counter-rotating ring count (ablation knob;
@@ -63,15 +130,21 @@ func (c *Communicator) SetChannels(n int) {
 		n = 1
 	}
 	c.channels = n
-	c.nameChannels()
+	c.buildChannels()
 }
 
-// nameChannels precomputes the ring-channel process names for the current
+// buildChannels constructs the per-channel ring drivers for the current
 // channel count.
-func (c *Communicator) nameChannels() {
-	c.chanNames = make([]string, c.channels)
-	for ch := range c.chanNames {
-		c.chanNames[ch] = "ring-ch" + strconv.Itoa(ch)
+func (c *Communicator) buildChannels() {
+	c.ringChans = make([]*ringChannel, c.channels)
+	for ch := range c.ringChans {
+		rc := &ringChannel{
+			c:       c,
+			reverse: ch%2 == 1,
+			specs:   make([]fabric.TransferSpec, len(c.ring)),
+		}
+		rc.sp = c.env.NewStepper("ring-ch"+strconv.Itoa(ch), rc.step)
+		c.ringChans[ch] = rc
 	}
 }
 
@@ -93,16 +166,25 @@ func opProcName(kind string) string {
 	return "nccl-" + kind
 }
 
-// op is one in-flight collective.
+// op is one in-flight collective, driven as a stepper state machine: wait
+// for the predecessor, run the data movement, fire done. The stages sit at
+// the exact event positions the process-per-op formulation used, minus its
+// context switches.
 type op struct {
 	kind    string
 	bytes   units.Bytes
 	root    int
-	ranks   []bool // which ranks have joined
+	ranks   uint64 // bitmask of joined ranks (groups are ≤ 64 ranks)
 	joined  int
 	started bool
 	done    sim.Signal
 	prev    *op
+
+	c      *Communicator
+	proc   sim.Proc // embedded stepper driven via Step (no extra allocs)
+	moving bool     // data movement started; next step completes the op
+	wg     sim.WaitGroup
+	flows  []*fabric.Flow
 }
 
 // New builds a communicator with a topology-aware ring: host-local GPUs
@@ -145,7 +227,7 @@ func NewWithRing(net *fabric.Network, gpus []*gpu.Device, ring []int) (*Communic
 	}
 
 	c := &Communicator{net: net, env: net.Env(), gpus: gpus, ring: ring, channels: DefaultChannels}
-	c.nameChannels()
+	c.buildChannels()
 	c.eff = NVLinkRingEfficiency
 	for i := range ring {
 		a := gpus[ring[i]].Node
@@ -181,8 +263,9 @@ func (c *Communicator) join(kind string, bytes units.Bytes, root, rank int) *op 
 	}
 	// Find the oldest op of this kind this rank has not joined yet.
 	var cur *op
+	bit := uint64(1) << uint(rank)
 	for _, o := range c.queue {
-		if !o.started && o.kind == kind && o.bytes == bytes && o.root == root && !o.ranks[rank] {
+		if !o.started && o.kind == kind && o.bytes == bytes && o.root == root && o.ranks&bit == 0 {
 			cur = o
 			break
 		}
@@ -192,10 +275,10 @@ func (c *Communicator) join(kind string, bytes units.Bytes, root, rank int) *op 
 		if len(c.queue) > 0 {
 			prev = c.queue[len(c.queue)-1]
 		}
-		cur = &op{kind: kind, bytes: bytes, root: root, prev: prev, ranks: make([]bool, len(c.gpus))}
+		cur = &op{kind: kind, bytes: bytes, root: root, prev: prev}
 		c.queue = append(c.queue, cur)
 	}
-	cur.ranks[rank] = true
+	cur.ranks |= bit
 	cur.joined++
 	if cur.joined == len(c.gpus) {
 		cur.started = true
@@ -204,35 +287,118 @@ func (c *Communicator) join(kind string, bytes units.Bytes, root, rank int) *op 
 	return cur
 }
 
-// launch runs the op's data movement in a fresh process, after its
-// predecessor completes.
+// launch schedules the op's stepper, which runs its data movement after
+// the predecessor completes.
 func (c *Communicator) launch(o *op) {
-	c.env.Go(opProcName(o.kind), func(p *sim.Proc) {
-		if o.prev != nil {
-			o.prev.done.Wait(p)
+	o.c = c
+	c.env.InitStepperFor(&o.proc, opProcName(o.kind), o)
+	c.env.Ready(&o.proc)
+}
+
+// step advances the op through its three stages — predecessor wait, data
+// movement, completion — re-arming on the event that ends each stage.
+//
+//perf:hot
+func (o *op) Step() {
+	c := o.c
+	if !o.moving {
+		if o.prev != nil && o.prev.done.Arm(&o.proc) {
+			return
 		}
+		o.prev = nil
+		o.moving = true
 		switch o.kind {
 		case "allreduce":
-			c.runRingPasses(p, o.bytes, 2) // reduce-scatter + all-gather
+			if o.armRingPasses(2) { // reduce-scatter + all-gather
+				return
+			}
 		case "reducescatter", "allgather":
-			c.runRingPasses(p, o.bytes, 1)
+			if o.armRingPasses(1) {
+				return
+			}
 		case "broadcast":
-			c.runBroadcast(p, o.root, o.bytes)
+			if o.armFanTransfer(true) {
+				return
+			}
 		case "reduceroot":
-			c.runReduceRoot(p, o.root, o.bytes)
+			if o.armFanTransfer(false) {
+				return
+			}
 		default:
 			panic("collective: unknown op " + o.kind)
 		}
-		c.gc()
-		o.done.Fire(c.env)
-	})
+	}
+	if len(o.flows) > 0 {
+		c.net.ReleaseFlows(&o.flows)
+	}
+	c.gc()
+	o.done.Fire(c.env)
 }
 
-// gc drops completed ops from the head of the queue.
-func (c *Communicator) gc() {
-	for len(c.queue) > 0 && c.queue[0].started && c.queue[0].done.Fired() {
-		c.queue = c.queue[1:]
+// armRingPasses starts `passes` × (N−1) ring rounds over all channels and
+// arms the op's stepper on their joint completion. Reports false if the
+// channels finished inline (degenerate rings only).
+//
+//perf:hot
+func (o *op) armRingPasses(passes int) bool {
+	c := o.c
+	n := len(c.ring)
+	rounds := passes * (n - 1)
+	chunk := units.Bytes(float64(o.bytes) / float64(n) / float64(c.channels))
+	if chunk <= 0 {
+		chunk = 1
 	}
+	o.wg.Add(c.channels)
+	for ch := 0; ch < c.channels; ch++ {
+		c.ringChans[ch].start(chunk, rounds, &o.wg)
+	}
+	return o.wg.Arm(&o.proc)
+}
+
+// armFanTransfer starts the root→all (broadcast) or all→root (reduce)
+// flows and arms the op's stepper on their completion.
+//
+//perf:hot
+func (o *op) armFanTransfer(fromRoot bool) bool {
+	c := o.c
+	specs := c.fanSpecs[:0]
+	for i := range c.gpus {
+		if i == o.root {
+			continue
+		}
+		if fromRoot {
+			specs = append(specs, fabric.TransferSpec{
+				Src: c.gpus[o.root].Node, Dst: c.gpus[i].Node, Size: o.bytes,
+			})
+		} else {
+			specs = append(specs, fabric.TransferSpec{
+				Src: c.gpus[i].Node, Dst: c.gpus[o.root].Node, Size: o.bytes,
+			})
+		}
+	}
+	c.fanSpecs = specs
+	armed, err := c.net.ArmParallelTransfer(&o.proc, specs, 1/c.eff-1, &o.flows)
+	if err != nil {
+		panic(err)
+	}
+	return armed
+}
+
+// gc drops completed ops from the head of the queue, copying the tail
+// down so the queue's backing array keeps its capacity.
+func (c *Communicator) gc() {
+	drop := 0
+	for drop < len(c.queue) && c.queue[drop].started && c.queue[drop].done.Fired() {
+		drop++
+	}
+	if drop == 0 {
+		return
+	}
+	m := copy(c.queue, c.queue[drop:])
+	for i := m; i < len(c.queue); i++ {
+		c.queue[i] = nil
+	}
+	c.queue = c.queue[:m]
 }
 
 // runRingPasses executes `passes` × (N−1) ring rounds over both channels;
@@ -251,31 +417,7 @@ func (c *Communicator) runRingPasses(p *sim.Proc, size units.Bytes, passes int) 
 	var wg sim.WaitGroup
 	wg.Add(c.channels)
 	for ch := 0; ch < c.channels; ch++ {
-		reverse := ch%2 == 1
-		c.env.Go(c.chanNames[ch], func(cp *sim.Proc) {
-			// One spec buffer per channel, refilled each round.
-			specs := make([]fabric.TransferSpec, n)
-			for r := 0; r < rounds; r++ {
-				start := cp.Now()
-				for i := 0; i < n; i++ {
-					src := c.gpus[c.ring[i]].Node
-					var dst fabric.NodeID
-					if reverse {
-						dst = c.gpus[c.ring[(i+n-1)%n]].Node
-					} else {
-						dst = c.gpus[c.ring[(i+1)%n]].Node
-					}
-					specs[i] = fabric.TransferSpec{Src: src, Dst: dst, Size: chunk}
-				}
-				if err := c.net.ParallelTransfer(cp, specs); err != nil {
-					panic(err)
-				}
-				// Protocol overhead beyond payload movement.
-				elapsed := cp.Now() - start
-				cp.Sleep(time.Duration(float64(elapsed) * (1/c.eff - 1)))
-			}
-			wg.Done(c.env)
-		})
+		c.ringChans[ch].start(chunk, rounds, &wg)
 	}
 	wg.Wait(p)
 }
@@ -292,12 +434,9 @@ func (c *Communicator) runBroadcast(p *sim.Proc, root int, size units.Bytes) {
 			Src: c.gpus[root].Node, Dst: c.gpus[i].Node, Size: size,
 		})
 	}
-	start := p.Now()
-	if err := c.net.ParallelTransfer(p, specs); err != nil {
+	if err := c.net.ParallelTransferPadded(p, specs, 1/c.eff-1); err != nil {
 		panic(err)
 	}
-	elapsed := p.Now() - start
-	p.Sleep(time.Duration(float64(elapsed) * (1/c.eff - 1)))
 }
 
 // runReduceRoot gathers every rank's payload into root as concurrent flows
@@ -312,12 +451,9 @@ func (c *Communicator) runReduceRoot(p *sim.Proc, root int, size units.Bytes) {
 			Src: c.gpus[i].Node, Dst: c.gpus[root].Node, Size: size,
 		})
 	}
-	start := p.Now()
-	if err := c.net.ParallelTransfer(p, specs); err != nil {
+	if err := c.net.ParallelTransferPadded(p, specs, 1/c.eff-1); err != nil {
 		panic(err)
 	}
-	elapsed := p.Now() - start
-	p.Sleep(time.Duration(float64(elapsed) * (1/c.eff - 1)))
 }
 
 // StartAllReduce joins rank to its next all-reduce of size bytes and

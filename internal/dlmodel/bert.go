@@ -92,5 +92,5 @@ func buildBERT(cfg bertConfig) *Graph {
 	// parameter count) and the SQuAD span head.
 	linear("pooler", H, H)
 	linear("qa_outputs", H, 2)
-	return g
+	return g.finalize()
 }

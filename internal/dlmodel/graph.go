@@ -31,12 +31,44 @@ type Layer struct {
 type Graph struct {
 	Name   string
 	Layers []Layer
+
+	// Aggregates, computed once by finalize when a builder finishes. The
+	// benchmark graphs are immutable after construction and shared across
+	// the whole process (Benchmarks caches them), so the hot paths that
+	// query Params/FwdFLOPs per training iteration must not re-walk the
+	// layer list — MemoryNeeded alone walks it hundreds of times during
+	// batch admission.
+	finalized bool
+	params    int64
+	fwdFLOPs  units.FLOPs
+	actBytes  units.Bytes
+	depth     int
 }
 
 func (g *Graph) add(l Layer) { g.Layers = append(g.Layers, l) }
 
+// finalize freezes the graph's aggregates. Builders call it exactly once,
+// after the last add; graphs assembled by hand (tests) that skip it fall
+// back to the walking implementations.
+func (g *Graph) finalize() *Graph {
+	g.params, g.fwdFLOPs, g.actBytes, g.depth = 0, 0, 0, 0
+	for _, l := range g.Layers {
+		g.params += l.Params
+		g.fwdFLOPs += l.FwdFLOPs
+		g.actBytes += l.ActBytes
+		g.depth += l.DepthUnits
+	}
+	g.finalized = true
+	return g
+}
+
 // Params returns the total learnable parameter count.
+//
+//perf:hot
 func (g *Graph) Params() int64 {
+	if g.finalized {
+		return g.params
+	}
 	var total int64
 	for _, l := range g.Layers {
 		total += l.Params
@@ -45,7 +77,12 @@ func (g *Graph) Params() int64 {
 }
 
 // FwdFLOPs returns the forward cost of one sample.
+//
+//perf:hot
 func (g *Graph) FwdFLOPs() units.FLOPs {
+	if g.finalized {
+		return g.fwdFLOPs
+	}
 	var total units.FLOPs
 	for _, l := range g.Layers {
 		total += l.FwdFLOPs
@@ -55,7 +92,12 @@ func (g *Graph) FwdFLOPs() units.FLOPs {
 
 // ActBytesFP32 returns the summed FP32 activation output of one sample —
 // a proxy for training-time activation memory before framework overheads.
+//
+//perf:hot
 func (g *Graph) ActBytesFP32() units.Bytes {
+	if g.finalized {
+		return g.actBytes
+	}
 	var total units.Bytes
 	for _, l := range g.Layers {
 		total += l.ActBytes
@@ -66,7 +108,12 @@ func (g *Graph) ActBytesFP32() units.Bytes {
 // Depth returns the model depth under its family's counting convention
 // (the one Table II uses): weighted layers for the CNN classifiers,
 // encoder blocks for BERT, elementary modules for YOLOv5.
+//
+//perf:hot
 func (g *Graph) Depth() int {
+	if g.finalized {
+		return g.depth
+	}
 	total := 0
 	for _, l := range g.Layers {
 		total += l.DepthUnits

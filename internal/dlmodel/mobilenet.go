@@ -49,5 +49,5 @@ func MobileNetV2() *Graph {
 	b.conv("head", 1280, 1, 1, true, true, 1)
 	b.pool("avgpool", 0, 0, true)
 	b.linear("classifier", 1000, 1)
-	return g
+	return g.finalize()
 }

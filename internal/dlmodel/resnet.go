@@ -47,5 +47,5 @@ func ResNet50() *Graph {
 	}
 	b.pool("avgpool", 0, 0, true)
 	b.linear("fc", 1000, 1)
-	return g
+	return g.finalize()
 }

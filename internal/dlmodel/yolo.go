@@ -64,7 +64,7 @@ func YOLOv5L() *Graph {
 		det.conv(detName, detOut, 1, 1, false, false, 1)
 	}
 	g.add(Layer{Name: "detect", Kind: "detect", DepthUnits: 1})
-	return g
+	return g.finalize()
 }
 
 type dims struct{ h, w, c int }

@@ -249,7 +249,10 @@ func TestMaxMinPropertyInvariants(t *testing.T) {
 				}
 				flows = append(flows, f)
 			}
-			// Inspect allocation of the final recompute.
+			// Inspect allocation of the final recompute (reading rate
+			// fields directly, so run any pending deferred sweep first —
+			// the public readers do this via the same call).
+			n.ensureAllocated()
 			use := map[dirKey]float64{}
 			for _, f := range flows {
 				if f.rate < 0 {

@@ -118,14 +118,14 @@ func (n *Network) addGraphStructures(l *Link) {
 	if l.CapBtoA > 0 {
 		n.adj[l.B] = append(n.adj[l.B], dirLink{link: l, forward: false})
 	}
-	n.routeCache = nil
+	n.routeCache, n.routes = nil, nil
 }
 
 // AddNode adds a node and returns its ID.
 func (n *Network) AddNode(name string, kind NodeKind) NodeID {
 	id := NodeID(len(n.nodes))
 	n.nodes = append(n.nodes, &Node{ID: id, Name: name, Kind: kind})
-	n.routeCache = nil
+	n.routeCache, n.routes = nil, nil
 	return id
 }
 
@@ -162,30 +162,65 @@ func (n *Network) ConnectSym(a, b NodeID, cap units.BytesPerSec, latency time.Du
 // Link returns the link with the given ID.
 func (n *Network) Link(id LinkID) *Link { return n.links[id] }
 
+// denseRouteLimit is the node count up to which the route cache is a
+// dense nodes×nodes table indexed directly by (src, dst) — one slice
+// index instead of a map hash per flow start. Larger graphs (the
+// 1000-GPU fleet direction) fall back to the map to avoid a quadratic
+// table.
+const denseRouteLimit = 256
+
+// routeEntry is one dense-cache slot; path == nil after compute means
+// dst is unreachable from src.
+type routeEntry struct {
+	path     []dirLink
+	computed bool
+}
+
 // Route returns the directed links on the preferred path src→dst, or an
 // error if dst is unreachable. Paths minimize total latency with a small
 // per-hop penalty (so that, capacities being equal, fewer switch traversals
 // win — matching real PCIe/NVLink route selection) and are cached.
+//
+//perf:hot
 func (n *Network) Route(src, dst NodeID) ([]dirLink, error) {
 	if src == dst {
 		return nil, nil
 	}
+	if nn := len(n.nodes); nn <= denseRouteLimit {
+		if len(n.routes) != nn*nn {
+			n.routes = make([]routeEntry, nn*nn)
+		}
+		e := &n.routes[int(src)*nn+int(dst)]
+		if !e.computed {
+			e.path = n.dijkstra(src, dst)
+			e.computed = true
+		}
+		if e.path == nil {
+			return nil, n.noPathErr(src, dst)
+		}
+		return e.path, nil
+	}
 	if n.routeCache == nil {
+		//lint:allow hotalloc(one-time fallback-cache build for >256-node graphs; the steady state hits the map, not this branch)
 		n.routeCache = make(map[[2]NodeID][]dirLink)
 	}
 	key := [2]NodeID{src, dst}
 	if p, ok := n.routeCache[key]; ok {
 		if p == nil {
-			return nil, fmt.Errorf("fabric: no path %s → %s", n.nodes[src].Name, n.nodes[dst].Name)
+			return nil, n.noPathErr(src, dst)
 		}
 		return p, nil
 	}
 	p := n.dijkstra(src, dst)
 	n.routeCache[key] = p
 	if p == nil {
-		return nil, fmt.Errorf("fabric: no path %s → %s", n.nodes[src].Name, n.nodes[dst].Name)
+		return nil, n.noPathErr(src, dst)
 	}
 	return p, nil
+}
+
+func (n *Network) noPathErr(src, dst NodeID) error {
+	return fmt.Errorf("fabric: no path %s → %s", n.nodes[src].Name, n.nodes[dst].Name)
 }
 
 // hopPenalty breaks ties between equal-latency paths in favor of fewer hops.
@@ -193,12 +228,24 @@ const hopPenalty = 10 * time.Nanosecond
 
 func (n *Network) dijkstra(src, dst NodeID) []dirLink {
 	const inf = math.MaxInt64
-	dist := make([]int64, len(n.nodes))
-	prev := make([]dirLink, len(n.nodes))
-	hasPrev := make([]bool, len(n.nodes))
-	visited := make([]bool, len(n.nodes))
+	// Scratch arrays live on the Network: a fleet composition computes
+	// routes for every endpoint pair, and per-call slices were a measurable
+	// share of setup allocations.
+	if len(n.djDist) < len(n.nodes) {
+		n.djDist = make([]int64, len(n.nodes))
+		n.djPrev = make([]dirLink, len(n.nodes))
+		n.djHasPrev = make([]bool, len(n.nodes))
+		n.djVisited = make([]bool, len(n.nodes))
+	}
+	dist := n.djDist[:len(n.nodes)]
+	prev := n.djPrev[:len(n.nodes)]
+	hasPrev := n.djHasPrev[:len(n.nodes)]
+	visited := n.djVisited[:len(n.nodes)]
 	for i := range dist {
 		dist[i] = inf
+		prev[i] = dirLink{}
+		hasPrev[i] = false
+		visited[i] = false
 	}
 	dist[src] = 0
 	for {
@@ -229,10 +276,11 @@ func (n *Network) dijkstra(src, dst NodeID) []dirLink {
 	if !hasPrev[dst] {
 		return nil
 	}
-	var rev []dirLink
+	rev := n.djRev[:0]
 	for at := dst; at != src; at = prev[at].from() {
 		rev = append(rev, prev[at])
 	}
+	n.djRev = rev
 	path := make([]dirLink, len(rev))
 	for i := range rev {
 		path[i] = rev[len(rev)-1-i]

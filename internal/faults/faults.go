@@ -23,12 +23,9 @@
 package faults
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"strconv"
-	"strings"
 	"time"
 
 	"composable/internal/sim"
@@ -78,15 +75,40 @@ type Event struct {
 // Permanent reports whether the event never repairs.
 func (e Event) Permanent() bool { return e.Repair <= 0 }
 
+// String renders the event for logs and golden files. The renderer is
+// manual strconv/append work — no fmt — because fault reporting sits on
+// the recovery hot path; appendEventString pins the exact bytes.
 func (e Event) String() string {
-	s := fmt.Sprintf("%v %s[%d]", e.At, e.Kind, e.Target)
+	var buf [96]byte
+	b := append(buf[:0], e.At.String()...)
+	b = append(b, ' ')
+	b = appendKindTarget(b, e.Kind, e.Target)
 	if e.Kind == KindSlotLink || e.Kind == KindHostLink {
-		s += fmt.Sprintf(" x%.4g", e.Factor)
+		b = appendFactor(b, e.Factor)
 	}
 	if e.Permanent() {
-		return s + " permanent"
+		b = append(b, " permanent"...)
+	} else {
+		b = append(b, " repair+"...)
+		b = append(b, e.Repair.String()...)
 	}
-	return s + fmt.Sprintf(" repair+%v", e.Repair)
+	return string(b)
+}
+
+// appendKindTarget renders "kind[target]".
+func appendKindTarget(b []byte, k Kind, target int) []byte {
+	b = append(b, k...)
+	b = append(b, '[')
+	b = strconv.AppendInt(b, int64(target), 10)
+	b = append(b, ']')
+	return b
+}
+
+// appendFactor renders " x<factor>" with fmt's %.4g semantics (4
+// significant digits, shortest form), via strconv.
+func appendFactor(b []byte, f float64) []byte {
+	b = append(b, " x"...)
+	return strconv.AppendFloat(b, f, 'g', 4, 64)
 }
 
 // Plan is a deterministic fault schedule.
@@ -100,15 +122,24 @@ type Plan struct {
 func (p Plan) Empty() bool { return len(p.Events) == 0 }
 
 // Ledger canonically renders the plan, one event per line — the fault
-// section of a run's byte-exact fingerprint.
+// section of a run's byte-exact fingerprint. Rendered with manual
+// strconv/append calls; the bytes are pinned by the golden render test.
 func (p Plan) Ledger() string {
-	var b strings.Builder
+	b := make([]byte, 0, 64*len(p.Events))
 	for _, e := range p.Events {
-		fmt.Fprintf(&b, "fault at=%d kind=%s target=%d factor=%s repair=%d\n",
-			int64(e.At), e.Kind, e.Target,
-			strconv.FormatFloat(e.Factor, 'g', -1, 64), int64(e.Repair))
+		b = append(b, "fault at="...)
+		b = strconv.AppendInt(b, int64(e.At), 10)
+		b = append(b, " kind="...)
+		b = append(b, e.Kind...)
+		b = append(b, " target="...)
+		b = strconv.AppendInt(b, int64(e.Target), 10)
+		b = append(b, " factor="...)
+		b = strconv.AppendFloat(b, e.Factor, 'g', -1, 64)
+		b = append(b, " repair="...)
+		b = strconv.AppendInt(b, int64(e.Repair), 10)
+		b = append(b, '\n')
 	}
-	return b.String()
+	return string(b)
 }
 
 // Bounds describes the composed system a plan targets, so generation and
@@ -294,28 +325,26 @@ func Sanitize(p Plan, b Bounds) Plan {
 			e.Repair = 2 * time.Second
 		}
 	}
-	// Deterministic order, then overlap resolution per (kind, target).
-	sort.SliceStable(evs, func(i, j int) bool {
-		if evs[i].At != evs[j].At {
-			return evs[i].At < evs[j].At
-		}
-		if evs[i].Kind != evs[j].Kind {
-			return evs[i].Kind < evs[j].Kind
-		}
-		return evs[i].Target < evs[j].Target
-	})
-	type key struct {
-		k Kind
-		t int
+	// Deterministic order (typed stable insertion sort — plans are short
+	// and the closure-free sort keeps compilation off the allocator), then
+	// overlap resolution per (kind, target).
+	sortEvents(evs)
+	// busyUntil is a dense (kind, target) table: after the clamps above,
+	// targets sit in [0, max(slots, hosts, drawers)), so a flat slice
+	// replaces the old map. 0 encodes "free" (every real entry is ≥
+	// minFaultTime), -1 encodes "permanently busy".
+	span := max(max(b.Slots, b.Hosts), b.drawers())
+	if span < 1 {
+		span = 1
 	}
-	busyUntil := make(map[key]time.Duration) // -1ns encodes "forever"
+	busyUntil := make([]time.Duration, len(kindOrder)*span)
 	permanentGPUs := 0
 	for _, e := range evs {
 		if len(out.Events) >= maxEvents(b)*4 {
 			break
 		}
-		k := key{e.Kind, e.Target}
-		if until, ok := busyUntil[k]; ok && (until < 0 || e.At < until) {
+		k := kindIndex(e.Kind)*span + e.Target
+		if until := busyUntil[k]; until != 0 && (until < 0 || e.At < until) {
 			continue // overlaps an earlier fault on the same target
 		}
 		if e.Kind == KindGPU && e.Permanent() {
@@ -333,6 +362,41 @@ func Sanitize(p Plan, b Bounds) Plan {
 		out.Events = append(out.Events, e)
 	}
 	return out
+}
+
+// kindOrder enumerates the kinds for the dense busyUntil table.
+var kindOrder = [...]Kind{KindSlotLink, KindHostLink, KindGPU, KindDrawer, KindHost}
+
+func kindIndex(k Kind) int {
+	for i, o := range kindOrder {
+		if o == k {
+			return i
+		}
+	}
+	return 2 // Sanitize maps unknown kinds to KindGPU
+}
+
+// sortEvents stable-sorts by (At, Kind, Target) with an insertion sort.
+func sortEvents(evs []Event) {
+	for i := 1; i < len(evs); i++ {
+		e := evs[i]
+		j := i - 1
+		for j >= 0 && eventAfter(evs[j], e) {
+			evs[j+1] = evs[j]
+			j--
+		}
+		evs[j+1] = e
+	}
+}
+
+func eventAfter(a, b Event) bool {
+	if a.At != b.At {
+		return a.At > b.At
+	}
+	if a.Kind != b.Kind {
+		return a.Kind > b.Kind
+	}
+	return a.Target > b.Target
 }
 
 func clampInt(v, lo, hi int) int {
@@ -365,16 +429,21 @@ type Record struct {
 	Up bool
 }
 
+// String renders the record with the same manual strconv/append scheme as
+// Event.String; the golden render test pins the bytes.
 func (r Record) String() string {
-	verb := "FAIL"
+	var buf [96]byte
+	b := append(buf[:0], r.At.String()...)
 	if r.Up {
-		verb = "repair"
+		b = append(b, " repair "...)
+	} else {
+		b = append(b, " FAIL "...)
 	}
-	s := fmt.Sprintf("%v %s %s[%d]", r.At, verb, r.Kind, r.Target)
+	b = appendKindTarget(b, r.Kind, r.Target)
 	if r.Kind == KindSlotLink || r.Kind == KindHostLink {
-		s += fmt.Sprintf(" x%.4g", r.Factor)
+		b = appendFactor(b, r.Factor)
 	}
-	return s
+	return string(b)
 }
 
 // Hooks are the control points an injector drives. Nil hooks are skipped,
@@ -402,8 +471,11 @@ type Injector struct {
 }
 
 // NewInjector binds a (sanitized) plan to an environment and hook set.
+// The record log is sized up front: every event applies at most twice
+// (fault + repair), so the recovery path never grows it.
 func NewInjector(env *sim.Env, plan Plan, hooks Hooks) *Injector {
-	return &Injector{env: env, plan: plan, hooks: hooks}
+	return &Injector{env: env, plan: plan, hooks: hooks,
+		records: make([]Record, 0, 2*len(plan.Events))}
 }
 
 // SetProbe installs fn to observe every applied record, in application
@@ -427,6 +499,7 @@ func (in *Injector) Arm() {
 	}
 }
 
+//perf:hot
 func (in *Injector) apply(e Event, up bool) {
 	factor := e.Factor
 	if factor < OutageFloor {
@@ -471,16 +544,24 @@ func (in *Injector) Records() []Record { return in.records }
 
 // AppliedLedger canonically renders the applied records, one per line —
 // appended to a faulty run's fingerprint so the run-twice determinism
-// check also covers what the engine actually did.
+// check also covers what the engine actually did. Manual strconv/append
+// rendering, byte-pinned by the golden render test.
 func (in *Injector) AppliedLedger() string {
-	var b strings.Builder
+	b := make([]byte, 0, 64*len(in.records))
 	for _, r := range in.records {
-		up := 0
+		b = append(b, "applied at="...)
+		b = strconv.AppendInt(b, int64(r.At), 10)
+		b = append(b, " kind="...)
+		b = append(b, r.Kind...)
+		b = append(b, " target="...)
+		b = strconv.AppendInt(b, int64(r.Target), 10)
+		b = append(b, " factor="...)
+		b = strconv.AppendFloat(b, r.Factor, 'g', -1, 64)
 		if r.Up {
-			up = 1
+			b = append(b, " up=1\n"...)
+		} else {
+			b = append(b, " up=0\n"...)
 		}
-		fmt.Fprintf(&b, "applied at=%d kind=%s target=%d factor=%s up=%d\n",
-			int64(r.At), r.Kind, r.Target, strconv.FormatFloat(r.Factor, 'g', -1, 64), up)
 	}
-	return b.String()
+	return string(b)
 }

@@ -131,3 +131,64 @@ func TestInjectorDispatchAndLedger(t *testing.T) {
 		t.Fatal("empty applied ledger")
 	}
 }
+
+// TestRenderGolden pins the exact bytes of the manual strconv/append
+// renderers that replaced the fmt.Sprintf chains: Event.String,
+// Record.String and the two fingerprint ledgers. These strings sit on the
+// fingerprint path, so a formatting drift here is silent telemetry
+// corruption — the goldens make it a test failure instead.
+func TestRenderGolden(t *testing.T) {
+	events := []Event{
+		{At: 1500 * time.Millisecond, Kind: KindSlotLink, Target: 3, Factor: 0.25, Repair: 2 * time.Second},
+		{At: 2 * time.Second, Kind: KindHostLink, Target: 1, Factor: OutageFloor, Repair: 500 * time.Millisecond},
+		{At: 3 * time.Second, Kind: KindGPU, Target: 7},
+		{At: 4 * time.Second, Kind: KindDrawer, Target: 0, Repair: 2 * time.Second},
+		{At: 5*time.Second + 250*time.Millisecond, Kind: KindHost, Target: 2, Repair: time.Second},
+		{At: time.Second, Kind: KindSlotLink, Target: 0, Factor: 0, Repair: time.Second},
+	}
+	wantEvents := []string{
+		"1.5s slot-link[3] x0.25 repair+2s",
+		"2s host-link[1] x0.0001 repair+500ms",
+		"3s gpu[7] permanent",
+		"4s drawer[0] repair+2s",
+		"5.25s host[2] repair+1s",
+		"1s slot-link[0] x0 repair+1s",
+	}
+	for i, e := range events {
+		if got := e.String(); got != wantEvents[i] {
+			t.Errorf("Event.String()[%d] = %q, want %q", i, got, wantEvents[i])
+		}
+	}
+
+	records := []Record{
+		{At: 1500 * time.Millisecond, Kind: KindSlotLink, Target: 3, Factor: 0.25},
+		{At: 3500 * time.Millisecond, Kind: KindSlotLink, Target: 3, Factor: 1, Up: true},
+		{At: 3 * time.Second, Kind: KindGPU, Target: 7},
+		{At: 4 * time.Second, Kind: KindHost, Target: 2, Up: true},
+	}
+	wantRecords := []string{
+		"1.5s FAIL slot-link[3] x0.25",
+		"3.5s repair slot-link[3] x1",
+		"3s FAIL gpu[7]",
+		"4s repair host[2]",
+	}
+	for i, r := range records {
+		if got := r.String(); got != wantRecords[i] {
+			t.Errorf("Record.String()[%d] = %q, want %q", i, got, wantRecords[i])
+		}
+	}
+
+	plan := Plan{Events: events[:2]}
+	wantLedger := "fault at=1500000000 kind=slot-link target=3 factor=0.25 repair=2000000000\n" +
+		"fault at=2000000000 kind=host-link target=1 factor=0.0001 repair=500000000\n"
+	if got := plan.Ledger(); got != wantLedger {
+		t.Errorf("Ledger() = %q, want %q", got, wantLedger)
+	}
+
+	in := &Injector{records: records[:2]}
+	wantApplied := "applied at=1500000000 kind=slot-link target=3 factor=0.25 up=0\n" +
+		"applied at=3500000000 kind=slot-link target=3 factor=1 up=1\n"
+	if got := in.AppliedLedger(); got != wantApplied {
+		t.Errorf("AppliedLedger() = %q, want %q", got, wantApplied)
+	}
+}

@@ -13,3 +13,8 @@ import (
 // compose a 3-host × 8-GPU fleet and drive a fixed 6-job stream through
 // the orchestrator, dynamic recompositions included.
 func BenchmarkFleetSchedule(b *testing.B) { perfbench.BenchOrchestratorFleetSchedule(b) }
+
+// BenchmarkFaultsRecoverReschedule measures the full fault-recovery path:
+// fault injection, cooperative wind-down, control-plane hot-unplug,
+// requeue, and checkpoint-resume on a 2-host × 8-GPU fleet.
+func BenchmarkFaultsRecoverReschedule(b *testing.B) { perfbench.BenchFaultsRecoverReschedule(b) }

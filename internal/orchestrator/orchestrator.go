@@ -264,6 +264,19 @@ type scheduler struct {
 	// least one job waits (capacity exists but the policy cannot use it).
 	lastT      time.Duration
 	fragGPUSec float64
+
+	// Reusable scratch for the placement hot path: the View handed to the
+	// policy each Place call (policies must not retain it), the policy
+	// scoring buffers behind it, and the epoch-stamped duplicate check in
+	// checkPlacement (seenGen bumps instead of clearing; a slot is "seen"
+	// when its stamp matches the current generation).
+	viewSlots []SlotView
+	viewGPUs  []int
+	viewJobs  []int
+	viewUp    []bool
+	pscratch  policyScratch
+	seenSlot  []uint64
+	seenGen   uint64
 }
 
 // Run executes the job stream on the fleet to completion and returns the
@@ -396,13 +409,18 @@ func (s *scheduler) trySchedule() {
 			s.err = err
 			return
 		}
-		s.queue = s.queue[1:]
+		// Pop by copy-down so the queue's backing array keeps its capacity.
+		m := copy(s.queue, s.queue[1:])
+		s.queue[m] = nil
+		s.queue = s.queue[:m]
 		s.place(js, host, picks)
 	}
 }
 
 // checkPlacement validates a policy's pick before any state changes: the
 // scheduler trusts no Policy implementation with its invariants.
+//
+//perf:hot
 func (s *scheduler) checkPlacement(js *jobState, host int, picks []int) error {
 	if host < 0 || host >= len(s.fleet.Hosts) {
 		return fmt.Errorf("orchestrator: policy %s placed job %d on host %d of %d",
@@ -416,13 +434,16 @@ func (s *scheduler) checkPlacement(js *jobState, host int, picks []int) error {
 		return fmt.Errorf("orchestrator: policy %s picked %d slots for job %d needing %d",
 			s.opts.Policy.Name(), len(picks), js.spec.ID, js.spec.GPUs)
 	}
-	seen := make(map[int]bool, len(picks))
+	if len(s.seenSlot) < len(s.fleet.Slots) {
+		s.seenSlot = make([]uint64, len(s.fleet.Slots))
+	}
+	s.seenGen++
 	for _, i := range picks {
-		if i < 0 || i >= len(s.fleet.Slots) || seen[i] {
+		if i < 0 || i >= len(s.fleet.Slots) || s.seenSlot[i] == s.seenGen {
 			return fmt.Errorf("orchestrator: policy %s picked invalid/duplicate slot %d for job %d",
 				s.opts.Policy.Name(), i, js.spec.ID)
 		}
-		seen[i] = true
+		s.seenSlot[i] = s.seenGen
 		if s.slotJob[i] != -1 {
 			return fmt.Errorf("orchestrator: policy %s double-assigned slot %d (held by job %d) to job %d",
 				s.opts.Policy.Name(), i, s.slotJob[i], js.spec.ID)
@@ -556,15 +577,30 @@ func (s *scheduler) finish(js *jobState, now time.Duration) {
 	s.trySchedule()
 }
 
+// view snapshots scheduler state into the scheduler-owned scratch View.
+// The snapshot is rebuilt from live state on every call, so a policy (which
+// must not retain it) always sees current values while the placement path
+// allocates nothing after the first call.
+//
+//perf:hot
 func (s *scheduler) view() View {
+	if s.viewSlots == nil {
+		s.viewSlots = make([]SlotView, len(s.fleet.Slots))
+		s.viewGPUs = make([]int, len(s.fleet.Hosts))
+		s.viewJobs = make([]int, len(s.fleet.Hosts))
+		s.viewUp = make([]bool, len(s.fleet.Hosts))
+	}
 	v := View{
 		Hosts:          len(s.fleet.Hosts),
 		Drawers:        falcon.NumDrawers,
-		HostActiveGPUs: append([]int(nil), s.hostGPUs...),
-		HostActiveJobs: append([]int(nil), s.hostJobs...),
-		HostUp:         make([]bool, len(s.fleet.Hosts)),
-		Slots:          make([]SlotView, len(s.fleet.Slots)),
+		HostActiveGPUs: s.viewGPUs,
+		HostActiveJobs: s.viewJobs,
+		HostUp:         s.viewUp,
+		Slots:          s.viewSlots,
+		scratch:        &s.pscratch,
 	}
+	copy(v.HostActiveGPUs, s.hostGPUs)
+	copy(v.HostActiveJobs, s.hostJobs)
 	for h := range v.HostUp {
 		v.HostUp[h] = !s.hostDown[h]
 	}
@@ -602,6 +638,7 @@ func (s *scheduler) result() *FleetResult {
 		r.FaultLedger = s.injector.AppliedLedger()
 	}
 	completed := 0
+	r.Jobs = make([]JobResult, 0, len(s.jobs))
 	for _, js := range s.jobs {
 		jr := JobResult{
 			ID: js.spec.ID, Workload: js.spec.Workload,

@@ -2,7 +2,6 @@ package orchestrator
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -20,6 +19,38 @@ type View struct {
 	// HostUp marks hosts that have not crashed. Nil (a fault-free
 	// scheduler build) means every host is up.
 	HostUp []bool
+
+	// scratch, when set by the scheduler, provides the policy helpers
+	// reusable buffers so the hot placement path allocates nothing. A
+	// hand-built View (tests, external callers) leaves it nil and the
+	// helpers fall back to allocating.
+	scratch *policyScratch
+}
+
+// policyScratch is the scheduler-owned buffer set behind allocation-free
+// policy scoring. Buffers are only valid for the duration of one Place
+// call; the picks returned to the scheduler are consumed before the next
+// call overwrites them.
+type policyScratch struct {
+	picks []int      // returned picks (FirstFit, Static, BandwidthAware)
+	best  []int      // DrawerLocal: best single-drawer picks so far
+	cands []SlotView // candidate slots being ranked
+	taken []bool     // BandwidthAware: slots already picked this placement
+	load  []int      // BandwidthAware: per-drawer active-device counts
+}
+
+// pickBuf returns a zero-length int buffer with at least the given
+// capacity, reusing scratch when available.
+func (v View) pickBuf(n int) []int {
+	if sc := v.scratch; sc != nil {
+		if cap(sc.picks) < n {
+			sc.picks = make([]int, 0, n)
+		}
+		sc.picks = sc.picks[:0]
+		return sc.picks
+	}
+	//lint:allow hotalloc(fallback for hand-built Views without scratch)
+	return make([]int, 0, n)
 }
 
 // hostUp reports whether host h is schedulable.
@@ -88,15 +119,56 @@ func PolicyByName(name string) (Policy, error) {
 		name, strings.Join(PolicyNames(), ", "))
 }
 
-// freeSlots returns the indices of free slots, in slot order.
-func freeSlots(v View) []int {
-	var out []int
+// countFree returns the number of free slots.
+//
+//perf:hot
+func countFree(v View) int {
+	n := 0
 	for _, s := range v.Slots {
 		if s.Free {
-			out = append(out, s.Index)
+			n++
 		}
 	}
-	return out
+	return n
+}
+
+// sortSlotsByRank stable-sorts candidate slots by (attach rank for host,
+// slot index) with a typed insertion sort: the candidate sets are small
+// (one drawer, or the free pool) and the closure-free sort keeps policy
+// scoring off the allocator.
+//
+//perf:hot
+func sortSlotsByRank(cands []SlotView, host int) {
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		rc := attachRank(c, host)
+		j := i - 1
+		for j >= 0 {
+			rj := attachRank(cands[j], host)
+			if rj < rc || (rj == rc && cands[j].Index < c.Index) {
+				break
+			}
+			cands[j+1] = cands[j]
+			j--
+		}
+		cands[j+1] = c
+	}
+}
+
+// sortInts is an allocation-free insertion sort for the short pick lists
+// policies return.
+//
+//perf:hot
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > x {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = x
+	}
 }
 
 // leastLoadedHost picks the up host with the fewest assigned GPUs,
@@ -145,15 +217,25 @@ type FirstFit struct{}
 func (FirstFit) Name() string { return "firstfit" }
 
 // Place implements Policy.
+//
+//perf:hot
 func (FirstFit) Place(v View, r Request) (int, []int, bool) {
-	free := freeSlots(v)
-	if len(free) < r.GPUs {
+	if countFree(v) < r.GPUs {
 		return 0, nil, false
+	}
+	picks := v.pickBuf(r.GPUs)
+	for _, s := range v.Slots {
+		if s.Free {
+			picks = append(picks, s.Index)
+			if len(picks) == r.GPUs {
+				break
+			}
+		}
 	}
 	// Lowest-index host that hasn't crashed (host 1 absent faults).
 	for h := 0; h < v.Hosts; h++ {
 		if v.hostUp(h) {
-			return h, free[:r.GPUs], true
+			return h, picks, true
 		}
 	}
 	return 0, nil, false
@@ -170,35 +252,27 @@ type DrawerLocal struct{}
 func (DrawerLocal) Name() string { return "drawer" }
 
 // Place implements Policy.
+//
+//perf:hot
 func (DrawerLocal) Place(v View, r Request) (int, []int, bool) {
-	if len(freeSlots(v)) < r.GPUs {
+	if countFree(v) < r.GPUs {
 		return 0, nil, false
 	}
 	host := leastLoadedHost(v)
 	if host == -1 {
 		return 0, nil, false
 	}
-	orderFor := func(candidates []SlotView) []int {
-		sort.SliceStable(candidates, func(i, j int) bool {
-			ri, rj := attachRank(candidates[i], host), attachRank(candidates[j], host)
-			if ri != rj {
-				return ri < rj
-			}
-			return candidates[i].Index < candidates[j].Index
-		})
-		out := make([]int, len(candidates))
-		for i, c := range candidates {
-			out[i] = c.Index
-		}
-		return out
+	var cands []SlotView
+	var best []int
+	if sc := v.scratch; sc != nil {
+		cands, best = sc.cands[:0], sc.best[:0]
 	}
 	// Single-drawer placements first: among drawers that fit the whole
 	// job, take the one whose best slots need the fewest moves (tie: lower
 	// drawer index).
 	bestMoves := -1
-	var best []int
 	for d := 0; d < v.Drawers; d++ {
-		var cands []SlotView
+		cands = cands[:0]
 		for _, s := range v.Slots {
 			if s.Free && s.Drawer == d {
 				cands = append(cands, s)
@@ -207,28 +281,43 @@ func (DrawerLocal) Place(v View, r Request) (int, []int, bool) {
 		if len(cands) < r.GPUs {
 			continue
 		}
-		picks := orderFor(cands)[:r.GPUs]
+		sortSlotsByRank(cands, host)
 		moves := 0
-		for _, i := range picks {
-			if v.Slots[i].Host != host {
+		for _, c := range cands[:r.GPUs] {
+			if c.Host != host {
 				moves++
 			}
 		}
 		if bestMoves == -1 || moves < bestMoves {
-			bestMoves, best = moves, picks
+			bestMoves = moves
+			best = best[:0]
+			for _, c := range cands[:r.GPUs] {
+				best = append(best, c.Index)
+			}
 		}
 	}
-	if best != nil {
+	if sc := v.scratch; sc != nil {
+		sc.cands, sc.best = cands, best
+	}
+	if bestMoves != -1 {
 		return host, best, true
 	}
 	// No drawer fits alone: span drawers, still minimizing moves.
-	var cands []SlotView
+	cands = cands[:0]
 	for _, s := range v.Slots {
 		if s.Free {
 			cands = append(cands, s)
 		}
 	}
-	return host, orderFor(cands)[:r.GPUs], true
+	sortSlotsByRank(cands, host)
+	picks := v.pickBuf(r.GPUs)
+	for _, c := range cands[:r.GPUs] {
+		picks = append(picks, c.Index)
+	}
+	if sc := v.scratch; sc != nil {
+		sc.cands = cands
+	}
+	return host, picks, true
 }
 
 // BandwidthAware spreads jobs across hosts by load and a job's GPUs across
@@ -241,23 +330,48 @@ type BandwidthAware struct{}
 func (BandwidthAware) Name() string { return "bandwidth" }
 
 // Place implements Policy.
+//
+//perf:hot
 func (BandwidthAware) Place(v View, r Request) (int, []int, bool) {
-	if len(freeSlots(v)) < r.GPUs {
+	if countFree(v) < r.GPUs {
 		return 0, nil, false
 	}
 	host := leastLoadedHost(v)
 	if host == -1 {
 		return 0, nil, false
 	}
-	// Per-drawer load: devices currently assigned to any job.
-	load := make([]int, v.Drawers)
+	// Per-drawer load: devices currently assigned to any job. taken marks
+	// slots already picked this placement, a bitset standing in for the
+	// old map.
+	var load []int
+	var taken []bool
+	if sc := v.scratch; sc != nil {
+		if cap(sc.load) < v.Drawers {
+			sc.load = make([]int, v.Drawers)
+		}
+		load = sc.load[:v.Drawers]
+		for i := range load {
+			load[i] = 0
+		}
+		if cap(sc.taken) < len(v.Slots) {
+			sc.taken = make([]bool, len(v.Slots))
+		}
+		taken = sc.taken[:len(v.Slots)]
+		for i := range taken {
+			taken[i] = false
+		}
+	} else {
+		//lint:allow hotalloc(fallback for hand-built Views without scratch)
+		load = make([]int, v.Drawers)
+		//lint:allow hotalloc(fallback for hand-built Views without scratch)
+		taken = make([]bool, len(v.Slots))
+	}
 	for _, s := range v.Slots {
 		if !s.Free {
 			load[s.Drawer]++
 		}
 	}
-	taken := make(map[int]bool, r.GPUs)
-	picks := make([]int, 0, r.GPUs)
+	picks := v.pickBuf(r.GPUs)
 	for len(picks) < r.GPUs {
 		// Least-loaded drawer that still has a free, untaken slot.
 		bestDrawer, bestSlot := -1, -1
@@ -283,7 +397,7 @@ func (BandwidthAware) Place(v View, r Request) (int, []int, bool) {
 		taken[bestSlot] = true
 		load[bestDrawer]++
 	}
-	sort.Ints(picks)
+	sortInts(picks)
 	return host, picks, true
 }
 
@@ -298,11 +412,13 @@ type Static struct{}
 func (Static) Name() string { return "static" }
 
 // Place implements Policy.
+//
+//perf:hot
 func (Static) Place(v View, r Request) (int, []int, bool) {
 	if !v.hostUp(r.Tenant) {
 		return 0, nil, false // the tenant waits out its host's crash
 	}
-	var picks []int
+	picks := v.pickBuf(r.GPUs)
 	for _, s := range v.Slots {
 		// The tenant's share: slots attached to it, plus detached slots it
 		// owned at compose time (a repaired device or re-plugged drawer

@@ -1,0 +1,159 @@
+package orchestrator
+
+import (
+	"testing"
+)
+
+// syntheticView builds a View over a hand-made fleet shape: 2 drawers × 4
+// slots, slots 0-2 free on host 0, slots 4-6 free detached, slot 3 held,
+// slot 7 down. No scratch — the policy helpers fall back to allocating.
+func syntheticView() View {
+	v := View{
+		Hosts:          2,
+		Drawers:        2,
+		Slots:          make([]SlotView, 8),
+		HostActiveGPUs: []int{2, 0},
+		HostActiveJobs: []int{1, 0},
+		HostUp:         []bool{true, true},
+	}
+	for i := 0; i < 8; i++ {
+		sv := SlotView{Index: i, Drawer: i / 4, Host: -1, Config: -1}
+		switch {
+		case i < 3:
+			sv.Host, sv.Free = 0, true
+		case i == 3:
+			sv.Host = 0 // held by a job
+		case i < 7:
+			sv.Free = true
+		default:
+			sv.Down = true
+		}
+		v.Slots[i] = sv
+	}
+	return v
+}
+
+// dirtyScratch returns a policyScratch whose every buffer holds stale
+// garbage from a pretend earlier placement: non-empty pick lists, a taken
+// bitset with bits still set, non-zero drawer loads. A Place call that
+// fails to reset any of these produces a wrong placement, which the
+// equivalence test below turns into a failure.
+func dirtyScratch() *policyScratch {
+	return &policyScratch{
+		picks: []int{99, 98, 97, 96, 95, 94, 93, 92},
+		best:  []int{88, 87, 86, 85, 84, 83, 82, 81},
+		cands: make([]SlotView, 8),
+		taken: []bool{true, true, true, true, true, true, true, true},
+		load:  []int{50, 60},
+	}
+}
+
+// TestPolicyScratchResetEquivalence runs every built-in policy twice on
+// the same View — once with no scratch (the allocating fallback) and once
+// with a deliberately dirty scratch — and requires identical placements.
+// This is the direct unit-level guard the fingerprint sweeps only cover
+// end-to-end: a missing reset in any scratch buffer fails here.
+func TestPolicyScratchResetEquivalence(t *testing.T) {
+	for _, p := range Policies() {
+		for gpus := 2; gpus <= 6; gpus++ {
+			r := Request{Job: 1, Tenant: 0, GPUs: gpus}
+
+			clean := syntheticView()
+			hostC, picksC, okC := p.Place(clean, r)
+			// Copy before the dirty run can overwrite the fallback slices.
+			picksCopy := append([]int(nil), picksC...)
+
+			dirty := syntheticView()
+			dirty.scratch = dirtyScratch()
+			hostD, picksD, okD := p.Place(dirty, r)
+
+			if okC != okD || (okC && hostC != hostD) {
+				t.Errorf("%s gpus=%d: clean (host %d, ok %v) vs dirty scratch (host %d, ok %v)",
+					p.Name(), gpus, hostC, okC, hostD, okD)
+				continue
+			}
+			if !okC {
+				continue
+			}
+			if len(picksCopy) != len(picksD) {
+				t.Errorf("%s gpus=%d: clean picks %v vs dirty %v", p.Name(), gpus, picksCopy, picksD)
+				continue
+			}
+			for i := range picksCopy {
+				if picksCopy[i] != picksD[i] {
+					t.Errorf("%s gpus=%d: clean picks %v vs dirty %v", p.Name(), gpus, picksCopy, picksD)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestPolicyScratchReuseAcrossCalls drives repeated Place calls through
+// one shared scratch (the scheduler's usage pattern) and checks each call
+// against a scratchless reference: buffers must carry no state between
+// placements.
+func TestPolicyScratchReuseAcrossCalls(t *testing.T) {
+	sc := &policyScratch{}
+	for _, p := range Policies() {
+		for _, gpus := range []int{4, 2, 6, 3, 2} {
+			r := Request{Job: 0, Tenant: 0, GPUs: gpus}
+			ref := syntheticView()
+			refHost, refPicks, refOK := p.Place(ref, r)
+			refCopy := append([]int(nil), refPicks...)
+
+			v := syntheticView()
+			v.scratch = sc
+			host, picks, ok := p.Place(v, r)
+			if ok != refOK || (ok && host != refHost) {
+				t.Fatalf("%s gpus=%d: shared-scratch (host %d, ok %v) vs reference (host %d, ok %v)",
+					p.Name(), gpus, host, ok, refHost, refOK)
+			}
+			for i := range refCopy {
+				if picks[i] != refCopy[i] {
+					t.Fatalf("%s gpus=%d: shared-scratch picks %v vs reference %v",
+						p.Name(), gpus, picks, refCopy)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckPlacementSeenEpoch exercises the epoch-stamped duplicate
+// detector that replaced checkPlacement's per-call map: repeated calls
+// must not leak "seen" stamps into each other (a stale stamp would reject
+// a valid placement), while a genuine duplicate in one call must still be
+// caught.
+func TestCheckPlacementSeenEpoch(t *testing.T) {
+	fleet := testFleet(t, 2, 8, false)
+	s := &scheduler{
+		fleet:      fleet,
+		opts:       Options{Policy: FirstFit{}},
+		slotJob:    make([]int, len(fleet.Slots)),
+		slotHost:   make([]int, len(fleet.Slots)),
+		hostGPUs:   make([]int, len(fleet.Hosts)),
+		hostJobs:   make([]int, len(fleet.Hosts)),
+		slotFaulty: make([]bool, len(fleet.Slots)),
+		drawerDown: make([]bool, 4),
+		hostDown:   make([]bool, len(fleet.Hosts)),
+	}
+	for i := range s.slotJob {
+		s.slotJob[i] = -1
+	}
+	js := &jobState{spec: JobSpec{ID: 0, GPUs: 2}}
+
+	// The same slots may be validated any number of times across calls.
+	for i := 0; i < 3; i++ {
+		if err := s.checkPlacement(js, 0, []int{0, 1}); err != nil {
+			t.Fatalf("call %d: valid placement rejected: %v", i, err)
+		}
+	}
+	// A duplicate within one call is still an error.
+	if err := s.checkPlacement(js, 0, []int{3, 3}); err == nil {
+		t.Fatal("duplicate slot accepted")
+	}
+	// And the failed call's stamps must not poison the next valid one.
+	if err := s.checkPlacement(js, 0, []int{3, 4}); err != nil {
+		t.Fatalf("valid placement after duplicate rejected: %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+package perfbench
+
+import (
+	"testing"
+	"time"
+
+	"composable/internal/cluster"
+	"composable/internal/faults"
+	"composable/internal/orchestrator"
+	"composable/internal/sim"
+)
+
+// Steady-state allocation ceilings for the two fleet-path benchmarks,
+// pinned by PR7's allocation-free pass. The ceilings are the PR's 10x
+// acceptance targets (BENCH_PR6 ÷ 10, with margin over the ~2.0k/2.3k
+// measured steady state), so a change that drifts allocations back up
+// fails here long before it erodes a full 10x.
+const (
+	fleetScheduleAllocCeiling    = 3391
+	faultsRecoverAllocCeiling    = 4161
+	fleetScheduleBytesPerOpNotes = "see BENCH_PR7.json for the full record"
+)
+
+func runFleetScheduleOnce(t testing.TB) {
+	stream := []orchestrator.JobSpec{
+		{Arrival: 0, Tenant: 0, GPUs: 4, Workload: "ResNet-50", Epochs: 1, ItersPerEpoch: 2},
+		{Arrival: 0, Tenant: 1, GPUs: 2, Workload: "BERT", Epochs: 1, ItersPerEpoch: 2},
+		{Arrival: time.Second, Tenant: 2, GPUs: 2, Workload: "MobileNetV2", Epochs: 1, ItersPerEpoch: 2},
+		{Arrival: 2 * time.Second, Tenant: 0, GPUs: 4, Workload: "MobileNetV2", Epochs: 1, ItersPerEpoch: 2},
+		{Arrival: 2 * time.Second, Tenant: 1, GPUs: 2, Workload: "ResNet-50", Epochs: 1, ItersPerEpoch: 2},
+		{Arrival: 3 * time.Second, Tenant: 2, GPUs: 4, Workload: "BERT", Epochs: 1, ItersPerEpoch: 2},
+	}
+	env := sim.NewEnv()
+	fleet, err := cluster.ComposeFleet(env, cluster.FleetOptions{Hosts: 3, GPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := orchestrator.Run(fleet, stream, orchestrator.Options{Policy: orchestrator.DrawerLocal{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != len(stream) {
+		t.Fatal("incomplete fleet run")
+	}
+}
+
+func runFaultsRecoverOnce(t testing.TB) {
+	stream := []orchestrator.JobSpec{
+		{Arrival: 0, Tenant: 0, GPUs: 4, Workload: "ResNet-50", Epochs: 4, ItersPerEpoch: 6},
+		{Arrival: time.Second, Tenant: 1, GPUs: 2, Workload: "MobileNetV2", Epochs: 1, ItersPerEpoch: 4},
+	}
+	plan := faults.Plan{Events: []faults.Event{
+		{At: 2 * time.Second, Kind: faults.KindGPU, Target: 0, Repair: 500 * time.Millisecond},
+	}}
+	env := sim.NewEnv()
+	fleet, err := cluster.ComposeFleet(env, cluster.FleetOptions{Hosts: 2, GPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := orchestrator.Run(fleet, stream, orchestrator.Options{
+		Policy: orchestrator.DrawerLocal{}, AttachLatency: -1, Faults: &plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kills == 0 {
+		t.Fatal("gate fault never killed: not measuring recovery")
+	}
+}
+
+// TestFleetScheduleAllocGate pins the fleet-schedule op's allocation
+// count: the same op body BenchOrchestratorFleetSchedule measures, gated
+// at PR7's 10x-vs-PR6 ceiling via testing.AllocsPerRun.
+func TestFleetScheduleAllocGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate runs full fleet ops")
+	}
+	allocs := testing.AllocsPerRun(5, func() { runFleetScheduleOnce(t) })
+	if allocs > fleetScheduleAllocCeiling {
+		t.Errorf("fleet-schedule op allocates %.0f objects, ceiling %d (%s)",
+			allocs, fleetScheduleAllocCeiling, fleetScheduleBytesPerOpNotes)
+	}
+}
+
+// TestFaultsRecoverAllocGate pins the fault-recovery op's allocation
+// count, same scheme as TestFleetScheduleAllocGate.
+func TestFaultsRecoverAllocGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate runs full fleet ops")
+	}
+	allocs := testing.AllocsPerRun(5, func() { runFaultsRecoverOnce(t) })
+	if allocs > faultsRecoverAllocCeiling {
+		t.Errorf("faults-recover op allocates %.0f objects, ceiling %d (%s)",
+			allocs, faultsRecoverAllocCeiling, fleetScheduleBytesPerOpNotes)
+	}
+}

@@ -77,15 +77,25 @@ func (r *Resource) Release(e *Env, n int) {
 	}
 	r.account(e)
 	r.inUse -= n
-	for len(r.waiters) > 0 {
-		w := r.waiters[0]
+	// Pop admitted waiters by copying the tail down rather than reslicing
+	// the head away: the backing array keeps its capacity, so the next
+	// Acquire appends without reallocating.
+	woken := 0
+	for woken < len(r.waiters) {
+		w := r.waiters[woken]
 		if r.inUse+w.n > r.capacity {
 			break
 		}
-		r.waiters[0] = resWaiter{}
-		r.waiters = r.waiters[1:]
 		r.inUse += w.n
 		e.scheduleWake(w.p, e.now)
+		woken++
+	}
+	if woken > 0 {
+		m := copy(r.waiters, r.waiters[woken:])
+		for i := m; i < len(r.waiters); i++ {
+			r.waiters[i] = resWaiter{}
+		}
+		r.waiters = r.waiters[:m]
 	}
 }
 
@@ -211,8 +221,9 @@ func (q *Queue) wakeOne(e *Env) {
 		return
 	}
 	p := q.waiters[0]
-	q.waiters[0] = nil
-	q.waiters = q.waiters[1:]
+	m := copy(q.waiters, q.waiters[1:])
+	q.waiters[m] = nil
+	q.waiters = q.waiters[:m]
 	e.scheduleWake(p, e.now)
 }
 
@@ -229,6 +240,8 @@ func (q *Queue) Get(p *Proc) (item interface{}, ok bool) {
 		p.yieldNamed(waitQueue, q.name)
 	}
 	item = q.items[0]
-	q.items = q.items[1:]
+	m := copy(q.items, q.items[1:])
+	q.items[m] = nil
+	q.items = q.items[:m]
 	return item, true
 }

@@ -33,15 +33,32 @@ type Time = time.Duration
 // event is a scheduled wake-up or callback, stored by value. The common
 // case — waking a blocked process (Sleep, Signal.Fire, WaitGroup.Done,
 // Resource.Release, Queue hand-offs) — carries the process directly in
-// proc, so scheduling it allocates nothing. fn is the general-purpose
-// callback used by Schedule/After. Events with equal timestamps fire in
-// scheduling order (seq), which keeps the simulation deterministic.
+// proc, so scheduling it allocates nothing. sig carries a deferred
+// Signal.Fire the same closure-free way (fabric uses it for flow latency
+// fires). fn is the general-purpose callback used by Schedule/After.
+// Events with equal timestamps fire in scheduling order (seq), which
+// keeps the simulation deterministic.
 type event struct {
-	at   Time
-	seq  uint64
-	proc *Proc  // non-nil: wake this process
-	fn   func() // otherwise: run this callback
+	at  Time
+	seq uint64
+	do  eventDo // *Proc (wake), *Signal (fire), or eventFn (call)
 }
+
+// eventDo is the closed union of event payloads. All three implementations
+// are pointer-shaped, so storing one in the interface never allocates, and
+// the union keeps event at 32 bytes — two payload pointer fields instead of
+// three. The struct size is load-bearing: the event value is copied on
+// every enqueue, heap sift and pop, and growing it to 40 bytes measurably
+// (~3x) slows the pure callback-chain hot path.
+type eventDo interface{ isEvent() }
+
+func (*Proc) isEvent()   {}
+func (*Signal) isEvent() {}
+
+// eventFn is a Schedule/After callback boxed as an eventDo.
+type eventFn func()
+
+func (eventFn) isEvent() {}
 
 func eventBefore(a, b *event) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
@@ -60,10 +77,37 @@ type Env struct {
 	// heap entries with larger seq and its storage is recycled on drain.
 	fifo     []event
 	fifoHead int
-	ack      chan struct{}
-	procs    map[*Proc]struct{}
-	running  bool
-	failure  error
+	// rootWake parks the Run caller while processes hold the dispatch
+	// baton; the goroutine whose dispatch ends the run (queue drained,
+	// limit reached, failure) sends on it. Capacity 1 so the root's own
+	// ending dispatch can self-signal.
+	rootWake chan struct{}
+	// limit is the RunUntil horizon for the current run (-1 for Run).
+	limit Time
+	// fnPanicked/fnPanic capture a panic from a Schedule/After callback.
+	// Under the baton-passing handoff the callback may execute on a
+	// process goroutine, but Run's contract is that callback panics escape
+	// Run itself — so the panic value is carried to the root goroutine and
+	// rethrown there.
+	fnPanicked bool
+	fnPanic    any
+	// curCont is the process whose stepper continuation dispatch is running
+	// inline right now; dispatch's recover uses it to attribute a panic to
+	// the owning process instead of treating it as a callback panic.
+	curCont *Proc
+	// procs is the live process set, maintained by swap-remove via each
+	// Proc's procIdx — spawn and completion sit on the scheduler's hot
+	// path, so membership must not cost a map hash.
+	procs   []*Proc
+	running bool
+	failure error
+	// freeProcs parks the goroutines of completed processes for reuse:
+	// spawning a process is on the fleet scheduler's per-attempt path
+	// (every training rank, feeder and watcher is one), and recycling the
+	// Proc, its resume channel and its goroutine makes a steady-state Go
+	// allocation-free. The pool is drained when run returns so an idle Env
+	// never pins parked goroutines.
+	freeProcs []*Proc
 	// onEvent, when set, observes every dispatched event's timestamp. It is
 	// the engine's invariant probe point (internal/invariant watches it for
 	// event-time monotonicity); the nil check keeps the hot loop free.
@@ -78,10 +122,27 @@ func (e *Env) SetEventProbe(fn func(at Time)) { e.onEvent = fn }
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{
-		ack:   make(chan struct{}),
-		procs: make(map[*Proc]struct{}),
-	}
+	return &Env{rootWake: make(chan struct{}, 1)}
+}
+
+// addProc appends p to the live set.
+//
+//perf:hot
+func (e *Env) addProc(p *Proc) {
+	p.procIdx = len(e.procs)
+	e.procs = append(e.procs, p)
+}
+
+// dropProc swap-removes p from the live set.
+//
+//perf:hot
+func (e *Env) dropProc(p *Proc) {
+	last := len(e.procs) - 1
+	moved := e.procs[last]
+	e.procs[p.procIdx] = moved
+	moved.procIdx = p.procIdx
+	e.procs[last] = nil
+	e.procs = e.procs[:last]
 }
 
 // Now returns the current virtual time.
@@ -97,7 +158,7 @@ func (e *Env) Schedule(at Time, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	e.enqueue(event{at: at, seq: e.seq, fn: fn})
+	e.enqueue(event{at: at, seq: e.seq, do: eventFn(fn)})
 }
 
 // scheduleWake registers a wake-up of p at absolute time at. It is the
@@ -109,7 +170,7 @@ func (e *Env) scheduleWake(p *Proc, at Time) {
 		at = e.now
 	}
 	e.seq++
-	e.enqueue(event{at: at, seq: e.seq, proc: p})
+	e.enqueue(event{at: at, seq: e.seq, do: p})
 }
 
 // enqueue routes an event to the same-instant FIFO or the heap.
@@ -125,6 +186,24 @@ func (e *Env) enqueue(ev event) {
 
 // After registers fn to run d from now.
 func (e *Env) After(d time.Duration, fn func()) { e.Schedule(e.now+d, fn) }
+
+// ScheduleSignal registers s to fire at absolute virtual time at. It is
+// the closure-free equivalent of Schedule(at, func() { s.Fire(e) }) and
+// obeys the same (timestamp, seq) ordering.
+//
+//perf:hot
+func (e *Env) ScheduleSignal(at Time, s *Signal) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.enqueue(event{at: at, seq: e.seq, do: s})
+}
+
+// AfterSignal registers s to fire d from now, closure-free.
+//
+//perf:hot
+func (e *Env) AfterSignal(d time.Duration, s *Signal) { e.ScheduleSignal(e.now+d, s) }
 
 // heapPush and heapPop maintain the 4-ary min-heap. A 4-ary layout halves
 // the tree depth of the binary heap, and sifting event values directly
@@ -201,6 +280,27 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+	// fn is the body the loop goroutine runs on its next wake; exit tells
+	// a parked goroutine to terminate when the pool drains. procIdx is the
+	// process's slot in Env.procs while live.
+	fn      func(p *Proc)
+	exit    bool
+	procIdx int
+	// cont (or contS), when non-nil, marks a stepper: a goroutine-free
+	// process whose wake-up events invoke the continuation inline on the
+	// dispatching goroutine instead of a context switch (NewStepper,
+	// InitStepperFor). contS is the closure-free variant: storing a
+	// pointer in the interface costs no allocation, where a bound method
+	// value costs one.
+	cont  func()
+	contS Stepper
+	// waitN > 0 marks a WaitAll in progress: the process is registered on
+	// waitN unfired signals and must not be woken until the last one fires.
+	// padFrom/padFactor, when padFactor > 0, defer that wake further by
+	// (fire time − padFrom) × padFactor (WaitAllPadded).
+	waitN     int
+	padFrom   Time
+	padFactor float64
 	// What the process is blocked on; rendered lazily by deadlockError.
 	waitKind waitKind
 	waitDur  time.Duration // waitSleep
@@ -235,46 +335,206 @@ func (p *Proc) blockedOn() string {
 }
 
 // Go spawns fn as a new process starting at the current virtual time.
-// It may be called before Run or from within the simulation.
+// It may be called before Run or from within the simulation. Completed
+// processes leave their goroutine parked for the next Go, so spawning is
+// allocation-free in steady state.
+//
+//perf:hot
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{env: e, name: name, resume: make(chan struct{})}
-	e.procs[p] = struct{}{}
-	e.Schedule(e.now, func() {
-		go func() {
-			defer func() {
-				if r := recover(); r != nil {
-					if e.failure == nil {
-						e.failure = fmt.Errorf("sim: process %q panicked: %v", name, r)
-					}
-				}
-				p.done = true
-				delete(e.procs, p)
-				e.ack <- struct{}{}
-			}()
-			<-p.resume
-			fn(p)
-		}()
-		e.wake(p)
-	})
+	var p *Proc
+	if n := len(e.freeProcs); n > 0 {
+		p = e.freeProcs[n-1]
+		e.freeProcs[n-1] = nil
+		e.freeProcs = e.freeProcs[:n-1]
+		p.name = name
+		p.done = false
+	} else {
+		p = e.newProc(name)
+	}
+	p.fn = fn
+	e.addProc(p)
+	// The start is an ordinary wake event: the loop goroutine is already
+	// blocked on resume and runs fn on its first wake, exactly where the
+	// pre-pooling implementation scheduled its spawn closure.
+	e.seq++
+	e.enqueue(event{at: e.now, seq: e.seq, do: p})
 	return p
 }
 
-// wake hands control to p and blocks until p yields or finishes.
-//
-//perf:hot
-func (e *Env) wake(p *Proc) {
-	p.waitKind = waitNone
-	p.resume <- struct{}{}
-	<-e.ack
+// newProc allocates a fresh process and starts its parked loop goroutine
+// (the Go miss path).
+func (e *Env) newProc(name string) *Proc {
+	// resume has capacity 1 so a dispatching goroutine can deposit the
+	// baton for a process that has not parked yet — including itself.
+	p := &Proc{env: e, name: name, resume: make(chan struct{}, 1)}
+	go p.loop()
+	return p
 }
 
-// yield returns control from the process to the event loop and blocks the
-// process until it is woken again. kind is recorded for deadlock reports.
+// loop is the persistent body of a process goroutine: run one spawned
+// function per wake, park in between. It terminates when the pool drains
+// (exit) or the goroutine unwinds via runtime.Goexit inside fn (a test
+// failing inside a process), in which case runOne does not park it.
+func (p *Proc) loop() {
+	for {
+		<-p.resume
+		if p.exit {
+			return
+		}
+		p.runOne()
+	}
+}
+
+// runOne executes the current fn with the same termination protocol the
+// engine always had: on return, recovered panic, or Goexit the process is
+// marked done, removed from the live set, and the baton is passed onward
+// by dispatching the next event from this goroutine. Only a goroutine that
+// survives (normal return or recovered panic) parks itself for reuse; the
+// pool append happens before dispatch so that, if dispatch itself selects
+// the wake-up of a Go that reused this very Proc, the baton self-deposit
+// works and loop runs the new fn next.
+func (p *Proc) runOne() {
+	e := p.env
+	completed := false
+	defer func() {
+		r := recover()
+		if r != nil && e.failure == nil {
+			e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+		}
+		p.fn = nil
+		p.done = true
+		e.dropProc(p)
+		if completed || r != nil {
+			e.freeProcs = append(e.freeProcs, p)
+		}
+		e.dispatch()
+	}()
+	p.fn(p)
+	completed = true
+}
+
+// drainProcPool terminates every parked process goroutine. run calls it on
+// the way out so an idle or finished Env holds no goroutines; the next Run
+// (or RunUntil segment) simply repopulates the pool on demand.
+func (e *Env) drainProcPool() {
+	for i, p := range e.freeProcs {
+		p.exit = true
+		p.resume <- struct{}{}
+		e.freeProcs[i] = nil
+	}
+	e.freeProcs = e.freeProcs[:0]
+}
+
+// dispatch is the event loop under the baton-passing handoff: it runs on
+// whichever goroutine currently holds control (the Run caller initially, a
+// yielding or completing process thereafter). Callback and signal events
+// execute inline with no goroutine switch at all; a process wake-up sends
+// the baton directly to that process's goroutine and returns, costing one
+// switch instead of the two (yielder→root, root→next) of a central loop.
+// The event selection logic is identical either way, so execution order —
+// and therefore determinism — is unchanged. When the run is over (queue
+// drained, limit reached, failure, callback panic) the baton goes back to
+// the root goroutine parked in run.
+//
+//perf:hot
+func (e *Env) dispatch() {
+	// One deferred recover covers every callback and stepper the loop below
+	// runs inline. Hoisting it here — instead of wrapping each call — keeps
+	// the per-event path free of defer setup while preserving both panic
+	// protocols: a stepper panic becomes that process's failure (an error
+	// from Run), a Schedule/After callback panic is carried to the root
+	// goroutine and rethrown from Run. Either way the run is over, so the
+	// recovering frame hands the baton straight back to the root.
+	defer e.recoverDispatch()
+	for e.failure == nil && !e.fnPanicked {
+		var ev event
+		if e.fifoHead < len(e.fifo) {
+			// Same-instant fast path. A heap entry at the current instant
+			// can still precede the FIFO head if it was scheduled earlier
+			// (smaller seq) while now was in its future.
+			if len(e.heap) > 0 && e.heap[0].at == e.now && e.heap[0].seq < e.fifo[e.fifoHead].seq {
+				ev = e.heapPop()
+			} else {
+				ev = e.fifo[e.fifoHead]
+				e.fifo[e.fifoHead] = event{} // release the fn/proc references
+				e.fifoHead++
+				if e.fifoHead == len(e.fifo) {
+					e.fifo = e.fifo[:0]
+					e.fifoHead = 0
+				}
+			}
+		} else if len(e.heap) > 0 {
+			if e.limit >= 0 && e.heap[0].at > e.limit {
+				e.now = e.limit
+				break
+			}
+			ev = e.heapPop()
+			e.now = ev.at
+		} else {
+			break
+		}
+		if e.onEvent != nil {
+			e.onEvent(ev.at)
+		}
+		switch do := ev.do.(type) {
+		case *Proc:
+			p := do
+			p.waitKind = waitNone
+			if p.cont != nil || p.contS != nil {
+				// Stepper: its continuation runs inline, no switch. curCont
+				// marks the owner so the deferred recover above attributes a
+				// panic to this process rather than to a plain callback.
+				e.curCont = p
+				if p.cont != nil {
+					p.cont()
+				} else {
+					p.contS.Step()
+				}
+				e.curCont = nil
+				continue
+			}
+			p.resume <- struct{}{}
+			return
+		case *Signal:
+			do.Fire(e)
+		default:
+			ev.do.(eventFn)()
+		}
+	}
+	e.rootWake <- struct{}{}
+}
+
+// recoverDispatch is dispatch's deferred panic handler. As a method rather
+// than a closure literal it costs dispatch no allocation, and since it is
+// the deferred function itself, recover works inside it.
+func (e *Env) recoverDispatch() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if p := e.curCont; p != nil {
+		e.curCont = nil
+		if e.failure == nil {
+			e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+		}
+	} else {
+		e.fnPanicked = true
+		e.fnPanic = r
+	}
+	e.rootWake <- struct{}{}
+}
+
+// yield returns control from the process to the event loop by dispatching
+// the next event from this goroutine, then blocks the process until it is
+// woken again. kind is recorded for deadlock reports. The resume channel
+// has capacity 1, so a dispatch that selects this very process's wake-up
+// (possible when the wake was scheduled before yielding, as Sleep does)
+// deposits the baton and falls through to the receive immediately.
 //
 //perf:hot
 func (p *Proc) yield(kind waitKind) {
 	p.waitKind = kind
-	p.env.ack <- struct{}{}
+	p.env.dispatch()
 	<-p.resume
 }
 
@@ -314,45 +574,17 @@ func (e *Env) run(limit Time) error {
 		return fmt.Errorf("sim: Run called re-entrantly")
 	}
 	e.running = true
-	defer func() { e.running = false }()
-	for {
-		if e.failure != nil {
-			return e.failure
-		}
-		var ev event
-		if e.fifoHead < len(e.fifo) {
-			// Same-instant fast path. A heap entry at the current instant
-			// can still precede the FIFO head if it was scheduled earlier
-			// (smaller seq) while now was in its future.
-			if len(e.heap) > 0 && e.heap[0].at == e.now && e.heap[0].seq < e.fifo[e.fifoHead].seq {
-				ev = e.heapPop()
-			} else {
-				ev = e.fifo[e.fifoHead]
-				e.fifo[e.fifoHead] = event{} // release the fn/proc references
-				e.fifoHead++
-				if e.fifoHead == len(e.fifo) {
-					e.fifo = e.fifo[:0]
-					e.fifoHead = 0
-				}
-			}
-		} else if len(e.heap) > 0 {
-			if limit >= 0 && e.heap[0].at > limit {
-				e.now = limit
-				return nil
-			}
-			ev = e.heapPop()
-			e.now = ev.at
-		} else {
-			break
-		}
-		if e.onEvent != nil {
-			e.onEvent(ev.at)
-		}
-		if ev.proc != nil {
-			e.wake(ev.proc)
-		} else {
-			ev.fn()
-		}
+	e.limit = limit
+	defer func() {
+		e.drainProcPool()
+		e.running = false
+	}()
+	e.dispatch()
+	<-e.rootWake
+	if e.fnPanicked {
+		r := e.fnPanic
+		e.fnPanicked, e.fnPanic = false, nil
+		panic(r)
 	}
 	if e.failure != nil {
 		return e.failure
@@ -365,7 +597,7 @@ func (e *Env) run(limit Time) error {
 
 func (e *Env) deadlockError() error {
 	var waits []string
-	for p := range e.procs {
+	for _, p := range e.procs {
 		waits = append(waits, fmt.Sprintf("%s (waiting: %s)", p.name, p.blockedOn()))
 	}
 	sort.Strings(waits)
@@ -384,26 +616,183 @@ func (s *Signal) Fired() bool { return s.fired }
 
 // Fire releases all waiters at the current instant. Firing twice is a no-op.
 // Fire must be called from inside the simulation (a process or callback).
+// The waiter backing array is kept for reuse by a Reset signal.
+//
+//perf:hot
 func (s *Signal) Fire(e *Env) {
 	if s.fired {
 		return
 	}
 	s.fired = true
 	ws := s.waiters
-	s.waiters = nil
-	for _, p := range ws {
-		e.scheduleWake(p, e.now)
+	s.waiters = ws[:0]
+	for i, p := range ws {
+		if p.waitN > 0 {
+			// WaitAll registration: only the last signal of the set
+			// schedules the wake, padded if WaitAllPadded asked for it.
+			if p.waitN--; p.waitN == 0 {
+				at := e.now
+				if p.padFactor > 0 {
+					at += time.Duration(float64(at-p.padFrom) * p.padFactor)
+					p.padFactor = 0
+				}
+				e.scheduleWake(p, at)
+			}
+		} else {
+			e.scheduleWake(p, e.now)
+		}
+		ws[i] = nil
 	}
+}
+
+// Reset returns a fired signal to its unfired state, keeping the waiter
+// backing array. It is for owners that recycle signal-bearing structures
+// (pooled fabric flows); the caller must guarantee no process still holds
+// a reference expecting the previous firing.
+func (s *Signal) Reset() {
+	s.fired = false
+	s.waiters = s.waiters[:0]
 }
 
 // Wait blocks the process until the signal fires. It returns immediately
 // if the signal already fired.
+//
+//perf:hot
 func (s *Signal) Wait(p *Proc) {
 	if s.fired {
 		return
 	}
 	s.waiters = append(s.waiters, p)
 	p.yield(waitSignal)
+}
+
+// WaitAll blocks the process until every signal in sigs has fired. Unlike
+// waiting on each signal in turn — which parks and wakes the process once
+// per unfired signal — WaitAll registers on all pending signals up front
+// and parks at most once: the last signal to fire schedules the single
+// wake. The virtual time at which the process resumes is identical to the
+// sequential formulation (the maximum of the signals' fire times).
+//
+//perf:hot
+func WaitAll(p *Proc, sigs []*Signal) {
+	pending := 0
+	for _, s := range sigs {
+		if !s.fired {
+			s.waiters = append(s.waiters, p)
+			pending++
+		}
+	}
+	if pending == 0 {
+		return
+	}
+	p.waitN = pending
+	p.padFactor = 0
+	p.yield(waitSignal)
+}
+
+// WaitAllPadded is WaitAll followed by a proportional cool-down: the
+// process resumes at T + (T − from) × factor, where T is the instant the
+// last signal fires. It exists for the collective rings, whose per-round
+// protocol overhead is a fixed fraction of the round's transfer time —
+// folding the cool-down into the wake-up halves the parks per round
+// versus WaitAll-then-Sleep while resuming at exactly the same virtual
+// time.
+//
+//perf:hot
+func WaitAllPadded(p *Proc, sigs []*Signal, from Time, factor float64) {
+	pending := 0
+	for _, s := range sigs {
+		if !s.fired {
+			s.waiters = append(s.waiters, p)
+			pending++
+		}
+	}
+	e := p.env
+	if pending == 0 {
+		// Everything already fired: the elapsed time is known here.
+		if d := time.Duration(float64(e.now-from) * factor); d > 0 {
+			p.Sleep(d)
+		}
+		return
+	}
+	p.waitN = pending
+	p.padFrom, p.padFactor = from, factor
+	p.yield(waitSignal)
+}
+
+// NewStepper returns a goroutine-free process: a control block whose
+// wake-up events invoke step inline on whatever goroutine is dispatching,
+// costing a function call where a goroutine-backed process costs a context
+// switch. Steppers drive engine-internal state machines on the hot path
+// (the collective rings); they cannot block, so step advances the machine
+// and re-arms via ArmWaitAllPadded or Ready before returning. A stepper is
+// not tracked in the live-process set — a machine that stalls surfaces
+// through whatever process waits on its result, not the deadlock report.
+func (e *Env) NewStepper(name string, step func()) *Proc {
+	return &Proc{env: e, name: name, cont: step}
+}
+
+// Stepper is a state machine driven by an embedded Proc; see
+// InitStepperFor.
+type Stepper interface {
+	Step()
+}
+
+// InitStepperFor initializes p (typically a Proc embedded in s itself) as
+// a stepper whose wake-ups call s.Step(). Unlike NewStepper with a bound
+// method value, wiring an interface costs no allocation — the pattern for
+// pooled or per-op machines created on a hot path.
+func (e *Env) InitStepperFor(p *Proc, name string, s Stepper) {
+	p.env, p.name, p.contS = e, name, s
+	p.cont = nil
+}
+
+// Ready schedules sp's next step at the current instant, in ordinary
+// (timestamp, seq) order — the stepper equivalent of Go's spawn wake.
+//
+//perf:hot
+func (e *Env) Ready(sp *Proc) {
+	e.seq++
+	e.enqueue(event{at: e.now, seq: e.seq, do: sp})
+}
+
+// ReadyAfter schedules sp's next step d from now — the stepper
+// equivalent of a Sleep wake, occupying the same (timestamp, seq)
+// position a blocking process's Sleep(d) would.
+//
+//perf:hot
+func (e *Env) ReadyAfter(sp *Proc, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	e.enqueue(event{at: e.now + d, seq: e.seq, do: sp})
+}
+
+// ArmWaitAllPadded is WaitAllPadded for steppers: it registers sp on every
+// unfired signal and returns true if at least one is pending, in which
+// case sp's step runs at T + (T − from) × factor, where T is the instant
+// the last signal fires — the exact event position WaitAllPadded would
+// have woken a blocking process at. If every signal has already fired it
+// registers nothing and returns false; the caller continues inline (the
+// blocking formulation would not have parked either).
+//
+//perf:hot
+func ArmWaitAllPadded(sp *Proc, sigs []*Signal, from Time, factor float64) bool {
+	pending := 0
+	for _, s := range sigs {
+		if !s.fired {
+			s.waiters = append(s.waiters, sp)
+			pending++
+		}
+	}
+	if pending == 0 {
+		return false
+	}
+	sp.waitN = pending
+	sp.padFrom, sp.padFactor = from, factor
+	sp.waitKind = waitSignal
+	return true
 }
 
 // WaitGroup counts outstanding work items inside a simulation; Wait blocks
@@ -422,7 +811,10 @@ func (w *WaitGroup) Add(delta int) {
 	}
 }
 
-// Done decrements the counter, waking waiters when it reaches zero.
+// Done decrements the counter, waking waiters when it reaches zero. The
+// waiter backing array is kept for reuse by a re-Added group.
+//
+//perf:hot
 func (w *WaitGroup) Done(e *Env) {
 	w.n--
 	if w.n < 0 {
@@ -430,9 +822,10 @@ func (w *WaitGroup) Done(e *Env) {
 	}
 	if w.n == 0 {
 		ws := w.waiters
-		w.waiters = nil
-		for _, p := range ws {
+		w.waiters = ws[:0]
+		for i, p := range ws {
 			e.scheduleWake(p, e.now)
+			ws[i] = nil
 		}
 	}
 }
@@ -444,4 +837,33 @@ func (w *WaitGroup) Wait(p *Proc) {
 	}
 	w.waiters = append(w.waiters, p)
 	p.yield(waitGroup)
+}
+
+// Arm registers stepper sp to step when the counter reaches zero and
+// returns true; if the counter is already zero it registers nothing and
+// returns false and the caller continues inline — the stepper counterpart
+// of Wait.
+//
+//perf:hot
+func (w *WaitGroup) Arm(sp *Proc) bool {
+	if w.n == 0 {
+		return false
+	}
+	w.waiters = append(w.waiters, sp)
+	sp.waitKind = waitGroup
+	return true
+}
+
+// Arm registers stepper sp to step when the signal fires and returns true;
+// if it already fired it registers nothing and returns false — the
+// stepper counterpart of Wait.
+//
+//perf:hot
+func (s *Signal) Arm(sp *Proc) bool {
+	if s.fired {
+		return false
+	}
+	s.waiters = append(s.waiters, sp)
+	sp.waitKind = waitSignal
+	return true
 }

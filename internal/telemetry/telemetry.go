@@ -242,6 +242,8 @@ type Recorder struct {
 	series   map[string]*Series
 	tracks   []*Track
 	stopped  bool
+	sp       *sim.Proc // sampling stepper (see Start)
+	primed   bool      // first step only arms the first tick
 }
 
 // NewRecorder creates a recorder sampling every interval of virtual time.
@@ -282,19 +284,34 @@ func (r *Recorder) AddProbe(name string, sample func() float64) {
 }
 
 // Start spawns the sampling process. It runs until Stop is called.
+//
+// The sampler is a stepper, not a goroutine-backed process: each tick is
+// one inline step (sample every probe, re-arm) instead of a park/wake
+// pair, and the step events occupy the exact (timestamp, seq) positions
+// the previous Sleep-loop implementation's wakes did.
 func (r *Recorder) Start() {
-	r.env.Go("telemetry", func(p *sim.Proc) {
-		for !r.stopped {
-			p.Sleep(r.interval)
-			if r.stopped {
-				return
-			}
-			now := p.Now()
-			for _, pr := range r.probes {
-				r.series[pr.Name].append(now, pr.Sample())
-			}
-		}
-	})
+	r.sp = r.env.NewStepper("telemetry", r.step)
+	r.primed = false
+	r.env.Ready(r.sp)
+}
+
+//perf:hot
+func (r *Recorder) step() {
+	if r.stopped {
+		return
+	}
+	if !r.primed {
+		// Spawn position: the old implementation slept before its first
+		// sample, so the first step only arms the first tick.
+		r.primed = true
+		r.env.ReadyAfter(r.sp, r.interval)
+		return
+	}
+	now := r.env.Now()
+	for _, pr := range r.probes {
+		r.series[pr.Name].append(now, pr.Sample())
+	}
+	r.env.ReadyAfter(r.sp, r.interval)
 }
 
 // Stop ends sampling after the current interval elapses.

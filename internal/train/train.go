@@ -347,7 +347,10 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 	if ckptPer > opts.ItersPerEpoch {
 		ckptPer = opts.ItersPerEpoch
 	}
-	ckptAt := make(map[int]*ckptPoint)
+	// ckptAt is indexed by iteration (nil: no checkpoint there): the rank
+	// loop probes it every iteration, so it must be a slice load, not a
+	// map lookup.
+	ckptAt := make([]*ckptPoint, totalIters)
 	ckptScale := float64(opts.ItersPerEpoch) / float64(w.RealItersPerEpoch(nGPU))
 	if ckptScale > 1 {
 		ckptScale = 1
@@ -356,7 +359,9 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 	for e := 0; e < epochs; e++ {
 		for j := 0; j < ckptPer; j++ {
 			it := e*opts.ItersPerEpoch + (j+1)*opts.ItersPerEpoch/ckptPer - 1
-			ckptAt[it] = newCkptPoint(nGPU)
+			if it >= 0 && it < totalIters {
+				ckptAt[it] = newCkptPoint(nGPU)
+			}
 		}
 	}
 
@@ -483,6 +488,8 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 			if resuming {
 				restored.Wait(p)
 			}
+			// Bucket-collective handles, reused across iterations.
+			handles := make([]*sim.Signal, 0, buckets)
 			for it := 0; it < totalIters; it++ {
 				// Abort cutoff: every rank runs exactly the iterations
 				// some rank had begun when Abort fired, then stops — so
@@ -521,40 +528,37 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 					comm.Broadcast(p, rank, 0, paramBytes)
 					dev.MarkBusyFor(p.Now() - t0)
 				case opts.Sharded:
-					handles := make([]*sim.Signal, 0, buckets)
+					handles = handles[:0]
 					for b := 0; b < buckets; b++ {
 						dev.Compute(p, bwd/time.Duration(buckets))
 						handles = append(handles, comm.StartReduceScatter(rank, gradBytes/units.Bytes(buckets)))
 					}
 					t0 := p.Now()
-					for _, h := range handles {
-						h.Wait(p)
-					}
+					// One park at the last bucket's completion: bucket ops
+					// serialize on the communicator, so waiting on all of
+					// them resumes exactly where waiting one-by-one did.
+					sim.WaitAll(p, handles)
 					// Shard-local optimizer step, then parameter
 					// all-gather.
 					comm.StartAllGather(rank, paramBytes).Wait(p)
 					dev.MarkBusyFor(p.Now() - t0)
 				default: // DDP
-					handles := make([]*sim.Signal, 0, buckets)
+					handles = handles[:0]
 					for b := 0; b < buckets; b++ {
 						dev.Compute(p, bwd/time.Duration(buckets))
 						handles = append(handles, comm.StartAllReduce(rank, gradBytes/units.Bytes(buckets)))
 					}
 					t0 := p.Now()
-					for _, h := range handles {
-						h.Wait(p)
-					}
+					sim.WaitAll(p, handles)
 					dev.MarkBusyFor(p.Now() - t0)
 				}
 
 				// Checkpoint barrier (Figure 9's periodic dips).
 				if cp := ckptAt[it]; cp != nil {
 					cp.arrive(env, p, rank, func(cb *sim.Proc) {
-						f, err := sys.Net.StartFlow(sys.GPUs[0].Node, sys.Mem, ckptBytes)
-						if err != nil {
+						if err := sys.Net.Transfer(cb, sys.GPUs[0].Node, sys.Mem, ckptBytes); err != nil {
 							panic(err)
 						}
-						f.Done().Wait(cb)
 						if err := sys.Store.Write(cb, sys.Mem, ckptBytes); err != nil {
 							panic(err)
 						}
