@@ -12,6 +12,7 @@
 //	chaossim -seed 1 -fault-seed 9        # same fleet, different failures
 //	chaossim -seed 1 -policy static       # recovery under a fixed partition
 //	chaossim -seed 1 -retries 1           # tighter retry budget
+//	chaossim -seed 1 -pod                 # pod-shaped fleet, pod/spine faults in play
 //	chaossim -seed 1 -fingerprint         # canonical fingerprint (faults included)
 //
 // The simulation is deterministic: the same flags always print the same
@@ -42,6 +43,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		policy      = fs.String("policy", "", "override the placement policy")
 		hosts       = fs.Int("hosts", 0, "override the host count (1-3)")
 		gpus        = fs.Int("gpus", 0, "override the chassis GPU inventory (2-16)")
+		pod         = fs.Bool("pod", false, "draw a pod-shaped (multi-chassis spine/leaf) scenario from the seed")
+		pods        = fs.Int("pods", 0, "override the pod count (selects the pod shape, 1-4)")
+		cpp         = fs.Int("chassis-per-pod", 0, "override the chassis per pod (selects the pod shape, 1-3)")
+		oversub     = fs.Float64("oversub", 0, "override the spine oversubscription ratio (pod shape, 1-16)")
 		retries     = fs.Int("retries", 0, "per-job retry budget (0 = default, negative = none)")
 		fingerprint = fs.Bool("fingerprint", false, "print the canonical telemetry fingerprint after the report")
 	)
@@ -50,6 +55,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	sc := scengen.FaultsFromSeed(*seed)
+	podShaped := *pod
+	if *pod {
+		sc.Fleet = scengen.PodFleetFromSeed(*seed)
+	}
 	if *policy != "" {
 		if _, err := orchestrator.PolicyByName(*policy); err != nil {
 			fmt.Fprintln(stderr, "chaossim:", err)
@@ -63,8 +72,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *gpus != 0 {
 		sc.Fleet.GPUs = *gpus
 	}
-	if *faultSeed != 0 {
+	if *pods != 0 {
+		sc.Fleet.Pods = *pods
+		if sc.Fleet.ChassisPerPod == 0 {
+			sc.Fleet.ChassisPerPod = 1
+		}
+		podShaped = true
+	}
+	if *cpp != 0 {
+		sc.Fleet.ChassisPerPod = *cpp
+		if sc.Fleet.Pods == 0 {
+			sc.Fleet.Pods = 1
+		}
+		podShaped = true
+	}
+	if *oversub != 0 {
+		sc.Fleet.Oversubscription = *oversub
+	}
+	switch {
+	case *faultSeed != 0:
 		sc.Plan = scengen.PlanForFleet(*faultSeed, sc.Fleet)
+	case podShaped:
+		// The degenerate draw knows nothing about pods or spine links;
+		// re-derive the schedule against the pod-shaped bounds so the two
+		// pod-scoped fault kinds are in play.
+		sc.Plan = scengen.PlanForFleet(*seed, sc.Fleet)
 	}
 	if *retries != 0 {
 		sc.MaxRetries = *retries

@@ -49,6 +49,24 @@ func TestRunTwiceByteIdentical(t *testing.T) {
 	}
 }
 
+// TestPodRunTwiceByteIdentical extends run-twice byte-identity to the
+// pod shape, where the pod-scoped fault kinds (pod power, spine link)
+// are in the draw.
+func TestPodRunTwiceByteIdentical(t *testing.T) {
+	args := []string{"-seed", "5", "-pod", "-fingerprint"}
+	code1, out1, stderr1 := capture(t, args...)
+	code2, out2, _ := capture(t, args...)
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("exits %d/%d, stderr %q", code1, code2, stderr1)
+	}
+	if out1 != out2 {
+		t.Fatalf("two identical pod chaossim runs diverged:\n--- first\n%s--- second\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "pods=") {
+		t.Errorf("pod fingerprint missing hierarchy header:\n%s", out1)
+	}
+}
+
 func TestFaultSeedOverrideChangesSchedule(t *testing.T) {
 	_, base, _ := capture(t, "-seed", "1", "-fingerprint")
 	code, alt, stderr := capture(t, "-seed", "1", "-fault-seed", "99", "-fingerprint")

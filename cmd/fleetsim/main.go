@@ -9,6 +9,8 @@
 //	fleetsim -seed 1                          # seeded random fleet scenario
 //	fleetsim -seed 1 -policy firstfit         # override the policy
 //	fleetsim -seed 7 -hosts 3 -gpus 12 -warm  # override the fleet shape
+//	fleetsim -seed 1 -pod                     # seeded multi-pod spine/leaf fleet
+//	fleetsim -seed 1 -pods 4 -chassis-per-pod 3 -oversub 8
 //	fleetsim -seed 1 -fingerprint             # print the telemetry fingerprint
 //	fleetsim -list-policies
 //
@@ -42,6 +44,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jobs        = fs.Int("jobs", 0, "trim the stream to this many jobs")
 		attachMS    = fs.Int("attach-ms", -1, "override the per-device recomposition latency in ms (0 = free)")
 		warm        = fs.Bool("warm", false, "preattach GPUs round-robin (a warm fleet) regardless of the seed's draw")
+		pod         = fs.Bool("pod", false, "draw a pod-shaped (multi-chassis spine/leaf) scenario from the seed")
+		pods        = fs.Int("pods", 0, "override the pod count (selects the pod shape, 1-4)")
+		cpp         = fs.Int("chassis-per-pod", 0, "override the chassis per pod (selects the pod shape, 1-3)")
+		oversub     = fs.Float64("oversub", 0, "override the spine oversubscription ratio (pod shape, 1-16)")
 		faultSeed   = fs.Int64("fault-seed", 0, "arm a seeded fault schedule (failures + recovery; 0 = fault-free). See cmd/chaossim for the full fault driver.")
 		fingerprint = fs.Bool("fingerprint", false, "print the canonical telemetry fingerprint after the report")
 		listPol     = fs.Bool("list-policies", false, "list placement policies and exit")
@@ -57,6 +63,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	sc := scengen.FleetFromSeed(*seed)
+	if *pod {
+		sc = scengen.PodFleetFromSeed(*seed)
+	}
 	if *policy != "" {
 		if _, err := orchestrator.PolicyByName(*policy); err != nil {
 			fmt.Fprintln(stderr, "fleetsim:", err)
@@ -69,6 +78,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *gpus != 0 {
 		sc.GPUs = *gpus
+	}
+	if *pods != 0 {
+		sc.Pods = *pods
+		if sc.ChassisPerPod == 0 {
+			sc.ChassisPerPod = 1
+		}
+	}
+	if *cpp != 0 {
+		sc.ChassisPerPod = *cpp
+		if sc.Pods == 0 {
+			sc.Pods = 1
+		}
+	}
+	if *oversub != 0 {
+		sc.Oversubscription = *oversub
 	}
 	if *jobs > 0 && *jobs < len(sc.Jobs) {
 		sc.Jobs = sc.Jobs[:*jobs]

@@ -73,6 +73,37 @@ func TestOverridesShapeTheRun(t *testing.T) {
 	}
 }
 
+// TestPodRunDeterministic extends the CLI byte-identity criterion to the
+// pod shape: a seeded multi-pod spine/leaf scenario must print identical
+// telemetry, fingerprint included, on every run.
+func TestPodRunDeterministic(t *testing.T) {
+	code1, out1, err1 := capture(t, "-seed", "11", "-pod", "-fingerprint")
+	code2, out2, err2 := capture(t, "-seed", "11", "-pod", "-fingerprint")
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("exits %d/%d, stderr %q %q", code1, code2, err1, err2)
+	}
+	if out1 != out2 {
+		t.Fatalf("two pod runs of the same seed diverged:\n--- first\n%s--- second\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "pods=") {
+		t.Errorf("pod fingerprint missing hierarchy header:\n%s", out1)
+	}
+}
+
+func TestPodShapeOverrides(t *testing.T) {
+	code, stdout, stderr := capture(t,
+		"-seed", "3", "-pods", "2", "-chassis-per-pod", "2", "-oversub", "4", "-gpus", "4", "-hosts", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "p2x2o4-") {
+		t.Errorf("pod shape not reflected in scenario ID:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "invariants: all held") {
+		t.Errorf("invariant status missing:\n%s", stdout)
+	}
+}
+
 func TestStaticPolicyRuns(t *testing.T) {
 	code, stdout, stderr := capture(t, "-seed", "5", "-policy", "static")
 	if code != 0 {

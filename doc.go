@@ -6,10 +6,11 @@
 // figure of the paper's evaluation.
 //
 // The public entry points live in internal/core (composition + training),
-// internal/experiments (the paper's tables and figures, plus the S1–S3
+// internal/experiments (the paper's tables and figures, plus the S1–S4
 // fleet-scheduling and R1–R3 fault-recovery studies), internal/orchestrator
 // (the multi-job fleet scheduler with dynamic GPU recomposition and
-// fault recovery), internal/faults (the deterministic failure engine:
+// fault recovery, from one chassis up to multi-pod spine/leaf fleets of
+// 1000+ GPUs), internal/faults (the deterministic failure engine:
 // link degradation, GPU/drawer/host failures and repairs, played into a
 // run with checkpoint/restart recovery) and the commands under cmd/.
 // See README.md for a module tour, a quickstart, and the paper-to-module

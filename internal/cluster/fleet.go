@@ -15,28 +15,58 @@ import (
 )
 
 // FleetOptions shapes a fleet composition (ComposeFleet).
+//
+// Two shapes are supported. The degenerate shape (Pods and ChassisPerPod
+// both zero) is a single chassis with up to falcon.MaxHostsAdvanced hosts —
+// the original one-rack testbed, bit-for-bit unchanged. Setting Pods and
+// ChassisPerPod composes a hierarchical fleet instead: Pods pods of
+// ChassisPerPod chassis each, every chassis carrying its own Hosts host
+// machines and GPUs chassis GPUs, tied together by a spine/leaf fabric
+// tier with oversubscribed inter-pod links.
 type FleetOptions struct {
-	// Hosts is the number of independent host machines cabled to the
-	// chassis, 1..falcon.MaxHostsAdvanced (both drawers run in advanced
-	// mode so devices can be re-allocated on the fly, §III-B-3).
+	// Hosts is the number of host machines cabled to each chassis. In the
+	// degenerate shape 1..falcon.MaxHostsAdvanced (both drawers run in
+	// advanced mode so devices can be re-allocated on the fly, §III-B-3);
+	// in the pod shape 1..falcon.MaxHostsAdvanced-1, because the chassis
+	// fabric port counts as one more host against the drawer sharing limit.
 	Hosts int
-	// GPUs is the chassis GPU inventory, 2..16, packed drawer 0 first.
+	// GPUs is the per-chassis GPU inventory, 2..16, packed drawer 0 first.
 	GPUs int
 	// GPUModel selects the chassis part: "" or "V100" for the Tesla V100
 	// PCIe, "P100" for the Tesla P100.
 	GPUModel string
 	// Preattach assigns GPU i to host i%Hosts at compose time (a static
-	// per-host partition). When false every GPU starts detached and the
-	// orchestrator attaches on demand.
+	// per-host partition; in the pod shape the stripe is per chassis, over
+	// that chassis's own hosts). When false every GPU starts detached and
+	// the orchestrator attaches on demand.
 	Preattach bool
+
+	// Pods is the number of pods in a hierarchical fleet; zero selects the
+	// degenerate single-chassis shape.
+	Pods int
+	// ChassisPerPod is the number of chassis in each pod, each hanging off
+	// the pod's leaf switch.
+	ChassisPerPod int
+	// Oversubscription is the ratio of a pod's aggregate uplink bandwidth
+	// to its spine link capacity (≥ 1; zero means 1, i.e. non-blocking).
+	// Higher values starve cross-pod traffic, which is what gives the
+	// locality-aware policies real distance to score.
+	Oversubscription float64
 }
 
+// Hierarchical reports whether the options select the pod shape.
+func (o FleetOptions) Hierarchical() bool { return o.Pods != 0 || o.ChassisPerPod != 0 }
+
 // FleetHost is one host machine of a fleet: its own CPU complex, memory,
-// baseline storage and host adapter, sharing the chassis with its peers.
+// baseline storage and host adapter, sharing its chassis with its peers.
 type FleetHost struct {
 	Index int
 	Name  string
 	Port  string // chassis host port (H1..H3)
+	// Pod and ChassisIdx locate the host in the hierarchy (both zero in
+	// the degenerate shape).
+	Pod        int
+	ChassisIdx int
 
 	CPU     *hostcpu.Host
 	RC, Mem fabric.NodeID
@@ -49,38 +79,151 @@ type FleetHost struct {
 
 // FleetSlot is one chassis GPU slot of a fleet: the installed device, its
 // fabric node and slot link. Which host owns it is control-plane state
-// (falcon.Chassis.Owner); the orchestrator moves ownership at run time.
+// (falcon.Chassis.Owner plus, for cross-chassis attaches, the fleet's own
+// record); the orchestrator moves ownership at run time.
 type FleetSlot struct {
-	Index  int
-	Ref    falcon.SlotRef
-	Dev    *gpu.Device
-	Node   fabric.NodeID
-	Link   fabric.LinkID
+	Index int
+	Ref   falcon.SlotRef
+	Dev   *gpu.Device
+	Node  fabric.NodeID
+	Link  fabric.LinkID
+	// Drawer is the fleet-global drawer index,
+	// ChassisIdx*falcon.NumDrawers + Ref.Drawer. In the degenerate shape
+	// it equals Ref.Drawer.
 	Drawer int
+	// Pod and ChassisIdx locate the slot in the hierarchy (both zero in
+	// the degenerate shape).
+	Pod        int
+	ChassisIdx int
 }
 
-// FleetSystem is a composed multi-host testbed: several hosts cabled to
-// one Falcon chassis whose GPU inventory can be re-attached between them
+// fabricPort is the chassis host port reserved as the fabric uplink in the
+// pod shape: a GPU attached to it is served to a host in another chassis
+// over the spine/leaf tier, with the fleet recording the true owner.
+var fabricPort = fmt.Sprintf("H%d", falcon.NumHostPorts)
+
+// FleetSystem is a composed multi-host testbed: hosts cabled to one or
+// more Falcon chassis whose GPU inventory can be re-attached between them
 // mid-run. It is the hardware substrate of internal/orchestrator.
 type FleetSystem struct {
-	Env     *sim.Env
-	Net     *fabric.Network
+	Env *sim.Env
+	Net *fabric.Network
+	// Chassis is the first chassis — the only one in the degenerate shape.
 	Chassis *falcon.Chassis
-	Hosts   []*FleetHost
-	Slots   []*FleetSlot
-	Opts    FleetOptions
+	// ChassisList holds every chassis in global index order.
+	ChassisList []*falcon.Chassis
+	Hosts       []*FleetHost
+	Slots       []*FleetSlot
+	// PodUplinks[p] is the pod-p leaf ↔ spine link (empty in the
+	// degenerate shape); faults degrade it via SetLinkCapacity.
+	PodUplinks []fabric.LinkID
+	Opts       FleetOptions
+
+	// slotHost is the fleet-level ownership record, indexed by slot. It
+	// disambiguates the fabric port: the per-chassis control plane only
+	// says "attached to the fabric", the fleet says to which host.
+	slotHost []int
 }
 
-// ComposeFleet builds a fleet: opts.Hosts machines (each with its own
-// root complex, DRAM, CPU complex, baseline storage and host adapter)
-// cabled to one Falcon chassis holding opts.GPUs chassis GPUs. Both
-// drawers run in advanced mode; each host's adapter is cabled to every
-// drawer switch in use, so any GPU can be attached to any host and the
-// control plane alone decides ownership.
+// NumPods returns the pod count (1 for the degenerate shape).
+func (f *FleetSystem) NumPods() int {
+	if f.Opts.Pods == 0 {
+		return 1
+	}
+	return f.Opts.Pods
+}
+
+// NumChassis returns the chassis count.
+func (f *FleetSystem) NumChassis() int { return len(f.ChassisList) }
+
+// NumDrawers returns the size of the fleet-global drawer index space.
+func (f *FleetSystem) NumDrawers() int { return len(f.ChassisList) * falcon.NumDrawers }
+
+// ChassisFor returns the chassis holding the slot.
+func (f *FleetSystem) ChassisFor(s *FleetSlot) *falcon.Chassis { return f.ChassisList[s.ChassisIdx] }
+
+// portFor picks the chassis port an attach of slot to host goes through:
+// the host's own port when they share a chassis, the fabric port when the
+// attach crosses chassis.
+func (f *FleetSystem) portFor(slot *FleetSlot, host *FleetHost) string {
+	if host.ChassisIdx == slot.ChassisIdx {
+		return host.Port
+	}
+	return fabricPort
+}
+
+// AttachSlot attaches a detached slot to a host through the slot's chassis
+// control plane, local port or fabric port as the hierarchy demands.
+func (f *FleetSystem) AttachSlot(slot *FleetSlot, host *FleetHost) error {
+	if err := f.ChassisFor(slot).Attach(slot.Ref, f.portFor(slot, host)); err != nil {
+		return err
+	}
+	f.slotHost[slot.Index] = host.Index
+	return nil
+}
+
+// ReassignSlot moves an attached slot to another host without an
+// intermediate detach (falcon advanced-mode re-allocation). Cross-chassis
+// moves between two remote hosts re-attach on the fabric port, so the
+// chassis still emits the recomposition event.
+func (f *FleetSystem) ReassignSlot(slot *FleetSlot, host *FleetHost) error {
+	if err := f.ChassisFor(slot).Reassign(slot.Ref, f.portFor(slot, host)); err != nil {
+		return err
+	}
+	f.slotHost[slot.Index] = host.Index
+	return nil
+}
+
+// DetachSlot releases a slot from its host.
+func (f *FleetSystem) DetachSlot(slot *FleetSlot) error {
+	if err := f.ChassisFor(slot).Detach(slot.Ref); err != nil {
+		return err
+	}
+	f.slotHost[slot.Index] = -1
+	return nil
+}
+
+const (
+	// leafLinkLatency is a drawer-switch ↔ pod-leaf hop (in-rack optics).
+	leafLinkLatency = 500 * time.Nanosecond
+	// spineLinkLatency is a pod-leaf ↔ spine hop (cross-row runs).
+	spineLinkLatency = 1 * time.Microsecond
+)
+
+// leafUplinkBW is one drawer-switch uplink into the pod leaf — the same
+// 400 Gb/s line rate as the Falcon host cables.
+var leafUplinkBW = pcie.CDFPHostCable
+
+// ComposeFleet builds a fleet: host machines (each with its own root
+// complex, DRAM, CPU complex, baseline storage and host adapter) cabled to
+// Falcon chassis holding opts.GPUs chassis GPUs each. All drawers run in
+// advanced mode; each host's adapter is cabled to every drawer switch of
+// its chassis, so any GPU can be attached to any host — same-chassis over
+// the host port, cross-chassis over the spine/leaf tier — and the control
+// plane alone decides ownership.
 func ComposeFleet(env *sim.Env, opts FleetOptions) (*FleetSystem, error) {
-	if opts.Hosts < 1 || opts.Hosts > falcon.MaxHostsAdvanced {
-		return nil, fmt.Errorf("cluster: fleet supports 1-%d hosts, got %d",
-			falcon.MaxHostsAdvanced, opts.Hosts)
+	if opts.Hierarchical() {
+		if opts.Pods < 1 || opts.Pods > 32 {
+			return nil, fmt.Errorf("cluster: fleet supports 1-32 pods, got %d", opts.Pods)
+		}
+		if opts.ChassisPerPod < 1 || opts.ChassisPerPod > 32 {
+			return nil, fmt.Errorf("cluster: fleet supports 1-32 chassis per pod, got %d", opts.ChassisPerPod)
+		}
+		if opts.Hosts < 1 || opts.Hosts > falcon.MaxHostsAdvanced-1 {
+			return nil, fmt.Errorf("cluster: pod fleet supports 1-%d hosts per chassis (the fabric port counts against the drawer limit), got %d",
+				falcon.MaxHostsAdvanced-1, opts.Hosts)
+		}
+		if opts.Oversubscription != 0 && (opts.Oversubscription < 1 || opts.Oversubscription > 64) {
+			return nil, fmt.Errorf("cluster: fleet oversubscription %g out of range [1,64]", opts.Oversubscription)
+		}
+	} else {
+		if opts.Oversubscription != 0 {
+			return nil, fmt.Errorf("cluster: oversubscription requires the pod shape (set Pods and ChassisPerPod)")
+		}
+		if opts.Hosts < 1 || opts.Hosts > falcon.MaxHostsAdvanced {
+			return nil, fmt.Errorf("cluster: fleet supports 1-%d hosts, got %d",
+				falcon.MaxHostsAdvanced, opts.Hosts)
+		}
 	}
 	maxGPUs := falcon.NumDrawers * falcon.SlotsPerDrawer
 	if opts.GPUs < 2 || opts.GPUs > maxGPUs {
@@ -98,32 +241,110 @@ func ComposeFleet(env *sim.Env, opts FleetOptions) (*FleetSystem, error) {
 	net := fabric.NewNetwork(env)
 	net.EndpointOverhead = pcie.EndpointOverhead
 
-	ch := falcon.New("falcon-1")
+	f := &FleetSystem{Env: env, Net: net, Opts: opts}
+
+	if !opts.Hierarchical() {
+		site := chassisSite{
+			name:   "falcon-1",
+			swName: func(d int) string { return fmt.Sprintf("falcon-sw%d", d) },
+			leaf:   -1,
+		}
+		if err := f.buildChassis(site, spec); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+
+	// Pod fabric tier: one spine, one leaf per pod. A pod's spine link
+	// carries its whole aggregate uplink bandwidth divided by the
+	// oversubscription ratio.
+	spine := net.AddNode("spine-sw", fabric.KindSwitch)
+	drawersInUse := (opts.GPUs + falcon.SlotsPerDrawer - 1) / falcon.SlotsPerDrawer
+	oversub := opts.Oversubscription
+	if oversub == 0 {
+		oversub = 1
+	}
+	spineCap := units.BytesPerSec(float64(leafUplinkBW) * float64(drawersInUse*opts.ChassisPerPod) / oversub)
+	for p := 0; p < opts.Pods; p++ {
+		leaf := net.AddNode(fmt.Sprintf("pod%d-leaf", p+1), fabric.KindSwitch)
+		f.PodUplinks = append(f.PodUplinks, net.ConnectSym(leaf, spine, spineCap, spineLinkLatency, "fabric"))
+		for cc := 0; cc < opts.ChassisPerPod; cc++ {
+			c := p*opts.ChassisPerPod + cc
+			name := fmt.Sprintf("falcon-%d", c+1)
+			site := chassisSite{
+				name:    name,
+				swName:  func(d int) string { return fmt.Sprintf("%s-sw%d", name, d) },
+				pod:     p,
+				idx:     c,
+				hostIdx: c * opts.Hosts,
+				gpuIdx:  c * opts.GPUs,
+				leaf:    leaf,
+			}
+			if err := f.buildChassis(site, spec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f, nil
+}
+
+// chassisSite parameterizes one chassis build: its names and its place in
+// the hierarchy. leaf < 0 means no pod fabric tier (degenerate shape).
+type chassisSite struct {
+	name    string
+	swName  func(d int) string
+	pod     int
+	idx     int // global chassis index
+	hostIdx int // global index of this chassis's first host
+	gpuIdx  int // global index of this chassis's first GPU
+	leaf    fabric.NodeID
+}
+
+// buildChassis composes one chassis and its hosts and GPUs into the fleet.
+// The node/link creation sequence is load-bearing: it defines fabric IDs
+// and therefore every downstream fingerprint, so the degenerate shape must
+// keep the original order exactly.
+func (f *FleetSystem) buildChassis(site chassisSite, spec gpu.Spec) error {
+	env, net, opts := f.Env, f.Net, f.Opts
+
+	ch := falcon.New(site.name)
 	ch.Now = func() time.Duration { return env.Now() }
 	for d := 0; d < falcon.NumDrawers; d++ {
 		if err := ch.SetMode(d, falcon.ModeAdvanced); err != nil {
-			return nil, err
+			return err
 		}
 	}
-
-	f := &FleetSystem{Env: env, Net: net, Chassis: ch, Opts: opts}
+	f.ChassisList = append(f.ChassisList, ch)
+	if site.idx == 0 {
+		f.Chassis = ch
+	}
 
 	// Drawer switches for the drawers the inventory occupies.
 	drawersInUse := (opts.GPUs + falcon.SlotsPerDrawer - 1) / falcon.SlotsPerDrawer
 	switches := make([]fabric.NodeID, drawersInUse)
 	for d := range switches {
-		switches[d] = net.AddNode(fmt.Sprintf("falcon-sw%d", d), fabric.KindSwitch)
+		switches[d] = net.AddNode(site.swName(d), fabric.KindSwitch)
+	}
+	if site.leaf >= 0 {
+		for _, sw := range switches {
+			net.ConnectSym(sw, site.leaf, leafUplinkBW, leafLinkLatency, "CDFP")
+		}
+		if err := ch.CableHost(fabricPort, "fabric-"+site.name); err != nil {
+			return err
+		}
 	}
 
 	for h := 0; h < opts.Hosts; h++ {
+		g := site.hostIdx + h
 		host := &FleetHost{
-			Index: h,
-			Name:  fmt.Sprintf("host%d", h+1),
+			Index: g,
+			Name:  fmt.Sprintf("host%d", g+1),
 			Port:  fmt.Sprintf("H%d", h+1),
-			CPU:   hostcpu.New(env, hostcpu.XeonGold6148x2),
+			Pod:   site.pod, ChassisIdx: site.idx,
+			CPU: hostcpu.New(env, hostcpu.XeonGold6148x2),
 		}
 		if err := ch.CableHost(host.Port, host.Name); err != nil {
-			return nil, err
+			return err
 		}
 		host.RC = net.AddNode(fmt.Sprintf("rc-%s", host.Name), fabric.KindRootComplex)
 		host.Mem = net.AddNode(fmt.Sprintf("dram-%s", host.Name), fabric.KindMemory)
@@ -143,48 +364,57 @@ func ComposeFleet(env *sim.Env, opts FleetOptions) (*FleetSystem, error) {
 	}
 
 	for i := 0; i < opts.GPUs; i++ {
+		g := site.gpuIdx + i
 		drawer := i / falcon.SlotsPerDrawer
 		ref := falcon.SlotRef{Drawer: drawer, Slot: i % falcon.SlotsPerDrawer}
 		dev := falcon.DeviceInfo{
-			ID:    fmt.Sprintf("fleet-gpu-%d", i),
+			ID:    fmt.Sprintf("fleet-gpu-%d", g),
 			Type:  falcon.DeviceGPU,
 			Model: spec.Name, VendorID: "10de", LinkGen: 4, Lanes: 16,
 		}
 		if err := ch.Install(ref, dev); err != nil {
-			return nil, err
+			return err
 		}
-		node := net.AddNode(fmt.Sprintf("fgpu%d", i), fabric.KindGPU)
+		node := net.AddNode(fmt.Sprintf("fgpu%d", g), fabric.KindGPU)
 		link := net.ConnectSym(node, switches[drawer], pcie.EffSwitchP2P, pcie.SlotLatency, pcie.Gen4.String())
 		slot := &FleetSlot{
-			Index: i, Ref: ref, Node: node, Link: link, Drawer: drawer,
-			Dev: gpu.New(env, spec, i, node, false),
+			Index: g, Ref: ref, Node: node, Link: link,
+			Drawer: site.idx*falcon.NumDrawers + drawer,
+			Pod:    site.pod, ChassisIdx: site.idx,
+			Dev: gpu.New(env, spec, g, node, false),
 		}
 		// Wire the GUI's port-traffic monitor to the slot link counters.
 		ch.SetTrafficSource(ref, func() (in, out units.Bytes) {
 			ab, ba := net.LinkTrafficSnapshot(link)
 			return ba, ab
 		})
+		f.slotHost = append(f.slotHost, -1)
 		if opts.Preattach {
-			if err := ch.Attach(ref, f.Hosts[i%opts.Hosts].Port); err != nil {
-				return nil, err
+			host := f.Hosts[site.hostIdx+i%opts.Hosts]
+			if err := ch.Attach(ref, host.Port); err != nil {
+				return err
 			}
+			f.slotHost[g] = host.Index
 		}
 		f.Slots = append(f.Slots, slot)
 	}
-	return f, nil
+	return nil
 }
 
 // OwnerHost returns the index of the host a slot is attached to, or -1
-// when the slot is detached. It reads the chassis control plane, so it is
-// always the ground truth an orchestrator's bookkeeping can be checked
-// against.
+// when the slot is detached. It reads the chassis control plane first, so
+// it is always the ground truth an orchestrator's bookkeeping can be
+// checked against; only fabric-port attaches consult the fleet's record.
 func (f *FleetSystem) OwnerHost(slot *FleetSlot) int {
-	port := f.Chassis.Owner(slot.Ref)
+	port := f.ChassisFor(slot).Owner(slot.Ref)
 	if port == "" {
 		return -1
 	}
+	if port == fabricPort && f.Opts.Hierarchical() {
+		return f.slotHost[slot.Index]
+	}
 	for _, h := range f.Hosts {
-		if h.Port == port {
+		if h.ChassisIdx == slot.ChassisIdx && h.Port == port {
 			return h.Index
 		}
 	}
@@ -194,11 +424,11 @@ func (f *FleetSystem) OwnerHost(slot *FleetSlot) int {
 // JobSystem assembles the per-job view the training engine runs on: the
 // owning host's CPU/memory/storage plus the job's GPU slots. The returned
 // System shares the fleet's simulation and fabric, so concurrent jobs
-// contend for the host adapter, CPU cores and storage exactly as
-// co-located tenants would.
+// contend for the host adapter, CPU cores, storage and — for cross-chassis
+// slots — the spine/leaf tier exactly as co-located tenants would.
 func (f *FleetSystem) JobSystem(host *FleetHost, slots []*FleetSlot, name string) *System {
 	sys := &System{
-		Env: f.Env, Net: f.Net, Chassis: f.Chassis,
+		Env: f.Env, Net: f.Net, Chassis: f.ChassisList[host.ChassisIdx],
 		Cfg:  Config{Name: name, FalconGPUs: len(slots), Storage: StorageBaseline},
 		Host: host.CPU,
 		RC:   host.RC, Mem: host.Mem,

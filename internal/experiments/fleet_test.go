@@ -83,6 +83,29 @@ func TestS1ReportSpeedupLine(t *testing.T) {
 	}
 }
 
+// TestS4SpineOversubscriptionCosts checks S4's defining shape: on a fleet
+// where every cross-chassis byte crosses the spine, starving the spine
+// 16x must slow the pod-spanning stream down — if it doesn't, the
+// experiment is not actually exercising the oversubscribed tier.
+func TestS4SpineOversubscriptionCosts(t *testing.T) {
+	jobs := podStream(Quick.ItersPerEpoch)
+	open, err := fleetRun(s4Fleet("bandwidth", 1, jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	starved, err := fleetRun(s4Fleet("bandwidth", 16, jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Pods != 4 || open.Oversubscription != 1 || starved.Oversubscription != 16 {
+		t.Fatalf("hierarchy telemetry missing: %+v vs %+v", open, starved)
+	}
+	if starved.Makespan <= open.Makespan {
+		t.Errorf("16x oversubscription did not cost anything: %v vs %v — no cross-pod traffic on the spine",
+			starved.Makespan, open.Makespan)
+	}
+}
+
 // TestS3WaitsGrowWithLoad checks the saturation sweep's defining shape:
 // mean wait at 4x load is no smaller than at 0.25x load.
 func TestS3WaitsGrowWithLoad(t *testing.T) {

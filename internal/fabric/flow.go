@@ -81,6 +81,7 @@ type Network struct {
 	djHasPrev []bool
 	djVisited []bool
 	djRev     []dirLink
+	djHeap    []heapItem
 
 	// recomputeQueued coalesces same-instant recompute requests into one
 	// deferred sweep (flushFn, created once in NewNetwork): rates computed

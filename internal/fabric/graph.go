@@ -228,25 +228,17 @@ const hopPenalty = 10 * time.Nanosecond
 
 func (n *Network) dijkstra(src, dst NodeID) []dirLink {
 	const inf = math.MaxInt64
+	if len(n.nodes) > denseRouteLimit {
+		return n.dijkstraHeap(src, dst)
+	}
 	// Scratch arrays live on the Network: a fleet composition computes
 	// routes for every endpoint pair, and per-call slices were a measurable
 	// share of setup allocations.
-	if len(n.djDist) < len(n.nodes) {
-		n.djDist = make([]int64, len(n.nodes))
-		n.djPrev = make([]dirLink, len(n.nodes))
-		n.djHasPrev = make([]bool, len(n.nodes))
-		n.djVisited = make([]bool, len(n.nodes))
-	}
+	n.djReset()
 	dist := n.djDist[:len(n.nodes)]
 	prev := n.djPrev[:len(n.nodes)]
 	hasPrev := n.djHasPrev[:len(n.nodes)]
 	visited := n.djVisited[:len(n.nodes)]
-	for i := range dist {
-		dist[i] = inf
-		prev[i] = dirLink{}
-		hasPrev[i] = false
-		visited[i] = false
-	}
 	dist[src] = 0
 	for {
 		// Linear scan: fabric graphs are tens of nodes, so a heap is
@@ -276,6 +268,33 @@ func (n *Network) dijkstra(src, dst NodeID) []dirLink {
 	if !hasPrev[dst] {
 		return nil
 	}
+	return n.djPath(src, dst)
+}
+
+// djReset (re)sizes and clears the dijkstra scratch arrays.
+func (n *Network) djReset() {
+	const inf = math.MaxInt64
+	if len(n.djDist) < len(n.nodes) {
+		n.djDist = make([]int64, len(n.nodes))
+		n.djPrev = make([]dirLink, len(n.nodes))
+		n.djHasPrev = make([]bool, len(n.nodes))
+		n.djVisited = make([]bool, len(n.nodes))
+	}
+	dist := n.djDist[:len(n.nodes)]
+	prev := n.djPrev[:len(n.nodes)]
+	hasPrev := n.djHasPrev[:len(n.nodes)]
+	visited := n.djVisited[:len(n.nodes)]
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = dirLink{}
+		hasPrev[i] = false
+		visited[i] = false
+	}
+}
+
+// djPath reconstructs the src→dst path from the prev pointers.
+func (n *Network) djPath(src, dst NodeID) []dirLink {
+	prev := n.djPrev[:len(n.nodes)]
 	rev := n.djRev[:0]
 	for at := dst; at != src; at = prev[at].from() {
 		rev = append(rev, prev[at])
@@ -286,6 +305,100 @@ func (n *Network) dijkstra(src, dst NodeID) []dirLink {
 		path[i] = rev[len(rev)-1-i]
 	}
 	return path
+}
+
+// heapItem is one frontier entry in the large-graph dijkstra variant.
+type heapItem struct {
+	dist int64
+	node NodeID
+}
+
+// heapLess orders the frontier by (dist, node): the node tiebreak makes
+// the heap settle nodes in exactly the order the linear scan does —
+// lowest index among equal distances — so both variants compute
+// identical routes and the choice of variant is invisible to results.
+func heapLess(a, b heapItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.node < b.node
+}
+
+func heapPush(h []heapItem, it heapItem) []heapItem {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+func heapPop(h []heapItem) ([]heapItem, heapItem) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < len(h) && heapLess(h[l], h[s]) {
+			s = l
+		}
+		if r < len(h) && heapLess(h[r], h[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	return h, top
+}
+
+// dijkstraHeap is the frontier-heap variant used beyond denseRouteLimit:
+// the linear scan's O(V) extract-min is fine at rack scale, but its
+// quadratic total dominates pod-fleet composition (~2k nodes, routes for
+// every endpoint pair). Stale heap entries are skipped via the visited
+// and dist checks rather than a decrease-key.
+func (n *Network) dijkstraHeap(src, dst NodeID) []dirLink {
+	n.djReset()
+	dist := n.djDist[:len(n.nodes)]
+	prev := n.djPrev[:len(n.nodes)]
+	hasPrev := n.djHasPrev[:len(n.nodes)]
+	visited := n.djVisited[:len(n.nodes)]
+	dist[src] = 0
+	h := heapPush(n.djHeap[:0], heapItem{0, src})
+	for len(h) > 0 {
+		var it heapItem
+		h, it = heapPop(h)
+		if visited[it.node] || it.dist != dist[it.node] {
+			continue
+		}
+		if it.node == dst {
+			break
+		}
+		visited[it.node] = true
+		for _, dl := range n.adj[it.node] {
+			cost := int64(dl.link.Latency) + int64(hopPenalty)
+			if nd := it.dist + cost; nd < dist[dl.to()] {
+				dist[dl.to()] = nd
+				prev[dl.to()] = dl
+				hasPrev[dl.to()] = true
+				h = heapPush(h, heapItem{nd, dl.to()})
+			}
+		}
+	}
+	n.djHeap = h[:0]
+	if !hasPrev[dst] {
+		return nil
+	}
+	return n.djPath(src, dst)
 }
 
 // PathLatency returns the one-way latency of the preferred src→dst path

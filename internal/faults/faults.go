@@ -44,10 +44,20 @@ const (
 	KindHostLink Kind = "host-link"
 	// KindGPU fails the device in one chassis slot (Target = slot index).
 	KindGPU Kind = "gpu"
-	// KindDrawer hot-unplugs a whole drawer (Target = drawer index).
+	// KindDrawer hot-unplugs a whole drawer (Target = drawer index; in a
+	// pod fleet the index is fleet-global, chassis × falcon.NumDrawers +
+	// local drawer).
 	KindDrawer Kind = "drawer"
 	// KindHost crashes a host machine (Target = host index).
 	KindHost Kind = "host"
+	// KindSpineLink degrades a pod's leaf ↔ spine uplink (Target = pod
+	// index) to Factor × its healthy capacity: cross-pod traffic starves
+	// while intra-pod traffic is untouched. Pod-shaped fleets only.
+	KindSpineLink Kind = "spine-link"
+	// KindPod fails a whole pod (Target = pod index): every host and every
+	// chassis GPU slot in it goes down at once — the blast radius of a pod
+	// power or leaf-switch loss. Pod-shaped fleets only.
+	KindPod Kind = "pod"
 )
 
 // OutageFloor is the capacity fraction a link outage leaves behind: flows
@@ -83,7 +93,7 @@ func (e Event) String() string {
 	b := append(buf[:0], e.At.String()...)
 	b = append(b, ' ')
 	b = appendKindTarget(b, e.Kind, e.Target)
-	if e.Kind == KindSlotLink || e.Kind == KindHostLink {
+	if e.Kind.linkKind() {
 		b = appendFactor(b, e.Factor)
 	}
 	if e.Permanent() {
@@ -93,6 +103,11 @@ func (e Event) String() string {
 		b = append(b, e.Repair.String()...)
 	}
 	return string(b)
+}
+
+// linkKind reports whether the kind degrades a link (carries a Factor).
+func (k Kind) linkKind() bool {
+	return k == KindSlotLink || k == KindHostLink || k == KindSpineLink
 }
 
 // appendKindTarget renders "kind[target]".
@@ -145,9 +160,18 @@ func (p Plan) Ledger() string {
 // Bounds describes the composed system a plan targets, so generation and
 // sanitization can keep every event on real hardware.
 type Bounds struct {
-	Slots          int // chassis GPU slots
+	Slots          int // chassis GPU slots (fleet-wide)
 	SlotsPerDrawer int // slot→drawer mapping (0 = single drawer)
 	Hosts          int
+	// Drawers, when positive, is the explicit fleet-global drawer index
+	// space (pod fleets stride drawer indices per chassis, so the count is
+	// not derivable from Slots alone). Zero keeps the single-chassis
+	// derivation from Slots/SlotsPerDrawer.
+	Drawers int
+	// Pods, when positive, enables the pod-scoped kinds (KindPod,
+	// KindSpineLink) with targets in [0, Pods). Zero means no pod tier:
+	// pod-scoped events are remapped onto device faults.
+	Pods int
 	// Horizon bounds fault times; repairs may land past it.
 	Horizon time.Duration
 	// MaxEvents caps the schedule length (0 = DefaultMaxEvents).
@@ -162,10 +186,20 @@ type Bounds struct {
 const DefaultMaxEvents = 8
 
 func (b Bounds) drawers() int {
+	if b.Drawers > 0 {
+		return b.Drawers
+	}
 	if b.SlotsPerDrawer <= 0 || b.Slots <= b.SlotsPerDrawer {
 		return 1
 	}
 	return (b.Slots + b.SlotsPerDrawer - 1) / b.SlotsPerDrawer
+}
+
+func (b Bounds) pods() int {
+	if b.Pods < 1 {
+		return 1
+	}
+	return b.Pods
 }
 
 func (b Bounds) drawerOf(slot int) int {
@@ -190,7 +224,14 @@ func FromSeed(seed int64, b Bounds) Plan {
 		ev := Event{
 			At: minFaultTime + time.Duration(rng.Int63n(int64(horizon(b)))),
 		}
-		switch rng.Intn(6) {
+		// Pod-shaped bounds widen the kind range with the pod-scoped
+		// kinds; non-pod bounds keep the original six-way draw so existing
+		// seeds reproduce their plans byte for byte.
+		kinds := 6
+		if b.Pods > 0 {
+			kinds = 8
+		}
+		switch rng.Intn(kinds) {
 		case 0, 1: // link faults are the most common failure in the field
 			ev.Kind = KindSlotLink
 			ev.Target = rng.Intn(max(1, b.Slots))
@@ -210,6 +251,13 @@ func FromSeed(seed int64, b Bounds) Plan {
 				ev.Kind = KindHost
 				ev.Target = rng.Intn(max(1, b.Hosts))
 			}
+		case 6:
+			ev.Kind = KindSpineLink
+			ev.Target = rng.Intn(b.pods())
+			ev.Factor = [...]float64{0, 0.1, 0.25, 0.5}[rng.Intn(4)]
+		case 7:
+			ev.Kind = KindPod
+			ev.Target = rng.Intn(b.pods())
 		}
 		// Most faults heal; a minority of device faults are permanent
 		// (Sanitize enforces the survivor budget).
@@ -295,6 +343,14 @@ func Sanitize(p Plan, b Bounds) Plan {
 			e.Target = clampInt(e.Target, 0, max(0, b.Hosts-1))
 		case KindDrawer:
 			e.Target = clampInt(e.Target, 0, b.drawers()-1)
+		case KindSpineLink, KindPod:
+			if b.Pods > 0 {
+				e.Target = clampInt(e.Target, 0, b.pods()-1)
+			} else {
+				// No pod tier: the nearest real surface is a device fault.
+				e.Kind = KindGPU
+				e.Target = clampInt(e.Target, 0, max(0, b.Slots-1))
+			}
 		default:
 			e.Kind = KindGPU
 			e.Target = clampInt(e.Target, 0, max(0, b.Slots-1))
@@ -306,7 +362,7 @@ func Sanitize(p Plan, b Bounds) Plan {
 			e.At = horizon(b)
 		}
 		switch {
-		case e.Kind != KindSlotLink && e.Kind != KindHostLink:
+		case !e.Kind.linkKind():
 			e.Factor = 0
 		case e.Factor < 0 || math.IsNaN(e.Factor):
 			e.Factor = 0
@@ -319,9 +375,9 @@ func Sanitize(p Plan, b Bounds) Plan {
 		if e.Repair > 0 && e.Repair < 100*time.Millisecond {
 			e.Repair = 100 * time.Millisecond
 		}
-		// Hosts and drawers always come back: a stream must be able to
-		// drain, and a permanently-dead host would wedge its tenants.
-		if (e.Kind == KindHost || e.Kind == KindDrawer) && e.Permanent() {
+		// Hosts, drawers and pods always come back: a stream must be able
+		// to drain, and a permanently-dead host would wedge its tenants.
+		if (e.Kind == KindHost || e.Kind == KindDrawer || e.Kind == KindPod) && e.Permanent() {
 			e.Repair = 2 * time.Second
 		}
 	}
@@ -333,7 +389,7 @@ func Sanitize(p Plan, b Bounds) Plan {
 	// targets sit in [0, max(slots, hosts, drawers)), so a flat slice
 	// replaces the old map. 0 encodes "free" (every real entry is ≥
 	// minFaultTime), -1 encodes "permanently busy".
-	span := max(max(b.Slots, b.Hosts), b.drawers())
+	span := max(max(max(b.Slots, b.Hosts), b.drawers()), b.pods())
 	if span < 1 {
 		span = 1
 	}
@@ -364,8 +420,9 @@ func Sanitize(p Plan, b Bounds) Plan {
 	return out
 }
 
-// kindOrder enumerates the kinds for the dense busyUntil table.
-var kindOrder = [...]Kind{KindSlotLink, KindHostLink, KindGPU, KindDrawer, KindHost}
+// kindOrder enumerates the kinds for the dense busyUntil table. New kinds
+// append; the order is load-bearing for the table layout.
+var kindOrder = [...]Kind{KindSlotLink, KindHostLink, KindGPU, KindDrawer, KindHost, KindSpineLink, KindPod}
 
 func kindIndex(k Kind) int {
 	for i, o := range kindOrder {
@@ -440,7 +497,7 @@ func (r Record) String() string {
 		b = append(b, " FAIL "...)
 	}
 	b = appendKindTarget(b, r.Kind, r.Target)
-	if r.Kind == KindSlotLink || r.Kind == KindHostLink {
+	if r.Kind.linkKind() {
 		b = appendFactor(b, r.Factor)
 	}
 	return string(b)
@@ -451,11 +508,13 @@ func (r Record) String() string {
 // the capacity fraction now in effect (1 = healthy, OutageFloor = outage);
 // device hooks receive up=false on failure and up=true on repair.
 type Hooks struct {
-	SlotLink func(slot int, factor float64)
-	HostLink func(host int, factor float64)
-	GPU      func(slot int, up bool)
-	Drawer   func(drawer int, up bool)
-	Host     func(host int, up bool)
+	SlotLink  func(slot int, factor float64)
+	HostLink  func(host int, factor float64)
+	GPU       func(slot int, up bool)
+	Drawer    func(drawer int, up bool)
+	Host      func(host int, up bool)
+	SpineLink func(pod int, factor float64)
+	Pod       func(pod int, up bool)
 }
 
 // Injector schedules a plan's events into a simulation and dispatches
@@ -531,6 +590,15 @@ func (in *Injector) apply(e Event, up bool) {
 	case KindHost:
 		if in.hooks.Host != nil {
 			in.hooks.Host(e.Target, up)
+		}
+	case KindSpineLink:
+		rec.Factor = factor
+		if in.hooks.SpineLink != nil {
+			in.hooks.SpineLink(e.Target, factor)
+		}
+	case KindPod:
+		if in.hooks.Pod != nil {
+			in.hooks.Pod(e.Target, up)
 		}
 	}
 	in.records = append(in.records, rec)

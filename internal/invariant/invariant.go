@@ -68,16 +68,28 @@ type Set struct {
 	linkCapInt  map[fabric.LinkID][2]float64
 	linkPrevCap map[fabric.LinkID][2]float64
 
-	// fleet watcher state (see orchestrator.go).
+	// fleet watcher state (see orchestrator.go). Slot maps are keyed by
+	// global fleet slot index: SlotRefs repeat across the chassis of a pod
+	// fleet, so a ref alone no longer names a device.
 	lastOrc          time.Duration
 	orcJobs          map[int]*jobLife
-	orcSlots         map[falcon.SlotRef]int
-	orcDownSlots     map[falcon.SlotRef]bool
+	orcSlots         map[int]int
+	orcDownSlots     map[int]bool
 	orcDownHosts     map[int]bool
-	chassisAttached  map[falcon.SlotRef]bool
+	orcDownPods      map[int]bool
+	orcHostPod       []int // host index → pod (WatchFleet; nil = single pod)
+	chassisAttached  map[chassisSlot]bool
+	chassisAttachedN map[int]int // per-chassis attached count
 	chassisAttaches  int
 	chassisDetaches  int
 	chassisReassigns int
+}
+
+// chassisSlot names one physical slot fleet-wide: the chassis's global
+// index plus the slot's in-chassis ref.
+type chassisSlot struct {
+	chassis int
+	ref     falcon.SlotRef
 }
 
 // maxRecorded bounds the retained violations per Set.

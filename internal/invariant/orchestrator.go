@@ -59,9 +59,10 @@ func phaseOf(kind orchestrator.EventKind) int {
 func (s *Set) OrchestratorProbe() func(orchestrator.Event) {
 	if s.orcJobs == nil {
 		s.orcJobs = make(map[int]*jobLife)
-		s.orcSlots = make(map[falcon.SlotRef]int)
-		s.orcDownSlots = make(map[falcon.SlotRef]bool)
+		s.orcSlots = make(map[int]int)
+		s.orcDownSlots = make(map[int]bool)
 		s.orcDownHosts = make(map[int]bool)
+		s.orcDownPods = make(map[int]bool)
 	}
 	return func(ev orchestrator.Event) {
 		if ev.At < s.lastOrc {
@@ -73,13 +74,13 @@ func (s *Set) OrchestratorProbe() func(orchestrator.Event) {
 		// Fault events: maintain the down sets the placement checks read.
 		switch ev.Kind {
 		case orchestrator.EventSlotDown:
-			for _, ref := range ev.Slots {
-				s.orcDownSlots[ref] = true
+			for k := range ev.Slots {
+				s.orcDownSlots[slotKey(ev, k)] = true
 			}
 			return
 		case orchestrator.EventSlotUp:
-			for _, ref := range ev.Slots {
-				delete(s.orcDownSlots, ref)
+			for k := range ev.Slots {
+				delete(s.orcDownSlots, slotKey(ev, k))
 			}
 			return
 		case orchestrator.EventHostDown:
@@ -87,6 +88,12 @@ func (s *Set) OrchestratorProbe() func(orchestrator.Event) {
 			return
 		case orchestrator.EventHostUp:
 			delete(s.orcDownHosts, ev.Host)
+			return
+		case orchestrator.EventPodDown:
+			s.orcDownPods[ev.Pod] = true
+			return
+		case orchestrator.EventPodUp:
+			delete(s.orcDownPods, ev.Pod)
 			return
 		}
 
@@ -105,13 +112,14 @@ func (s *Set) OrchestratorProbe() func(orchestrator.Event) {
 			}
 			life.phase, life.at = 0, ev.At
 			life.kills++
-			for _, ref := range ev.Slots {
-				if holder, held := s.orcSlots[ref]; !held || holder != ev.Job {
+			for k, ref := range ev.Slots {
+				key := slotKey(ev, k)
+				if holder, held := s.orcSlots[key]; !held || holder != ev.Job {
 					s.Report("orchestrator/release", ev.At,
 						"killed job %d released slot %v it did not hold (holder %d, held %t)", ev.Job, ref, holder, held)
 					continue
 				}
-				delete(s.orcSlots, ref)
+				delete(s.orcSlots, key)
 			}
 			return
 		case orchestrator.EventFail:
@@ -158,36 +166,54 @@ func (s *Set) OrchestratorProbe() func(orchestrator.Event) {
 				s.Report("orchestrator/place-down-host", ev.At,
 					"job %d placed on crashed host %d", ev.Job, ev.Host)
 			}
-			for _, ref := range ev.Slots {
-				if s.orcDownSlots[ref] {
+			if s.orcHostPod != nil && ev.Host >= 0 && ev.Host < len(s.orcHostPod) &&
+				s.orcDownPods[s.orcHostPod[ev.Host]] {
+				s.Report("orchestrator/place-down-pod", ev.At,
+					"job %d placed on host %d inside down pod %d", ev.Job, ev.Host, s.orcHostPod[ev.Host])
+			}
+			for k, ref := range ev.Slots {
+				key := slotKey(ev, k)
+				if s.orcDownSlots[key] {
 					s.Report("orchestrator/place-down-slot", ev.At,
 						"job %d placed on down slot %v", ev.Job, ref)
 				}
-				if holder, held := s.orcSlots[ref]; held {
+				if holder, held := s.orcSlots[key]; held {
 					s.Report("orchestrator/double-assign", ev.At,
 						"slot %v assigned to job %d while held by job %d", ref, ev.Job, holder)
 					continue
 				}
-				s.orcSlots[ref] = ev.Job
+				s.orcSlots[key] = ev.Job
 			}
 		case orchestrator.EventLaunch:
-			for _, ref := range ev.Slots {
-				if s.orcDownSlots[ref] {
+			for k, ref := range ev.Slots {
+				if s.orcDownSlots[slotKey(ev, k)] {
 					s.Report("orchestrator/launch-down-slot", ev.At,
 						"job %d launched holding down slot %v", ev.Job, ref)
 				}
 			}
 		case orchestrator.EventFinish:
-			for _, ref := range ev.Slots {
-				if holder, held := s.orcSlots[ref]; !held || holder != ev.Job {
+			for k, ref := range ev.Slots {
+				key := slotKey(ev, k)
+				if holder, held := s.orcSlots[key]; !held || holder != ev.Job {
 					s.Report("orchestrator/release", ev.At,
 						"job %d released slot %v it did not hold (holder %d, held %t)", ev.Job, ref, holder, held)
 					continue
 				}
-				delete(s.orcSlots, ref)
+				delete(s.orcSlots, key)
 			}
 		}
 	}
+}
+
+// slotKey returns the global fleet index of the k-th slot in an event. The
+// orchestrator always populates Event.Indices; hand-built events without it
+// fall back to the single-chassis bijection ref ↔ drawer×slots + slot.
+func slotKey(ev orchestrator.Event, k int) int {
+	if k < len(ev.Indices) {
+		return ev.Indices[k]
+	}
+	ref := ev.Slots[k]
+	return ref.Drawer*falcon.SlotsPerDrawer + ref.Slot
 }
 
 // WatchChassis attaches the attach/detach conservation check to the
@@ -196,44 +222,65 @@ func (s *Set) OrchestratorProbe() func(orchestrator.Event) {
 // aggregate attached-device count at every step. Attach events on
 // already-attached slots are counted as reassignments (advanced-mode
 // on-the-fly moves emit a single attach).
-func (s *Set) WatchChassis(ch *falcon.Chassis) {
-	s.chassisAttached = make(map[falcon.SlotRef]bool)
+func (s *Set) WatchChassis(ch *falcon.Chassis) { s.watchChassis(ch, 0) }
+
+// WatchFleet attaches the conservation check to every chassis of a fleet
+// and records the host→pod map the pod-blast placement check reads.
+func (s *Set) WatchFleet(f *cluster.FleetSystem) {
+	s.orcHostPod = make([]int, len(f.Hosts))
+	for h, host := range f.Hosts {
+		s.orcHostPod[h] = host.Pod
+	}
+	for ci, ch := range f.ChassisList {
+		s.watchChassis(ch, ci)
+	}
+}
+
+func (s *Set) watchChassis(ch *falcon.Chassis, ci int) {
+	if s.chassisAttached == nil {
+		s.chassisAttached = make(map[chassisSlot]bool)
+		s.chassisAttachedN = make(map[int]int)
+	}
 	for _, ref := range ch.Slots() {
 		if ch.Owner(ref) != "" {
-			s.chassisAttached[ref] = true
+			s.chassisAttached[chassisSlot{ci, ref}] = true
+			s.chassisAttachedN[ci]++
 		}
 	}
 	ch.Observe(func(ev string, ref falcon.SlotRef) {
 		now := ch.Now()
+		key := chassisSlot{ci, ref}
 		switch ev {
 		case "attach":
 			if ch.Owner(ref) == "" {
 				s.Report("chassis/attach-state", now, "attach event on unowned slot %v", ref)
 				return
 			}
-			if s.chassisAttached[ref] {
+			if s.chassisAttached[key] {
 				s.chassisReassigns++
 			} else {
 				s.chassisAttaches++
-				s.chassisAttached[ref] = true
+				s.chassisAttached[key] = true
+				s.chassisAttachedN[ci]++
 			}
 		case "detach":
 			if ch.Owner(ref) != "" {
 				s.Report("chassis/detach-state", now, "detach event on owned slot %v", ref)
 				return
 			}
-			if !s.chassisAttached[ref] {
+			if !s.chassisAttached[key] {
 				s.Report("chassis/conservation", now, "detach of never-attached slot %v", ref)
 				return
 			}
 			s.chassisDetaches++
-			delete(s.chassisAttached, ref)
+			delete(s.chassisAttached, key)
+			s.chassisAttachedN[ci]--
 		default:
 			return
 		}
-		if got, want := ch.Summary().Attached, len(s.chassisAttached); got != want {
+		if got, want := ch.Summary().Attached, s.chassisAttachedN[ci]; got != want {
 			s.Report("chassis/conservation", now,
-				"chassis reports %d attached devices, event stream implies %d", got, want)
+				"chassis %d reports %d attached devices, event stream implies %d", ci, got, want)
 		}
 	})
 }
@@ -263,13 +310,33 @@ func (s *Set) CheckFleetResult(f *cluster.FleetSystem, res *orchestrator.FleetRe
 			res.GPUSeconds, res.FragmentationGPUSeconds)
 	}
 
-	movesTotal, retriesTotal, lostTotal := 0, 0, 0.0
+	movesTotal, retriesTotal, lostTotal, deliveredTotal := 0, 0, 0.0, 0.0
 	for _, j := range res.Jobs {
 		movesTotal += j.Moves
 		retriesTotal += j.Retries
 		lostTotal += j.LostGPUSeconds
 		if j.LostGPUSeconds < 0 {
 			s.Report("fleet/lost-work", at, "job %d negative lost work %v", j.ID, j.LostGPUSeconds)
+		}
+		if j.GPUSeconds < 0 {
+			s.Report("fleet/gpu-seconds", at, "job %d negative delivered GPU time %v", j.ID, j.GPUSeconds)
+		}
+		if j.Retries == 0 && !j.Failed && j.GPUSeconds != 0 {
+			// One uninterrupted attempt: delivered time is exactly GPUs ×
+			// runtime, the same float product the scheduler computes.
+			if want := float64(j.GPUs) * j.Runtime.Seconds(); j.GPUSeconds != want {
+				s.Report("fleet/gpu-seconds", at,
+					"job %d delivered %v GPU-s without retries, want GPUs × runtime = %v", j.ID, j.GPUSeconds, want)
+			}
+		}
+		if !j.Failed {
+			deliveredTotal += j.GPUSeconds
+			// A retried job delivered at least its final attempt; checkpoint
+			// carry-over can only add to it.
+			if want := float64(j.GPUs) * j.Runtime.Seconds(); j.GPUSeconds+1e-9 < want {
+				s.Report("fleet/gpu-seconds", at,
+					"job %d delivered %v GPU-s, less than its final attempt %v", j.ID, j.GPUSeconds, want)
+			}
 		}
 		if j.Retries == 0 && !j.Failed && j.LostGPUSeconds != 0 {
 			s.Report("fleet/lost-work", at, "job %d lost %v GPU-s without any kill", j.ID, j.LostGPUSeconds)
@@ -312,6 +379,10 @@ func (s *Set) CheckFleetResult(f *cluster.FleetSystem, res *orchestrator.FleetRe
 		s.Report("fleet/lost-work", at,
 			"fleet lost-work %v does not balance per-job sum %v", res.LostGPUSeconds, lostTotal)
 	}
+	if diff := res.GPUSeconds - deliveredTotal; diff > 1e-6 || diff < -1e-6 {
+		s.Report("fleet/gpu-seconds", at,
+			"fleet delivered %v GPU-s does not balance per-job sum %v", res.GPUSeconds, deliveredTotal)
+	}
 	if res.Faults == 0 && (res.Kills != 0 || res.FailedJobs != 0 || res.LostGPUSeconds != 0) {
 		s.Report("fleet/lost-work", at,
 			"fault-free run reports recovery activity: %d kills, %d failed, %v lost",
@@ -323,9 +394,9 @@ func (s *Set) CheckFleetResult(f *cluster.FleetSystem, res *orchestrator.FleetRe
 		}
 	}
 	// No job may be left holding a down slot once the stream drains.
-	for ref, job := range s.orcSlots {
-		if s.orcDownSlots[ref] {
-			s.Report("fleet/down-slot-held", at, "down slot %v still held by job %d after the run", ref, job)
+	for idx, job := range s.orcSlots {
+		if s.orcDownSlots[idx] {
+			s.Report("fleet/down-slot-held", at, "down slot #%d still held by job %d after the run", idx, job)
 		}
 	}
 	if s.chassisAttached != nil {
@@ -338,11 +409,11 @@ func (s *Set) CheckFleetResult(f *cluster.FleetSystem, res *orchestrator.FleetRe
 
 	// No slot may remain assigned after the stream drains.
 	if len(s.orcSlots) > 0 {
-		held := make([]string, 0, len(s.orcSlots))
-		for ref := range s.orcSlots {
-			held = append(held, ref.String())
+		held := make([]int, 0, len(s.orcSlots))
+		for idx := range s.orcSlots {
+			held = append(held, idx)
 		}
-		sort.Strings(held)
+		sort.Ints(held)
 		s.Report("fleet/slots-released", at, "%d slot(s) still assigned after the run: %v", len(held), held)
 	}
 	// Device/fabric leak checks need the fleet; nil runs the pure ledger

@@ -40,6 +40,13 @@ func (s *scheduler) armFaults(plan faults.Plan) {
 		Hosts:          len(f.Hosts),
 		Horizon:        1<<62 - 1, // the plan's own times stand
 	}
+	if f.Opts.Hierarchical() {
+		// Pod fleets span the full global drawer space and accept the two
+		// pod-scoped kinds; a degenerate fleet keeps the old derivation so
+		// existing plans sanitize to the same draws.
+		bounds.Drawers = f.NumDrawers()
+		bounds.Pods = f.NumPods()
+	}
 	// Permanent device faults must leave the largest job enough survivors.
 	maxDemand := 2
 	for _, js := range s.jobs {
@@ -64,6 +71,11 @@ func (s *scheduler) armFaults(plan faults.Plan) {
 		l := f.Net.Link(host.AdapterLink)
 		hostCaps[h] = [2]units.BytesPerSec{l.CapAtoB, l.CapBtoA}
 	}
+	spineCaps := make([][2]units.BytesPerSec, len(f.PodUplinks))
+	for p, id := range f.PodUplinks {
+		l := f.Net.Link(id)
+		spineCaps[p] = [2]units.BytesPerSec{l.CapAtoB, l.CapBtoA}
+	}
 
 	inj := faults.NewInjector(f.Env, plan, faults.Hooks{
 		SlotLink: func(slot int, factor float64) {
@@ -76,8 +88,18 @@ func (s *scheduler) armFaults(plan faults.Plan) {
 			f.Net.SetLinkCapacity(f.Hosts[host].AdapterLink,
 				units.BytesPerSec(float64(c[0])*factor), units.BytesPerSec(float64(c[1])*factor))
 		},
+		SpineLink: func(pod int, factor float64) {
+			if pod >= len(spineCaps) {
+				return // degenerate fleet: no uplinks (Sanitize remaps these away)
+			}
+			c := spineCaps[pod]
+			f.Net.SetLinkCapacity(f.PodUplinks[pod],
+				units.BytesPerSec(float64(c[0])*factor), units.BytesPerSec(float64(c[1])*factor))
+		},
 		GPU: func(slot int, up bool) {
+			s.capAccrue(s.now())
 			s.slotFaulty[slot] = !up
+			s.recountLive()
 			if up {
 				s.slotRepaired(slot)
 				s.trySchedule()
@@ -86,7 +108,9 @@ func (s *scheduler) armFaults(plan faults.Plan) {
 			}
 		},
 		Drawer: func(drawer int, up bool) {
+			s.capAccrue(s.now())
 			s.drawerDown[drawer] = !up
+			s.recountLive()
 			for i, slot := range f.Slots {
 				if slot.Drawer != drawer {
 					continue
@@ -101,6 +125,42 @@ func (s *scheduler) armFaults(plan faults.Plan) {
 			}
 			if up {
 				s.trySchedule()
+			}
+		},
+		Pod: func(pod int, up bool) {
+			now := s.now()
+			s.capAccrue(now)
+			s.podDown[pod] = !up
+			s.recountLive()
+			if up {
+				s.probe(Event{Kind: EventPodUp, At: now, Job: -1, Host: -1, Pod: pod})
+				// Probe every returning slot before any scheduling resumes;
+				// hosts come back implicitly (unless individually crashed).
+				for i, slot := range f.Slots {
+					if slot.Pod == pod {
+						s.slotRepaired(i)
+					}
+				}
+				s.trySchedule()
+				return
+			}
+			s.probe(Event{Kind: EventPodDown, At: now, Job: -1, Host: -1, Pod: pod})
+			for i, slot := range f.Slots {
+				if slot.Pod == pod {
+					s.slotLost(i, "pod "+strconv.Itoa(pod)+" lost power")
+				}
+			}
+			// The pod's hosts lost power with it: jobs placed there die even
+			// when their GPUs sat in another pod.
+			for h, host := range f.Hosts {
+				if host.Pod != pod {
+					continue
+				}
+				for _, js := range s.jobs {
+					if !js.done && !js.failed && js.host == h {
+						s.kill(js, "pod "+strconv.Itoa(pod)+" lost power under host"+strconv.Itoa(h+1))
+					}
+				}
 			}
 		},
 		Host: func(host int, up bool) {
@@ -128,17 +188,66 @@ func (s *scheduler) armFaults(plan faults.Plan) {
 	})
 	inj.Arm()
 	s.injector = inj
+	s.capTracking = true
+	s.liveSlots = len(f.Slots)
 }
 
-// slotAvailable reports whether a slot is schedulable: its device healthy
-// and its drawer plugged.
+// capAccrue advances the live-capacity integral to now. Exact as long as
+// it runs before every availability flip: liveSlots is piecewise constant
+// between fault events.
+func (s *scheduler) capAccrue(now time.Duration) {
+	if !s.capTracking {
+		return
+	}
+	if now > s.capLastT {
+		s.capGPUSec += float64(s.liveSlots) * (now - s.capLastT).Seconds()
+	}
+	s.capLastT = now
+}
+
+// recountLive rescans slot availability after fault flags changed. A full
+// scan (not a delta) so overlapping faults — a GPU dying inside a downed
+// drawer inside a downed pod — never double-count.
+func (s *scheduler) recountLive() {
+	if !s.capTracking {
+		return
+	}
+	live := 0
+	for i := range s.fleet.Slots {
+		if s.slotAvailable(i) {
+			live++
+		}
+	}
+	s.liveSlots = live
+	if live < len(s.fleet.Slots) {
+		s.capEverDown = true
+	}
+}
+
+// hostAvailable reports whether a host can receive placements: it hasn't
+// crashed and its pod has power.
+//
+//perf:hot
+func (s *scheduler) hostAvailable(h int) bool {
+	if s.hostDown != nil && s.hostDown[h] {
+		return false
+	}
+	return len(s.podDown) == 0 || !s.podDown[s.fleet.Hosts[h].Pod]
+}
+
+// slotAvailable reports whether a slot is schedulable: its device healthy,
+// its drawer plugged, and its pod powered.
 //
 //perf:hot
 func (s *scheduler) slotAvailable(i int) bool {
 	if s.slotFaulty == nil {
 		return true
 	}
-	return !s.slotFaulty[i] && !s.drawerDown[s.fleet.Slots[i].Drawer]
+	slot := s.fleet.Slots[i]
+	if s.slotFaulty[i] || s.drawerDown[slot.Drawer] {
+		return false
+	}
+	return len(s.podDown) == 0 || !s.podDown[slot.Pod]
 }
 
 // slotLost handles a slot leaving the pool: hot-unplug from the control
@@ -150,15 +259,16 @@ func (s *scheduler) slotLost(i int, cause string) {
 	}
 	now := s.now()
 	s.account(now)
-	ref := s.fleet.Slots[i].Ref
-	if s.slotHost[i] != -1 && s.fleet.Chassis.Owner(ref) != "" {
-		if err := s.fleet.Chassis.Detach(ref); err != nil {
+	slot := s.fleet.Slots[i]
+	ref := slot.Ref
+	if s.slotHost[i] != -1 && s.fleet.ChassisFor(slot).Owner(ref) != "" {
+		if err := s.fleet.DetachSlot(slot); err != nil {
 			s.err = fmt.Errorf("orchestrator: unplugging failed slot %v: %w", ref, err)
 			return
 		}
 	}
 	s.slotHost[i] = -1
-	s.probe(Event{Kind: EventSlotDown, At: now, Job: -1, Host: -1, Slots: []falcon.SlotRef{ref}})
+	s.probe(Event{Kind: EventSlotDown, At: now, Job: -1, Host: -1, Slots: []falcon.SlotRef{ref}, Indices: []int{i}})
 	if id := s.slotJob[i]; id != -1 {
 		s.kill(s.jobs[id], cause)
 	}
@@ -174,7 +284,7 @@ func (s *scheduler) slotRepaired(i int) {
 	}
 	now := s.now()
 	s.account(now)
-	s.probe(Event{Kind: EventSlotUp, At: now, Job: -1, Host: -1, Slots: []falcon.SlotRef{s.fleet.Slots[i].Ref}})
+	s.probe(Event{Kind: EventSlotUp, At: now, Job: -1, Host: -1, Slots: []falcon.SlotRef{s.fleet.Slots[i].Ref}, Indices: []int{i}})
 }
 
 // kill tears one job's attempt down. Launched jobs abort cooperatively
@@ -212,6 +322,9 @@ func (s *scheduler) reschedule(js *jobState, now time.Duration) {
 		if end, ok := js.job.LastEpochEnd(); ok {
 			usefulEnd = end
 		}
+		// Up to the last epoch boundary the attempt delivered kept work;
+		// past it the work is lost and will be re-run.
+		js.deliveredSec += float64(js.spec.GPUs) * (usefulEnd - js.launched).Seconds()
 		js.lostSec += float64(js.spec.GPUs) * (now - usefulEnd).Seconds()
 	}
 	for _, slot := range js.slots {
@@ -221,10 +334,11 @@ func (s *scheduler) reschedule(js *jobState, now time.Duration) {
 	s.hostJobs[js.host]--
 	host := js.host
 	refs := js.refs
-	js.job, js.slots, js.refs, js.host = nil, nil, nil, -1
+	indices := js.indices
+	js.job, js.slots, js.refs, js.indices, js.host = nil, nil, nil, nil, -1
 	js.killed = false
 	js.retries++
-	s.probe(Event{Kind: EventKill, At: now, Job: js.spec.ID, Host: host, Slots: refs})
+	s.probe(Event{Kind: EventKill, At: now, Job: js.spec.ID, Host: host, Slots: refs, Indices: indices})
 	if js.retries > s.maxRetries {
 		js.failed = true
 		// "abandon", not "fail": the timeline marks kinds by first rune,

@@ -1,0 +1,119 @@
+package orchestrator
+
+import (
+	"testing"
+
+	"composable/internal/faults"
+)
+
+// TestUtilizationExcludesDeadCapacity pins the utilization denominator
+// fix: capacity the fleet has lost to a permanent failure must not keep
+// counting as idle. A dead GPU the workload never touched used to dilute
+// utilization below (or at best equal to) the fault-free run; with the
+// live-capacity integral it strictly raises it, because the delivered
+// work is unchanged while the available GPU-seconds shrink.
+func TestUtilizationExcludesDeadCapacity(t *testing.T) {
+	specs := longJob(4)
+	f0 := testFleet(t, 2, 8, false)
+	base, err := Run(f0, specs, Options{Policy: DrawerLocal{}, AttachLatency: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := testFleet(t, 2, 8, false)
+	plan := faults.Plan{Events: []faults.Event{
+		// Permanently kill a GPU the 4-GPU drawer-local job never picked
+		// (it runs on slots 0-3). The schedule is otherwise untouched.
+		{At: base.Makespan / 2, Kind: faults.KindGPU, Target: 7},
+	}}
+	res, err := Run(f, specs, Options{Policy: DrawerLocal{}, AttachLatency: -1, Faults: &plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kills != 0 || res.Jobs[0].Retries != 0 {
+		t.Fatalf("fault on an idle slot disturbed the run: %+v", res)
+	}
+	if res.Makespan != base.Makespan || res.GPUSeconds != base.GPUSeconds {
+		t.Fatalf("schedule changed: makespan %v vs %v, gpuSec %v vs %v",
+			res.Makespan, base.Makespan, res.GPUSeconds, base.GPUSeconds)
+	}
+	// The old denominator — every fleet GPU for the whole makespan — is
+	// exactly the fault-free utilization here.
+	naive := res.GPUSeconds / (float64(res.GPUs) * res.Makespan.Seconds())
+	if naive != base.Utilization {
+		t.Fatalf("test premise broken: naive %v != fault-free %v", naive, base.Utilization)
+	}
+	if res.Utilization <= naive {
+		t.Errorf("utilization %v still counts dead capacity as idle (naive whole-fleet denominator gives %v)",
+			res.Utilization, naive)
+	}
+	if res.Utilization < base.Utilization {
+		t.Errorf("permanent GPU failure dragged utilization %v below fault-free %v",
+			res.Utilization, base.Utilization)
+	}
+	if res.Utilization > 1 {
+		t.Errorf("utilization %v above 1", res.Utilization)
+	}
+}
+
+// TestGPUSecondsCountDeliveredWorkPerAttempt pins the per-attempt
+// accounting fix: a job killed mid-run and rescheduled from checkpoint
+// must be credited the useful (checkpointed) work of the killed attempt,
+// not just GPUs × final-attempt runtime.
+func TestGPUSecondsCountDeliveredWorkPerAttempt(t *testing.T) {
+	specs := longJob(4)
+	base := faultFreeMakespan(t, specs)
+	f := testFleet(t, 2, 8, false)
+	plan := faults.Plan{Events: []faults.Event{
+		{At: base / 2, Kind: faults.KindGPU, Target: 0},
+	}}
+	res, err := Run(f, specs, Options{Policy: DrawerLocal{}, AttachLatency: -1, Faults: &plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := res.Jobs[0]
+	if j.Retries != 1 || j.Failed {
+		t.Fatalf("want one clean retry, got %+v", j)
+	}
+	if j.EpochsDone == 0 {
+		t.Fatal("first attempt checkpointed nothing; the scenario cannot pin the fix")
+	}
+	finalAttempt := float64(j.GPUs) * j.Runtime.Seconds()
+	if j.GPUSeconds <= finalAttempt {
+		t.Errorf("GPUSeconds %.3f does not exceed final-attempt credit %.3f: the killed attempt's delivered work was dropped",
+			j.GPUSeconds, finalAttempt)
+	}
+	if j.LostGPUSeconds <= 0 {
+		t.Error("mid-epoch kill lost no work")
+	}
+	var delivered float64
+	for _, jr := range res.Jobs {
+		if !jr.Failed {
+			delivered += jr.GPUSeconds
+		}
+	}
+	if res.GPUSeconds != delivered {
+		t.Errorf("fleet GPUSeconds %v != sum of per-job delivered %v", res.GPUSeconds, delivered)
+	}
+}
+
+// TestGPUSecondsFaultFreeExactProduct pins degenerate preservation for
+// both metric fixes: without faults the per-job credit is bit-identical
+// to the old GPUs × Runtime product and utilization is bit-identical to
+// the old whole-fleet-for-the-whole-makespan formula, so historical
+// fingerprints stay byte-stable.
+func TestGPUSecondsFaultFreeExactProduct(t *testing.T) {
+	f := testFleet(t, 2, 8, false)
+	res, err := Run(f, testStream(), Options{Policy: DrawerLocal{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.Jobs {
+		if want := float64(j.GPUs) * j.Runtime.Seconds(); j.GPUSeconds != want {
+			t.Errorf("job %d: GPUSeconds %v != exact product %v", j.ID, j.GPUSeconds, want)
+		}
+	}
+	if want := res.GPUSeconds / (float64(res.GPUs) * res.Makespan.Seconds()); res.Utilization != want {
+		t.Errorf("fault-free utilization %v != exact legacy formula %v", res.Utilization, want)
+	}
+}

@@ -15,6 +15,22 @@
 // paper-world baseline. Jobs are served strictly FIFO — the head of the
 // queue blocks until the policy can place it — which keeps the comparison
 // between policies about *placement*, not queue discipline.
+//
+// Fleets scale past one rack: cluster.ComposeFleet can build pods of
+// chassis behind a spine/leaf fabric tier with oversubscribed inter-pod
+// links, and the scheduler is hierarchy-aware end to end — policies score
+// placement distance in tiers (same chassis < same pod < cross-pod),
+// recomposition crosses chassis over each chassis's fabric uplink port,
+// and the fault engine's blast radii extend to whole pods and spine
+// links. A 1024-GPU, 500-job scenario (8 pods × 8 chassis × 16 GPUs)
+// schedules in under a second of wall clock (orchestrator/pod-schedule
+// in internal/perfbench).
+//
+// Accounting is fault-honest: GPUSeconds credits the delivered
+// (checkpointed) work of every attempt, not just the final one, and
+// Utilization divides by the live-capacity integral — capacity lost to a
+// permanent failure stops counting as idle. Fault-free runs reduce to
+// the exact legacy formulas, bit for bit.
 package orchestrator
 
 import (
@@ -164,6 +180,11 @@ const (
 	// EventHostDown/Up: a host machine crashed/recovered.
 	EventHostDown EventKind = "host-down"
 	EventHostUp   EventKind = "host-up"
+	// EventPodDown/Up: an entire pod lost power/recovered — every chassis,
+	// slot, and host under it went with it. Emitted before the per-slot and
+	// per-host cascade, so a probe sees cause before effect.
+	EventPodDown EventKind = "pod-down"
+	EventPodUp   EventKind = "pod-up"
 )
 
 // Event is one orchestrator lifecycle observation, the probe surface
@@ -176,7 +197,12 @@ type Event struct {
 	Job   int // -1 on fault events
 	Host  int // -1 on arrive
 	Slots []falcon.SlotRef
-	Moves int // place only: control-plane moves this placement needed
+	// Indices are the global fleet slot indices matching Slots. SlotRefs
+	// repeat across chassis in a pod fleet, so probes key per-slot state on
+	// these, not on the refs.
+	Indices []int
+	Moves   int // place only: control-plane moves this placement needed
+	Pod     int // pod-down/up only: the pod that lost/regained power
 }
 
 // DefaultAttachLatency is the per-device recomposition cost: the
@@ -212,13 +238,14 @@ type Options struct {
 
 // jobState tracks one job through the queue.
 type jobState struct {
-	spec  JobSpec
-	host  int
-	slots []*cluster.FleetSlot
-	refs  []falcon.SlotRef
-	moves int // cumulative across attempts
-	job   *train.Job
-	res   *train.Result
+	spec    JobSpec
+	host    int
+	slots   []*cluster.FleetSlot
+	refs    []falcon.SlotRef
+	indices []int // global slot indices matching refs
+	moves   int   // cumulative across attempts
+	job     *train.Job
+	res     *train.Result
 
 	arrived, placed, launched, finished time.Duration
 	done                                bool
@@ -230,6 +257,12 @@ type jobState struct {
 	failed     bool   // retry budget exhausted; job abandoned
 	epochsDone int    // checkpointed epochs carried across attempts
 	lostSec    float64
+	// deliveredSec is GPU time that produced checkpointed (kept) progress,
+	// summed over every attempt — killed attempts contribute up to their
+	// last epoch boundary, the final attempt contributes in full. The old
+	// accounting only counted the final attempt, understating delivered
+	// work (and goodput) for every retried job.
+	deliveredSec float64
 }
 
 // scheduler is the event-driven core. Everything runs inside sim callbacks
@@ -250,15 +283,29 @@ type scheduler struct {
 	err     error
 
 	// Fault state (see faults.go). A slot is schedulable only while its
-	// device and drawer are healthy; a host only while it hasn't crashed.
+	// device, drawer, and pod are healthy; a host only while neither it nor
+	// its pod is down.
 	slotFaulty []bool
 	drawerDown []bool
+	podDown    []bool
 	hostDown   []bool
 	slotConfig []int // compose-time owner per slot (-1 on a cold fleet)
 	maxRetries int
 	injector   *faults.Injector
 	track      *telemetry.Track
 	kills      int
+
+	// Live-capacity integral (armed runs only): ∫ live GPUs dt up to
+	// capLastT, advanced by capAccrue before any availability flag flips.
+	// Utilization divides by this instead of fleet GPUs × makespan once
+	// capacity ever dipped, so a permanently failed device stops dragging
+	// the ratio below what the surviving fleet actually delivered.
+	capTracking    bool
+	capGPUSec      float64
+	capLastT       time.Duration
+	capIntAtFinish float64 // integral snapshotted at the last job finish
+	liveSlots      int
+	capEverDown    bool
 
 	// Fragmentation accounting: free-GPU-seconds accumulated while at
 	// least one job waits (capacity exists but the policy cannot use it).
@@ -270,13 +317,15 @@ type scheduler struct {
 	// scoring buffers behind it, and the epoch-stamped duplicate check in
 	// checkPlacement (seenGen bumps instead of clearing; a slot is "seen"
 	// when its stamp matches the current generation).
-	viewSlots []SlotView
-	viewGPUs  []int
-	viewJobs  []int
-	viewUp    []bool
-	pscratch  policyScratch
-	seenSlot  []uint64
-	seenGen   uint64
+	viewSlots       []SlotView
+	viewGPUs        []int
+	viewJobs        []int
+	viewUp          []bool
+	viewHostChassis []int // static: host index → chassis index
+	viewHostPod     []int // static: host index → pod index
+	pscratch        policyScratch
+	seenSlot        []uint64
+	seenGen         uint64
 }
 
 // Run executes the job stream on the fleet to completion and returns the
@@ -314,7 +363,8 @@ func Run(f *cluster.FleetSystem, specs []JobSpec, opts Options) (*FleetResult, e
 		hostGPUs:   make([]int, len(f.Hosts)),
 		hostJobs:   make([]int, len(f.Hosts)),
 		slotFaulty: make([]bool, len(f.Slots)),
-		drawerDown: make([]bool, falcon.NumDrawers),
+		drawerDown: make([]bool, f.NumDrawers()),
+		podDown:    make([]bool, f.NumPods()),
 		hostDown:   make([]bool, len(f.Hosts)),
 		maxRetries: maxRetries,
 		track:      telemetry.NewTrack("faults"),
@@ -426,7 +476,7 @@ func (s *scheduler) checkPlacement(js *jobState, host int, picks []int) error {
 		return fmt.Errorf("orchestrator: policy %s placed job %d on host %d of %d",
 			s.opts.Policy.Name(), js.spec.ID, host, len(s.fleet.Hosts))
 	}
-	if s.hostDown[host] {
+	if !s.hostAvailable(host) {
 		return fmt.Errorf("orchestrator: policy %s placed job %d on crashed host %d",
 			s.opts.Policy.Name(), js.spec.ID, host)
 	}
@@ -463,23 +513,26 @@ func (s *scheduler) place(js *jobState, host int, picks []int) {
 	s.account(now)
 	js.placed = now
 	js.host = host
-	port := s.fleet.Hosts[host].Port
+	h := s.fleet.Hosts[host]
 	moves := 0 // this placement only; js.moves accumulates across attempts
 	for _, i := range picks {
 		slot := s.fleet.Slots[i]
 		s.slotJob[i] = js.spec.ID
 		js.slots = append(js.slots, slot)
 		js.refs = append(js.refs, slot.Ref)
+		js.indices = append(js.indices, i)
 		if s.slotHost[i] == host {
 			continue
 		}
 		// Recomposition: advanced mode re-allocates on the fly; a detached
-		// device attaches, an attached one reassigns in a single step.
+		// device attaches, an attached one reassigns in a single step. The
+		// fleet routes the op through the slot's own chassis, over its local
+		// host port or the pod fabric port for a cross-chassis composition.
 		var err error
 		if s.slotHost[i] == -1 {
-			err = s.fleet.Chassis.Attach(slot.Ref, port)
+			err = s.fleet.AttachSlot(slot, h)
 		} else {
-			err = s.fleet.Chassis.Reassign(slot.Ref, port)
+			err = s.fleet.ReassignSlot(slot, h)
 		}
 		if err != nil {
 			s.err = fmt.Errorf("orchestrator: recomposing %v for job %d: %w", slot.Ref, js.spec.ID, err)
@@ -492,7 +545,7 @@ func (s *scheduler) place(js *jobState, host int, picks []int) {
 	s.recomps += moves
 	s.hostGPUs[host] += js.spec.GPUs
 	s.hostJobs[host]++
-	s.probe(Event{Kind: EventPlace, At: now, Job: js.spec.ID, Host: host, Slots: js.refs, Moves: moves})
+	s.probe(Event{Kind: EventPlace, At: now, Job: js.spec.ID, Host: host, Slots: js.refs, Indices: js.indices, Moves: moves})
 
 	if delay := s.opts.AttachLatency * time.Duration(moves); delay > 0 {
 		s.fleet.Env.After(delay, func() { s.launch(js) })
@@ -543,7 +596,7 @@ func (s *scheduler) launch(js *jobState) {
 		return
 	}
 	js.job = job
-	s.probe(Event{Kind: EventLaunch, At: now, Job: js.spec.ID, Host: js.host, Slots: js.refs})
+	s.probe(Event{Kind: EventLaunch, At: now, Job: js.spec.ID, Host: js.host, Slots: js.refs, Indices: js.indices})
 	s.fleet.Env.Go("fleet.watch.j"+strconv.Itoa(js.spec.ID)+"r"+strconv.Itoa(js.retries), func(p *sim.Proc) {
 		job.Done().Wait(p)
 		s.finish(js, p.Now())
@@ -567,13 +620,20 @@ func (s *scheduler) finish(js *jobState, now time.Duration) {
 		return
 	}
 	js.res = res
+	js.deliveredSec += float64(js.spec.GPUs) * (now - js.launched).Seconds()
 	for _, slot := range js.slots {
 		s.slotJob[slot.Index] = -1
 	}
 	s.hostGPUs[js.host] -= js.spec.GPUs
 	s.hostJobs[js.host]--
 	js.done = true
-	s.probe(Event{Kind: EventFinish, At: now, Job: js.spec.ID, Host: js.host, Slots: js.refs})
+	if s.capTracking {
+		// Snapshot the capacity integral at every finish; the last one wins
+		// and is exactly ∫ live GPUs dt over [0, makespan].
+		s.capAccrue(now)
+		s.capIntAtFinish = s.capGPUSec
+	}
+	s.probe(Event{Kind: EventFinish, At: now, Job: js.spec.ID, Host: js.host, Slots: js.refs, Indices: js.indices})
 	s.trySchedule()
 }
 
@@ -589,30 +649,48 @@ func (s *scheduler) view() View {
 		s.viewGPUs = make([]int, len(s.fleet.Hosts))
 		s.viewJobs = make([]int, len(s.fleet.Hosts))
 		s.viewUp = make([]bool, len(s.fleet.Hosts))
+		s.viewHostChassis = make([]int, len(s.fleet.Hosts))
+		s.viewHostPod = make([]int, len(s.fleet.Hosts))
+		for h, host := range s.fleet.Hosts {
+			s.viewHostChassis[h] = host.ChassisIdx
+			s.viewHostPod[h] = host.Pod
+		}
+	}
+	cpp := s.fleet.Opts.ChassisPerPod
+	if cpp < 1 {
+		cpp = 1
 	}
 	v := View{
-		Hosts:          len(s.fleet.Hosts),
-		Drawers:        falcon.NumDrawers,
-		HostActiveGPUs: s.viewGPUs,
-		HostActiveJobs: s.viewJobs,
-		HostUp:         s.viewUp,
-		Slots:          s.viewSlots,
-		scratch:        &s.pscratch,
+		Hosts:             len(s.fleet.Hosts),
+		Drawers:           s.fleet.NumDrawers(),
+		Pods:              s.fleet.NumPods(),
+		Chassis:           s.fleet.NumChassis(),
+		DrawersPerChassis: falcon.NumDrawers,
+		ChassisPerPod:     cpp,
+		HostActiveGPUs:    s.viewGPUs,
+		HostActiveJobs:    s.viewJobs,
+		HostUp:            s.viewUp,
+		HostChassis:       s.viewHostChassis,
+		HostPod:           s.viewHostPod,
+		Slots:             s.viewSlots,
+		scratch:           &s.pscratch,
 	}
 	copy(v.HostActiveGPUs, s.hostGPUs)
 	copy(v.HostActiveJobs, s.hostJobs)
 	for h := range v.HostUp {
-		v.HostUp[h] = !s.hostDown[h]
+		v.HostUp[h] = s.hostAvailable(h)
 	}
 	for i, slot := range s.fleet.Slots {
 		down := !s.slotAvailable(i)
 		v.Slots[i] = SlotView{
-			Index:  i,
-			Drawer: slot.Drawer,
-			Host:   s.slotHost[i],
-			Free:   s.slotJob[i] == -1 && !down,
-			Down:   down,
-			Config: s.slotConfig[i],
+			Index:   i,
+			Drawer:  slot.Drawer,
+			Chassis: slot.ChassisIdx,
+			Pod:     slot.Pod,
+			Host:    s.slotHost[i],
+			Free:    s.slotJob[i] == -1 && !down,
+			Down:    down,
+			Config:  s.slotConfig[i],
 		}
 	}
 	return v
@@ -629,6 +707,14 @@ func (s *scheduler) result() *FleetResult {
 		Kills:                   s.kills,
 		Track:                   s.track,
 	}
+	if s.fleet.Opts.Hierarchical() {
+		r.Pods = s.fleet.NumPods()
+		r.Chassis = s.fleet.NumChassis()
+		r.Oversubscription = s.fleet.Opts.Oversubscription
+		if r.Oversubscription == 0 {
+			r.Oversubscription = 1
+		}
+	}
 	if s.injector != nil {
 		for _, rec := range s.injector.Records() {
 			if !rec.Up {
@@ -644,14 +730,17 @@ func (s *scheduler) result() *FleetResult {
 			ID: js.spec.ID, Workload: js.spec.Workload,
 			GPUs: js.spec.GPUs, Tenant: js.spec.Tenant, Host: js.host, Moves: js.moves,
 			Slots:   js.refs,
-			Retries: js.retries, EpochsDone: js.epochsDone, LostGPUSeconds: js.lostSec,
+			Retries: js.retries, EpochsDone: js.epochsDone,
+			GPUSeconds: js.deliveredSec, LostGPUSeconds: js.lostSec,
 			Failed: js.failed, FailureCause: js.cause,
 			Train: js.res,
 		}
 		r.LostGPUSeconds += js.lostSec
 		if js.failed {
-			// An abandoned job has no final attempt: only its arrival (and
-			// the lost work above) are meaningful.
+			// An abandoned job has no final attempt: only its arrival, the
+			// lost work above, and any checkpointed-but-wasted delivered
+			// time are meaningful. The fleet aggregate counts none of the
+			// latter — an abandoned checkpoint delivers nothing.
 			jr.Arrival = js.arrived
 			r.FailedJobs++
 			r.Jobs = append(r.Jobs, jr)
@@ -668,13 +757,23 @@ func (s *scheduler) result() *FleetResult {
 		if jr.Wait > r.MaxWait {
 			r.MaxWait = jr.Wait
 		}
-		r.GPUSeconds += float64(jr.GPUs) * jr.Runtime.Seconds()
+		// Delivered GPU time over every attempt, not just the final one: a
+		// retried job's checkpointed epochs were real work its final-attempt
+		// runtime never re-ran.
+		r.GPUSeconds += jr.GPUSeconds
 	}
 	if completed > 0 {
 		r.MeanWait = r.TotalWait / time.Duration(completed)
 	}
 	if r.Makespan > 0 {
-		r.Utilization = r.GPUSeconds / (float64(r.GPUs) * r.Makespan.Seconds())
+		denom := float64(r.GPUs) * r.Makespan.Seconds()
+		if s.capEverDown && s.capIntAtFinish > 0 {
+			// Capacity dipped during the run: divide by the GPU time that
+			// actually existed, so a permanent device failure shrinks the
+			// denominator instead of reading as scheduler idleness.
+			denom = s.capIntAtFinish
+		}
+		r.Utilization = r.GPUSeconds / denom
 		r.Goodput = r.GPUSeconds / r.Makespan.Seconds()
 	}
 	return r

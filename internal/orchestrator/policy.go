@@ -8,14 +8,30 @@ import (
 // View is the scheduler state a Policy decides over. It is a snapshot; a
 // policy must not retain it across calls.
 type View struct {
-	Hosts   int
+	Hosts int
+	// Drawers is the fleet-global drawer index space (chassis ×
+	// falcon.NumDrawers in a pod fleet).
 	Drawers int
-	// Slots in chassis slot order.
+	// Pods / Chassis are the hierarchy extents (both 1 in the degenerate
+	// single-chassis shape, or on a hand-built View that leaves them 0).
+	Pods    int
+	Chassis int
+	// DrawersPerChassis and ChassisPerPod map a global drawer index back
+	// to its chassis and pod (zero on hand-built flat Views).
+	DrawersPerChassis int
+	ChassisPerPod     int
+	// Slots in fleet slot order. The order is drawer-contiguous: every
+	// drawer's slots form one consecutive range, which the locality
+	// policies exploit.
 	Slots []SlotView
 	// HostActiveGPUs / HostActiveJobs count currently assigned (placed or
 	// running) resources per host.
 	HostActiveGPUs []int
 	HostActiveJobs []int
+	// HostChassis / HostPod locate each host in the hierarchy. Nil on
+	// hand-built flat Views (everything co-located).
+	HostChassis []int
+	HostPod     []int
 	// HostUp marks hosts that have not crashed. Nil (a fault-free
 	// scheduler build) means every host is up.
 	HostUp []bool
@@ -32,11 +48,12 @@ type View struct {
 // call; the picks returned to the scheduler are consumed before the next
 // call overwrites them.
 type policyScratch struct {
-	picks []int      // returned picks (FirstFit, Static, BandwidthAware)
-	best  []int      // DrawerLocal: best single-drawer picks so far
-	cands []SlotView // candidate slots being ranked
-	taken []bool     // BandwidthAware: slots already picked this placement
-	load  []int      // BandwidthAware: per-drawer active-device counts
+	picks  []int      // returned picks (FirstFit, Static, BandwidthAware)
+	best   []int      // DrawerLocal: best single-drawer picks so far
+	cands  []SlotView // candidate slots being ranked
+	taken  []bool     // BandwidthAware: slots already picked this placement
+	load   []int      // BandwidthAware: per-drawer active-device counts
+	dstart []int      // BandwidthAware: per-drawer slot range offsets
 }
 
 // pickBuf returns a zero-length int buffer with at least the given
@@ -56,10 +73,60 @@ func (v View) pickBuf(n int) []int {
 // hostUp reports whether host h is schedulable.
 func (v View) hostUp(h int) bool { return v.HostUp == nil || v.HostUp[h] }
 
+// hostChassis / hostPod locate a host; hand-built Views without the
+// arrays are flat (everything co-located).
+func (v View) hostChassis(h int) int {
+	if v.HostChassis == nil {
+		return 0
+	}
+	return v.HostChassis[h]
+}
+
+func (v View) hostPod(h int) int {
+	if v.HostPod == nil {
+		return 0
+	}
+	return v.HostPod[h]
+}
+
+// drawerChassis / drawerPod map a global drawer index to its place in the
+// hierarchy (identity-flat when the mapping fields are unset).
+func (v View) drawerChassis(d int) int {
+	if v.DrawersPerChassis <= 0 {
+		return 0
+	}
+	return d / v.DrawersPerChassis
+}
+
+func (v View) drawerPod(d int) int {
+	if v.ChassisPerPod <= 0 {
+		return 0
+	}
+	return v.drawerChassis(d) / v.ChassisPerPod
+}
+
+// distTier ranks fabric distance from a host's adapter: 0 same chassis
+// (drawer-switch hops only), 1 same pod (through the leaf switch), 2
+// cross-pod (through the oversubscribed spine). In the degenerate
+// single-chassis shape every tier is 0 and distance never discriminates.
+func distTier(chassis, pod, hostChassis, hostPod int) int {
+	if chassis == hostChassis {
+		return 0
+	}
+	if pod == hostPod {
+		return 1
+	}
+	return 2
+}
+
 // SlotView is one GPU slot as a policy sees it.
 type SlotView struct {
 	Index  int
-	Drawer int
+	Drawer int // fleet-global drawer index
+	// Pod and Chassis locate the slot in the hierarchy (zero in the
+	// degenerate shape and on hand-built flat Views).
+	Pod     int
+	Chassis int
 	// Host the slot is currently attached to (-1 detached). A free slot
 	// attached to another host can be taken, at the cost of one
 	// recomposition move.
@@ -146,6 +213,31 @@ func sortSlotsByRank(cands []SlotView, host int) {
 		for j >= 0 {
 			rj := attachRank(cands[j], host)
 			if rj < rc || (rj == rc && cands[j].Index < c.Index) {
+				break
+			}
+			cands[j+1] = cands[j]
+			j--
+		}
+		cands[j+1] = c
+	}
+}
+
+// sortSlotsByRankDist extends sortSlotsByRank's key with the fabric
+// distance tier between attach rank and index: (rank, distance, index).
+// On a flat View distance never differs and the order matches
+// sortSlotsByRank exactly.
+//
+//perf:hot
+func sortSlotsByRankDist(cands []SlotView, host, hostChassis, hostPod int) {
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		rc := attachRank(c, host)
+		dc := distTier(c.Chassis, c.Pod, hostChassis, hostPod)
+		j := i - 1
+		for j >= 0 {
+			rj := attachRank(cands[j], host)
+			dj := distTier(cands[j].Chassis, cands[j].Pod, hostChassis, hostPod)
+			if rj < rc || (rj == rc && (dj < dc || (dj == dc && cands[j].Index < c.Index))) {
 				break
 			}
 			cands[j+1] = cands[j]
@@ -267,31 +359,42 @@ func (DrawerLocal) Place(v View, r Request) (int, []int, bool) {
 	if sc := v.scratch; sc != nil {
 		cands, best = sc.cands[:0], sc.best[:0]
 	}
-	// Single-drawer placements first: among drawers that fit the whole
-	// job, take the one whose best slots need the fewest moves (tie: lower
-	// drawer index).
-	bestMoves := -1
-	for d := 0; d < v.Drawers; d++ {
-		cands = cands[:0]
-		for _, s := range v.Slots {
-			if s.Free && s.Drawer == d {
-				cands = append(cands, s)
-			}
+	hc, hp := v.hostChassis(host), v.hostPod(host)
+	// Free slots in fleet order: every drawer's free slots form one
+	// contiguous run, so one pass groups them without a per-drawer rescan
+	// (the old Drawers × Slots loop was quadratic at pod-fleet scale).
+	for _, s := range v.Slots {
+		if s.Free {
+			cands = append(cands, s)
 		}
-		if len(cands) < r.GPUs {
+	}
+	// Single-drawer placements first: among drawers that fit the whole
+	// job, take the one whose best slots need the fewest moves (ties:
+	// closer to the host, then lower drawer index; in the degenerate
+	// shape distance never differs and moves alone decide, as before).
+	bestMoves, bestTier := -1, 0
+	for start := 0; start < len(cands); {
+		end := start + 1
+		for end < len(cands) && cands[end].Drawer == cands[start].Drawer {
+			end++
+		}
+		run := cands[start:end]
+		start = end
+		if len(run) < r.GPUs {
 			continue
 		}
-		sortSlotsByRank(cands, host)
+		sortSlotsByRank(run, host)
 		moves := 0
-		for _, c := range cands[:r.GPUs] {
+		for _, c := range run[:r.GPUs] {
 			if c.Host != host {
 				moves++
 			}
 		}
-		if bestMoves == -1 || moves < bestMoves {
-			bestMoves = moves
+		tier := distTier(run[0].Chassis, run[0].Pod, hc, hp)
+		if bestMoves == -1 || moves < bestMoves || (moves == bestMoves && tier < bestTier) {
+			bestMoves, bestTier = moves, tier
 			best = best[:0]
-			for _, c := range cands[:r.GPUs] {
+			for _, c := range run[:r.GPUs] {
 				best = append(best, c.Index)
 			}
 		}
@@ -302,14 +405,14 @@ func (DrawerLocal) Place(v View, r Request) (int, []int, bool) {
 	if bestMoves != -1 {
 		return host, best, true
 	}
-	// No drawer fits alone: span drawers, still minimizing moves.
+	// No drawer fits alone: span drawers, minimizing moves then distance.
 	cands = cands[:0]
 	for _, s := range v.Slots {
 		if s.Free {
 			cands = append(cands, s)
 		}
 	}
-	sortSlotsByRank(cands, host)
+	sortSlotsByRankDist(cands, host, hc, hp)
 	picks := v.pickBuf(r.GPUs)
 	for _, c := range cands[:r.GPUs] {
 		picks = append(picks, c.Index)
@@ -345,6 +448,7 @@ func (BandwidthAware) Place(v View, r Request) (int, []int, bool) {
 	// old map.
 	var load []int
 	var taken []bool
+	var dstart []int
 	if sc := v.scratch; sc != nil {
 		if cap(sc.load) < v.Drawers {
 			sc.load = make([]int, v.Drawers)
@@ -360,29 +464,57 @@ func (BandwidthAware) Place(v View, r Request) (int, []int, bool) {
 		for i := range taken {
 			taken[i] = false
 		}
+		if cap(sc.dstart) < v.Drawers+1 {
+			sc.dstart = make([]int, v.Drawers+1)
+		}
+		dstart = sc.dstart[:v.Drawers+1]
 	} else {
 		//lint:allow hotalloc(fallback for hand-built Views without scratch)
 		load = make([]int, v.Drawers)
 		//lint:allow hotalloc(fallback for hand-built Views without scratch)
 		taken = make([]bool, len(v.Slots))
+		//lint:allow hotalloc(fallback for hand-built Views without scratch)
+		dstart = make([]int, v.Drawers+1)
 	}
-	for _, s := range v.Slots {
+	// One pass builds per-drawer load and slot-range offsets: Slots come in
+	// drawer-contiguous fleet order, so drawer d spans dstart[d]..dstart[d+1]
+	// and the pick loop below never rescans the whole fleet per drawer.
+	di := 0
+	dstart[0] = 0
+	for i, s := range v.Slots {
 		if !s.Free {
 			load[s.Drawer]++
 		}
+		for di < s.Drawer {
+			di++
+			dstart[di] = i
+		}
 	}
+	for di < v.Drawers {
+		di++
+		dstart[di] = len(v.Slots)
+	}
+	hc, hp := v.hostChassis(host), v.hostPod(host)
 	picks := v.pickBuf(r.GPUs)
 	for len(picks) < r.GPUs {
-		// Least-loaded drawer that still has a free, untaken slot.
-		bestDrawer, bestSlot := -1, -1
+		// Closest, then least-loaded drawer that still has a free, untaken
+		// slot: spreading across drawer switches is only a bandwidth win
+		// while the slots stay under the host's leaf — crossing the
+		// oversubscribed spine costs more than sharing a switch. In the
+		// degenerate shape every drawer is tier 0 and load alone decides,
+		// exactly as before.
+		bestDrawer, bestSlot, bestTier := -1, -1, 0
 		for d := 0; d < v.Drawers; d++ {
-			if bestDrawer != -1 && load[d] >= load[bestDrawer] {
-				continue
+			tier := distTier(v.drawerChassis(d), v.drawerPod(d), hc, hp)
+			if bestDrawer != -1 {
+				if tier > bestTier || (tier == bestTier && load[d] >= load[bestDrawer]) {
+					continue
+				}
 			}
 			slot := -1
 			bestRank := 0
-			for _, s := range v.Slots {
-				if !s.Free || s.Drawer != d || taken[s.Index] {
+			for _, s := range v.Slots[dstart[d]:dstart[d+1]] {
+				if !s.Free || taken[s.Index] {
 					continue
 				}
 				if rank := attachRank(s, host); slot == -1 || rank < bestRank {
@@ -390,7 +522,7 @@ func (BandwidthAware) Place(v View, r Request) (int, []int, bool) {
 				}
 			}
 			if slot != -1 {
-				bestDrawer, bestSlot = d, slot
+				bestDrawer, bestSlot, bestTier = d, slot, tier
 			}
 		}
 		picks = append(picks, bestSlot)

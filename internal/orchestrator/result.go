@@ -30,10 +30,14 @@ type JobResult struct {
 
 	// Fault recovery telemetry.
 	// Retries counts attempts a fault killed; EpochsDone is the progress
-	// checkpoints carried between them; LostGPUSeconds is GPU time spent
-	// past the last checkpoint of killed attempts (work re-done).
+	// checkpoints carried between them; GPUSeconds is delivered (kept) GPU
+	// time summed over every attempt — killed attempts up to their last
+	// epoch-boundary checkpoint, the final attempt in full; LostGPUSeconds
+	// is GPU time spent past the last checkpoint of killed attempts (work
+	// re-done). Delivered + lost = GPUs × total attempt time.
 	Retries        int
 	EpochsDone     int
+	GPUSeconds     float64
 	LostGPUSeconds float64
 	// Failed marks a job abandoned after its retry budget; FailureCause
 	// is the last fault that killed it.
@@ -50,16 +54,30 @@ type FleetResult struct {
 	GPUs   int
 	Jobs   []JobResult // in stream (ID) order
 
+	// Hierarchical shape (all zero on a degenerate single-chassis fleet):
+	// Pods × Chassis chassis behind a spine, with each pod's uplink
+	// provisioned at 1/Oversubscription of its aggregate leaf bandwidth.
+	Pods             int
+	Chassis          int
+	Oversubscription float64
+
 	// Makespan is the finish time of the last job.
 	Makespan time.Duration
 	// Wait aggregates over jobs.
 	TotalWait, MaxWait, MeanWait time.Duration
 	// Recompositions counts every control-plane device move.
 	Recompositions int
-	// GPUSeconds is Σ completed jobs (GPUs × final runtime): delivered
-	// GPU time (killed attempts are in LostGPUSeconds, not here).
+	// GPUSeconds is Σ completed jobs' delivered GPU time over every
+	// attempt: killed attempts count up to their last epoch-boundary
+	// checkpoint (work that was kept), the final attempt in full. Work past
+	// a checkpoint is in LostGPUSeconds, not here; abandoned jobs
+	// contribute nothing.
 	GPUSeconds float64
-	// Utilization is GPUSeconds / (fleet GPUs × makespan).
+	// Utilization is GPUSeconds over the GPU time that actually existed:
+	// fleet GPUs × makespan on a fault-free run, the live-capacity integral
+	// ∫ live GPUs dt once any device, drawer, or pod went down — a
+	// permanently failed GPU shrinks the denominator instead of reading as
+	// scheduler idleness.
 	Utilization float64
 	// FragmentationGPUSeconds integrates free GPUs over the time at least
 	// one job was waiting: capacity that existed but the policy could not
@@ -91,7 +109,14 @@ type FleetResult struct {
 // bit-identical — the fleet sweep's run-twice check diffs these strings.
 func (r *FleetResult) Fingerprint() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "policy=%s hosts=%d gpus=%d jobs=%d\n", r.Policy, r.Hosts, r.GPUs, len(r.Jobs))
+	fmt.Fprintf(&b, "policy=%s hosts=%d gpus=%d jobs=%d", r.Policy, r.Hosts, r.GPUs, len(r.Jobs))
+	if r.Chassis != 0 {
+		// Rendered only for hierarchical fleets, so degenerate fingerprints
+		// stay byte-identical across the topology generations.
+		fmt.Fprintf(&b, " pods=%d chassis=%d oversub=%s",
+			r.Pods, r.Chassis, strconv.FormatFloat(r.Oversubscription, 'g', -1, 64))
+	}
+	b.WriteByte('\n')
 	for _, j := range r.Jobs {
 		fmt.Fprintf(&b, "job id=%d wl=%s g=%d tenant=%d host=%d moves=%d slots=", j.ID, j.Workload, j.GPUs, j.Tenant, j.Host, j.Moves)
 		for i, ref := range j.Slots {
@@ -103,6 +128,12 @@ func (r *FleetResult) Fingerprint() string {
 		fmt.Fprintf(&b, " arr=%d placed=%d launch=%d fin=%d", int64(j.Arrival), int64(j.Placed), int64(j.Launched), int64(j.Finished))
 		fmt.Fprintf(&b, " retries=%d edone=%d failed=%t lost=%s",
 			j.Retries, j.EpochsDone, j.Failed, strconv.FormatFloat(j.LostGPUSeconds, 'g', -1, 64))
+		if j.Retries > 0 {
+			// Per-attempt delivered time differs from GPUs × final runtime
+			// only once a retry happened; rendering it conditionally keeps
+			// every fault-free job line byte-identical to prior generations.
+			fmt.Fprintf(&b, " gpuSec=%s", strconv.FormatFloat(j.GPUSeconds, 'g', -1, 64))
+		}
 		if j.Train != nil {
 			fmt.Fprintf(&b, " total=%d avgIter=%d peak=%d", int64(j.Train.TotalTime), int64(j.Train.AvgIter), int64(j.Train.PeakGPUMem))
 		}

@@ -91,6 +91,7 @@ func Suite() []Benchmark {
 		{"sim/same-instant-fifo", BenchSimSameInstantFIFO},
 		{"fabric/flow-churn-contended", BenchFabricFlowChurnContended},
 		{"orchestrator/fleet-schedule", BenchOrchestratorFleetSchedule},
+		{"orchestrator/pod-schedule", BenchOrchestratorPodSchedule},
 		{"faults/recover-reschedule", BenchFaultsRecoverReschedule},
 		{"suite/run-all-sequential", BenchSuiteRunAllSequential},
 		{"lint/simlint-full-repo", BenchSimlintFullRepo},
@@ -411,6 +412,64 @@ func BenchOrchestratorFleetSchedule(b *testing.B) {
 		}
 		if len(res.Jobs) != len(stream) {
 			b.Fatal("incomplete fleet run")
+		}
+	}
+	b.ReportMetric(float64(b.N*len(stream))/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// PodBenchStream is the datacenter-scale workload behind
+// orchestrator/pod-schedule: 500 jobs from 128 tenants, mostly
+// chassis-sized (2/4/6 GPUs) with every fiftieth spanning two chassis
+// (20 GPUs), arriving in 100 waves. Deterministic by construction.
+func PodBenchStream() []orchestrator.JobSpec {
+	workloads := []string{"ResNet-50", "BERT", "MobileNetV2"}
+	jobs := make([]orchestrator.JobSpec, 500)
+	for i := range jobs {
+		gpus := 2 + (i%3)*2
+		if i%50 == 0 {
+			gpus = 20
+		}
+		jobs[i] = orchestrator.JobSpec{
+			Arrival:  time.Duration(i%100) * 50 * time.Millisecond,
+			Tenant:   i % 128,
+			GPUs:     gpus,
+			Workload: workloads[i%3],
+			Epochs:   1, ItersPerEpoch: 1,
+		}
+	}
+	return jobs
+}
+
+// PodFleetOptions is the orchestrator/pod-schedule testbed: 8 pods × 8
+// chassis × 16 GPUs (1024 GPUs, 128 hosts) behind a 4:1 oversubscribed
+// spine — the ISSUE's 1000-GPU datacenter shape.
+func PodFleetOptions() cluster.FleetOptions {
+	return cluster.FleetOptions{
+		Hosts: 2, GPUs: 16, Pods: 8, ChassisPerPod: 8, Oversubscription: 4,
+	}
+}
+
+// BenchOrchestratorPodSchedule measures datacenter-scale scheduling: one
+// op composes the 1024-GPU pod fleet and drives the full 500-job stream
+// through the drawer-local policy — composition, spine/leaf fabric,
+// hierarchy-aware placement, cross-chassis recomposition, training,
+// teardown. This is the entry the <10 s acceptance bound and the CI
+// bench gate watch.
+func BenchOrchestratorPodSchedule(b *testing.B) {
+	stream := PodBenchStream()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		fleet, err := cluster.ComposeFleet(env, PodFleetOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := orchestrator.Run(fleet, stream, orchestrator.Options{Policy: orchestrator.DrawerLocal{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Jobs) != len(stream) || res.FailedJobs != 0 {
+			b.Fatalf("incomplete pod fleet run: %d results, %d failed", len(res.Jobs), res.FailedJobs)
 		}
 	}
 	b.ReportMetric(float64(b.N*len(stream))/b.Elapsed().Seconds(), "jobs/s")

@@ -1,0 +1,43 @@
+package perfbench
+
+import (
+	"testing"
+	"time"
+
+	"composable/internal/cluster"
+	"composable/internal/orchestrator"
+	"composable/internal/sim"
+)
+
+// TestPodScheduleUnderTenSeconds is the ISSUE 8 acceptance bound: the
+// 1024-GPU, 500-job pod scenario must schedule end to end in under 10
+// seconds of wall clock. It runs the exact workload and fleet shape of
+// the orchestrator/pod-schedule suite entry once, un-benchmarked.
+func TestPodScheduleUnderTenSeconds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bound skipped in -short mode")
+	}
+	stream := PodBenchStream()
+	start := time.Now()
+	env := sim.NewEnv()
+	fleet, err := cluster.ComposeFleet(env, PodFleetOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fleet.Slots); got != 1024 {
+		t.Fatalf("pod fleet has %d GPUs, want 1024", got)
+	}
+	res, err := orchestrator.Run(fleet, stream, orchestrator.Options{Policy: orchestrator.DrawerLocal{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if len(res.Jobs) != len(stream) || res.FailedJobs != 0 {
+		t.Fatalf("incomplete pod run: %d results, %d failed", len(res.Jobs), res.FailedJobs)
+	}
+	if elapsed >= 10*time.Second {
+		t.Errorf("1024-GPU / 500-job schedule took %v, bound is 10s", elapsed)
+	}
+	t.Logf("scheduled %d jobs on %d GPUs in %v (sim makespan %v, %d recompositions)",
+		len(res.Jobs), len(fleet.Slots), elapsed, res.Makespan, res.Recompositions)
+}

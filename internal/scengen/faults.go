@@ -48,11 +48,18 @@ func faultBounds(fleet FleetScenario) faults.Bounds {
 		}
 	}
 	b := faults.Bounds{
-		Slots:            fleet.GPUs,
+		Slots:            fleet.TotalGPUs(),
 		SlotsPerDrawer:   falcon.SlotsPerDrawer,
-		Hosts:            fleet.Hosts,
+		Hosts:            fleet.TotalHosts(),
 		Horizon:          faultHorizon,
-		MaxPermanentGPUs: fleet.GPUs - maxDemand,
+		MaxPermanentGPUs: fleet.TotalGPUs() - maxDemand,
+	}
+	if fleet.podShaped() {
+		// Pod fleets span the global drawer space and draw the two
+		// pod-scoped kinds; the degenerate derivation stays untouched so
+		// old seeds keep their plans.
+		b.Drawers = fleet.chassisCount() * falcon.NumDrawers
+		b.Pods = fleet.Pods
 	}
 	if b.MaxPermanentGPUs < 0 {
 		b.MaxPermanentGPUs = 0
@@ -104,9 +111,7 @@ func SanitizeFaults(sc FaultScenario) FaultScenario {
 // determinism tier extends to faulty runs.
 func RunFaultyFleet(sc FaultScenario) (*FleetOutcome, error) {
 	env := sim.NewEnv()
-	f, err := cluster.ComposeFleet(env, cluster.FleetOptions{
-		Hosts: sc.Fleet.Hosts, GPUs: sc.Fleet.GPUs, Preattach: sc.Fleet.Preattach,
-	})
+	f, err := cluster.ComposeFleet(env, sc.Fleet.fleetOptions())
 	if err != nil {
 		return nil, fmt.Errorf("scengen: compose %s: %w", sc.ID(), err)
 	}
@@ -117,7 +122,7 @@ func RunFaultyFleet(sc FaultScenario) (*FleetOutcome, error) {
 	inv := invariant.New()
 	inv.WatchEnv(env)
 	inv.WatchNetwork(f.Net)
-	inv.WatchChassis(f.Chassis)
+	inv.WatchFleet(f)
 	res, err := orchestrator.Run(f, sc.Fleet.Jobs, orchestrator.Options{
 		Policy:        pol,
 		AttachLatency: sc.Fleet.AttachLatency,

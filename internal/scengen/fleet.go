@@ -24,11 +24,19 @@ type FleetScenario struct {
 	// Seed records provenance; it does not affect execution.
 	Seed int64
 
-	Hosts int // host machines cabled to the chassis, 1..3
-	GPUs  int // chassis GPU inventory, 2..16
+	Hosts int // host machines cabled to each chassis, 1..3 (1..2 pod-shaped)
+	GPUs  int // per-chassis GPU inventory, 2..16
 	// Preattach partitions the GPUs round-robin across hosts at compose
 	// time. Always true for the static policy (its whole premise).
 	Preattach bool
+
+	// Pod shape (both zero = the degenerate single-chassis testbed):
+	// Pods pods of ChassisPerPod chassis behind a spine, the pod uplinks
+	// oversubscribed Oversubscription:1. PodFleetFromSeed draws these;
+	// FleetFromSeed never does, so its seed → scenario map is unchanged.
+	Pods             int
+	ChassisPerPod    int
+	Oversubscription float64
 	// Policy is an orchestrator policy name.
 	Policy string
 	// AttachLatency is the per-device recomposition cost, with the same
@@ -37,6 +45,31 @@ type FleetScenario struct {
 	AttachLatency time.Duration
 
 	Jobs []orchestrator.JobSpec
+}
+
+// podShaped reports whether the scenario selects the hierarchical fleet.
+func (sc FleetScenario) podShaped() bool { return sc.Pods != 0 || sc.ChassisPerPod != 0 }
+
+// chassisCount returns the number of chassis the scenario composes.
+func (sc FleetScenario) chassisCount() int {
+	if !sc.podShaped() {
+		return 1
+	}
+	return sc.Pods * sc.ChassisPerPod
+}
+
+// TotalGPUs returns the fleet-wide GPU inventory (GPUs is per chassis).
+func (sc FleetScenario) TotalGPUs() int { return sc.GPUs * sc.chassisCount() }
+
+// TotalHosts returns the fleet-wide host count (Hosts is per chassis).
+func (sc FleetScenario) TotalHosts() int { return sc.Hosts * sc.chassisCount() }
+
+// fleetOptions maps the scenario onto cluster compose options.
+func (sc FleetScenario) fleetOptions() cluster.FleetOptions {
+	return cluster.FleetOptions{
+		Hosts: sc.Hosts, GPUs: sc.GPUs, Preattach: sc.Preattach,
+		Pods: sc.Pods, ChassisPerPod: sc.ChassisPerPod, Oversubscription: sc.Oversubscription,
+	}
 }
 
 // Fleet generation bounds. Job streams are kept short and cheap: the
@@ -99,7 +132,22 @@ func FleetFromSeed(seed int64) FleetScenario {
 // per-tenant demands that fit its share, and every job spec sanitized.
 // It is idempotent.
 func SanitizeFleet(sc FleetScenario) FleetScenario {
-	sc.Hosts = clamp(sc.Hosts, 1, 3)
+	if sc.podShaped() {
+		// Sweep-sized pod fleets: big enough for cross-pod placement to
+		// happen, small enough that a 100-seed run-twice sweep stays cheap.
+		sc.Pods = clamp(sc.Pods, 1, 4)
+		sc.ChassisPerPod = clamp(sc.ChassisPerPod, 1, 3)
+		sc.Hosts = clamp(sc.Hosts, 1, 2) // the fabric port takes the third slot
+		switch {
+		case sc.Oversubscription < 1:
+			sc.Oversubscription = 1
+		case sc.Oversubscription > 16:
+			sc.Oversubscription = 16
+		}
+	} else {
+		sc.Hosts = clamp(sc.Hosts, 1, 3)
+		sc.Oversubscription = 0
+	}
 	sc.GPUs = clamp(sc.GPUs, 2, 16)
 	if _, err := orchestrator.PolicyByName(sc.Policy); err != nil {
 		sc.Policy = "drawer"
@@ -124,13 +172,13 @@ func SanitizeFleet(sc FleetScenario) FleetScenario {
 		sc.Jobs = sc.Jobs[:fleetMaxJobs]
 	}
 	for i := range sc.Jobs {
-		j := sc.Jobs[i].Sanitize(sc.GPUs, sc.Hosts, gpu.TeslaV100PCIe)
+		j := sc.Jobs[i].Sanitize(sc.TotalGPUs(), sc.TotalHosts(), gpu.TeslaV100PCIe)
 		j.ItersPerEpoch = clamp(j.ItersPerEpoch, 1, fleetMaxIters)
 		j.Epochs = 1
 		if sc.Policy == "static" {
-			// Round-robin preattach gives tenant t every slot i with
-			// i%hosts == t.
-			share := (sc.GPUs + sc.Hosts - 1 - j.Tenant) / sc.Hosts
+			// Round-robin preattach stripes within each chassis: the tenant
+			// with local index l owns every chassis slot i with i%hosts == l.
+			share := (sc.GPUs + sc.Hosts - 1 - j.Tenant%sc.Hosts) / sc.Hosts
 			if j.GPUs > share {
 				j.GPUs = share
 			}
@@ -140,10 +188,64 @@ func SanitizeFleet(sc FleetScenario) FleetScenario {
 	return sc
 }
 
+// PodFleetFromSeed derives one valid pod-shaped fleet scenario from a
+// seed: a hierarchical fleet of 2–3 pods, with jobs sized so that some
+// placements are forced across chassis and pods. Equal seeds yield equal
+// scenarios; the draw stream is independent of FleetFromSeed's.
+func PodFleetFromSeed(seed int64) FleetScenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := FleetScenario{Seed: seed}
+	sc.Pods = 2 + rng.Intn(2)          // 2..3
+	sc.ChassisPerPod = 1 + rng.Intn(2) // 1..2
+	sc.Hosts = 1 + rng.Intn(2)         // 1..2 per chassis
+	sc.GPUs = 4 + rng.Intn(5)          // 4..8 per chassis
+	sc.Oversubscription = []float64{1, 2, 4, 8}[rng.Intn(4)]
+	sc.Policy = []string{"firstfit", "drawer", "drawer", "bandwidth", "static"}[rng.Intn(5)]
+	sc.Preattach = rng.Intn(2) == 1
+	sc.AttachLatency = time.Duration(200+rng.Intn(1800)) * time.Millisecond
+
+	bench := dlmodel.Benchmarks()
+	n := 3 + rng.Intn(fleetMaxJobs-2)
+	var arrival time.Duration
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			arrival += time.Duration(rng.Intn(4000)) * time.Millisecond
+		}
+		j := orchestrator.JobSpec{
+			Arrival:  arrival,
+			Tenant:   rng.Intn(sc.Hosts * sc.Pods * sc.ChassisPerPod),
+			GPUs:     2 + rng.Intn(2*sc.GPUs), // some demands overflow one chassis
+			Workload: bench[rng.Intn(len(bench))].Name,
+		}
+		if rng.Intn(5) == 0 {
+			j.Strategy = train.DP
+		} else {
+			j.Strategy = train.DDP
+		}
+		if rng.Intn(3) == 0 {
+			j.Precision = gpu.FP32
+		} else {
+			j.Precision = gpu.FP16
+		}
+		j.Sharded = rng.Intn(6) == 0
+		if rng.Intn(2) == 1 {
+			j.BatchPerGPU = 1 + rng.Intn(64)
+		}
+		j.Epochs = 1
+		j.ItersPerEpoch = 2 + rng.Intn(fleetMaxIters-1)
+		sc.Jobs = append(sc.Jobs, j)
+	}
+	return SanitizeFleet(sc)
+}
+
 // ID is a compact, deterministic label for the scenario.
 func (sc FleetScenario) ID() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "fleet-h%dg%d-%s", sc.Hosts, sc.GPUs, sc.Policy)
+	b.WriteString("fleet-")
+	if sc.podShaped() {
+		fmt.Fprintf(&b, "p%dx%do%g-", sc.Pods, sc.ChassisPerPod, sc.Oversubscription)
+	}
+	fmt.Fprintf(&b, "h%dg%d-%s", sc.Hosts, sc.GPUs, sc.Policy)
 	if sc.Preattach {
 		b.WriteString("-pre")
 	}
@@ -183,9 +285,7 @@ func (o *FleetOutcome) Err() error { return o.Inv.Err() }
 // FleetOutcome.
 func RunFleet(sc FleetScenario) (*FleetOutcome, error) {
 	env := sim.NewEnv()
-	f, err := cluster.ComposeFleet(env, cluster.FleetOptions{
-		Hosts: sc.Hosts, GPUs: sc.GPUs, Preattach: sc.Preattach,
-	})
+	f, err := cluster.ComposeFleet(env, sc.fleetOptions())
 	if err != nil {
 		return nil, fmt.Errorf("scengen: compose %s: %w", sc.ID(), err)
 	}
@@ -196,7 +296,7 @@ func RunFleet(sc FleetScenario) (*FleetOutcome, error) {
 	inv := invariant.New()
 	inv.WatchEnv(env)
 	inv.WatchNetwork(f.Net)
-	inv.WatchChassis(f.Chassis)
+	inv.WatchFleet(f)
 	res, err := orchestrator.Run(f, sc.Jobs, orchestrator.Options{
 		Policy:        pol,
 		AttachLatency: sc.AttachLatency, // same 0=default/negative=free convention

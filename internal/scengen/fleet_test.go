@@ -92,6 +92,106 @@ func TestFleetScenarioSweep(t *testing.T) {
 	wg.Wait()
 }
 
+// podSweepParams reads the pod sweep shape from the environment (CI pins
+// the seed and bounds the count via POD_SWEEP_SEED / POD_SWEEP_N).
+func podSweepParams(t *testing.T) (base int64, n int) {
+	base, n = 1, 100
+	if s := os.Getenv("POD_SWEEP_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("POD_SWEEP_SEED: %v", err)
+		}
+		base = v
+	}
+	if s := os.Getenv("POD_SWEEP_N"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			t.Fatalf("POD_SWEEP_N: bad value %q", s)
+		}
+		n = v
+	}
+	return base, n
+}
+
+// TestPodScenarioSweep extends the run-twice determinism tier to
+// hierarchical fleets: N seeded pod-shaped scenarios (multi-chassis,
+// spine/leaf, oversubscribed uplinks, cross-chassis recomposition), each
+// run twice with the full invariant probe set; the fingerprints must be
+// byte-identical.
+func TestPodScenarioSweep(t *testing.T) {
+	base, n := podSweepParams(t)
+
+	seeds := make(chan int64)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var mu sync.Mutex
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Errorf(format, args...)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seeds {
+				sc := PodFleetFromSeed(seed)
+				first, err := RunFleet(sc)
+				if err != nil {
+					fail("seed %d (%s): %v", seed, sc.ID(), err)
+					continue
+				}
+				if err := first.Err(); err != nil {
+					fail("seed %d (%s): %v", seed, sc.ID(), err)
+					continue
+				}
+				second, err := RunFleet(sc)
+				if err != nil {
+					fail("seed %d (%s): repeat: %v", seed, sc.ID(), err)
+					continue
+				}
+				if err := second.Err(); err != nil {
+					fail("seed %d (%s): repeat: %v", seed, sc.ID(), err)
+					continue
+				}
+				if first.Fingerprint != second.Fingerprint {
+					fail("seed %d (%s): two in-process pod fleet runs diverged:\n--- first\n%s--- second\n%s",
+						seed, sc.ID(), first.Fingerprint, second.Fingerprint)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		seeds <- base + int64(i)
+	}
+	close(seeds)
+	wg.Wait()
+}
+
+func TestPodFleetFromSeedDeterministic(t *testing.T) {
+	crossChassis := false
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := PodFleetFromSeed(seed), PodFleetFromSeed(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: PodFleetFromSeed not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+		if !a.podShaped() || a.TotalGPUs() != a.GPUs*a.Pods*a.ChassisPerPod {
+			t.Fatalf("seed %d: not pod-shaped: %+v", seed, a)
+		}
+		for _, j := range a.Jobs {
+			if j.GPUs > a.GPUs {
+				crossChassis = true // demand larger than one chassis
+			}
+		}
+	}
+	if !crossChassis {
+		t.Error("no generated job ever overflows a single chassis; the sweep never exercises cross-chassis placement")
+	}
+}
+
 func TestFleetFromSeedDeterministic(t *testing.T) {
 	for seed := int64(1); seed <= 50; seed++ {
 		a, b := FleetFromSeed(seed), FleetFromSeed(seed)
