@@ -51,8 +51,27 @@ func run(clock func() time.Time) int {
 		benchTol     = flag.Float64("bench-tolerance", 0.25, "with -bench-against: tolerated relative slowdown before a delta counts as a regression")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		traceOut     = flag.String("trace", "", "run one observed fleet-schedule op and write its Chrome trace_event JSON to this file, then exit")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			return 1
+		}
+		err = perfbench.TraceFleetSchedule(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *traceOut)
+		return 0
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -26,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"composable/internal/obs"
 	"composable/internal/orchestrator"
 	"composable/internal/scengen"
 )
@@ -49,6 +50,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		oversub     = fs.Float64("oversub", 0, "override the spine oversubscription ratio (pod shape, 1-16)")
 		retries     = fs.Int("retries", 0, "per-job retry budget (0 = default, negative = none)")
 		fingerprint = fs.Bool("fingerprint", false, "print the canonical telemetry fingerprint after the report")
+		traceOut    = fs.String("trace", "", "write a Chrome trace_event JSON of the run to this file (load in Perfetto)")
+		metricsOut  = fs.String("metrics", "", "write the sampled metrics series as CSV to this file")
+		metricsIvMS = fs.Int("metrics-interval", 0, "metrics sampling interval in sim-time ms (default 100)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -111,12 +115,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "  %v\n", e)
 	}
 
-	out, err := scengen.RunFaultyFleet(sc)
+	var col *obs.Collector
+	if *traceOut != "" || *metricsOut != "" {
+		col = obs.NewCollector()
+		col.SetInterval(time.Duration(*metricsIvMS) * time.Millisecond)
+	}
+
+	out, err := scengen.RunFaultyFleetObserved(sc, col)
 	if err != nil {
 		fmt.Fprintln(stderr, "chaossim:", err)
 		return 1
 	}
 	res := out.Result
+
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, col.WriteTrace); err != nil {
+			fmt.Fprintln(stderr, "chaossim:", err)
+			return 1
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, col.WriteMetricsCSV); err != nil {
+			fmt.Fprintln(stderr, "chaossim:", err)
+			return 1
+		}
+	}
 
 	fmt.Fprintf(stdout, "\n%4s %-12s %3s %5s %8s %6s %10s %10s  %s\n",
 		"job", "workload", "g", "host", "retries", "ckpt", "lost", "finish", "state")
@@ -143,8 +166,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "  invariants: all held (%d jobs, %d faults; lifecycle+assignment+conservation+lost-work)\n",
 		len(res.Jobs), res.Faults)
+	if col != nil {
+		fmt.Fprintf(stdout, "\n%s", col.Summary())
+	}
 	if *fingerprint {
 		fmt.Fprintf(stdout, "\n--- fingerprint\n%s", out.Fingerprint)
 	}
 	return 0
+}
+
+// writeFile creates path and streams one exporter into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

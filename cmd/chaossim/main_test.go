@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -92,4 +95,55 @@ func TestSomeSeedExercisesRecovery(t *testing.T) {
 		}
 	}
 	t.Fatal("no seed in 1..8 exercised the recovery path")
+}
+
+// TestTraceRunTwiceByteIdentical extends the byte-identity criterion to
+// the observability exports: two runs with -trace/-metrics write
+// identical valid files.
+func TestTraceRunTwiceByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	p1, p2 := filepath.Join(dir, "t1.json"), filepath.Join(dir, "t2.json")
+	m1, m2 := filepath.Join(dir, "m1.csv"), filepath.Join(dir, "m2.csv")
+	code1, out1, err1 := capture(t, "-seed", "2", "-trace", p1, "-metrics", m1)
+	code2, out2, err2 := capture(t, "-seed", "2", "-trace", p2, "-metrics", m2)
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("exits %d/%d, stderr %q %q", code1, code2, err1, err2)
+	}
+	if out1 != out2 {
+		t.Fatal("observed runs printed diverging reports")
+	}
+	if !strings.Contains(out1, "obs: ") {
+		t.Errorf("observed run missing the obs summary:\n%s", out1)
+	}
+	tr1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tr1, tr2) {
+		t.Error("-trace files differ between identical runs")
+	}
+	c1, err := os.ReadFile(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := os.ReadFile(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Error("-metrics files differ between identical runs")
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr1, &doc); err != nil {
+		t.Fatalf("-trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace carries no events")
+	}
 }

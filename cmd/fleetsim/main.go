@@ -25,6 +25,7 @@ import (
 	"os"
 	"time"
 
+	"composable/internal/obs"
 	"composable/internal/orchestrator"
 	"composable/internal/scengen"
 )
@@ -51,6 +52,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faultSeed   = fs.Int64("fault-seed", 0, "arm a seeded fault schedule (failures + recovery; 0 = fault-free). See cmd/chaossim for the full fault driver.")
 		fingerprint = fs.Bool("fingerprint", false, "print the canonical telemetry fingerprint after the report")
 		listPol     = fs.Bool("list-policies", false, "list placement policies and exit")
+		traceOut    = fs.String("trace", "", "write a Chrome trace_event JSON of the run to this file (load in Perfetto)")
+		metricsOut  = fs.String("metrics", "", "write the sampled metrics series as CSV to this file")
+		metricsIvMS = fs.Int("metrics-interval", 0, "metrics sampling interval in sim-time ms (default 100)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -108,21 +112,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	sc = scengen.SanitizeFleet(sc)
 
+	var col *obs.Collector
+	if *traceOut != "" || *metricsOut != "" {
+		col = obs.NewCollector()
+		col.SetInterval(time.Duration(*metricsIvMS) * time.Millisecond)
+	}
+
 	var out *scengen.FleetOutcome
 	var err error
 	if *faultSeed != 0 {
 		fc := scengen.SanitizeFaults(scengen.FaultScenario{
 			Fleet: sc, Plan: scengen.PlanForFleet(*faultSeed, sc),
 		})
-		out, err = scengen.RunFaultyFleet(fc)
+		out, err = scengen.RunFaultyFleetObserved(fc, col)
 	} else {
-		out, err = scengen.RunFleet(sc)
+		out, err = scengen.RunFleetObserved(sc, col)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "fleetsim:", err)
 		return 1
 	}
 	res := out.Result
+
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, col.WriteTrace); err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 1
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, col.WriteMetricsCSV); err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 1
+		}
+	}
 
 	fmt.Fprintf(stdout, "fleetsim scenario %s (seed %d)\n\n", sc.ID(), sc.Seed)
 	fmt.Fprintf(stdout, "%4s %-12s %3s %7s %5s %6s %10s %10s %10s %10s\n",
@@ -140,8 +163,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "  invariants: all held (%d jobs, lifecycle+assignment+conservation)\n", len(res.Jobs))
+	if col != nil {
+		fmt.Fprintf(stdout, "\n%s", col.Summary())
+	}
 	if *fingerprint {
 		fmt.Fprintf(stdout, "\n--- fingerprint\n%s", out.Fingerprint)
 	}
 	return 0
+}
+
+// writeFile atomically-enough creates path and streams one exporter into
+// it; shared by the -trace and -metrics flags here and in chaossim.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

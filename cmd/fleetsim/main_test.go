@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -111,6 +114,97 @@ func TestStaticPolicyRuns(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "policy static") || !strings.Contains(stdout, "0 recompositions") {
 		t.Errorf("static run should report zero recompositions:\n%s", stdout)
+	}
+}
+
+// TestTraceAndMetricsDeterministic extends the byte-identity criterion
+// to the observability exports: two runs with -trace and -metrics write
+// identical files, the trace parses as Chrome trace_event JSON, and it
+// carries spans from every instrumented layer.
+func TestTraceAndMetricsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	p1, p2 := filepath.Join(dir, "t1.json"), filepath.Join(dir, "t2.json")
+	m1, m2 := filepath.Join(dir, "m1.csv"), filepath.Join(dir, "m2.csv")
+	args := []string{"-seed", "1", "-fault-seed", "3"}
+	code1, out1, err1 := capture(t, append(args, "-trace", p1, "-metrics", m1)...)
+	code2, out2, err2 := capture(t, append(args, "-trace", p2, "-metrics", m2)...)
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("exits %d/%d, stderr %q %q", code1, code2, err1, err2)
+	}
+	if out1 != out2 {
+		t.Fatal("observed runs printed diverging reports")
+	}
+	if !strings.Contains(out1, "obs: ") {
+		t.Errorf("observed run missing the obs summary:\n%s", out1)
+	}
+	tr1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tr1, tr2) {
+		t.Error("-trace files differ between identical runs")
+	}
+	for _, pair := range [2]string{m1, m2} {
+		if _, err := os.Stat(pair); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1, err := os.ReadFile(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := os.ReadFile(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Error("-metrics files differ between identical runs")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr1, &doc); err != nil {
+		t.Fatalf("-trace output is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" || e.Ph == "i" {
+			seen[e.Cat] = true
+		}
+	}
+	for _, cat := range []string{"sim", "fabric", "train", "orchestrator", "faults"} {
+		if !seen[cat] {
+			t.Errorf("trace has no spans on the %q track", cat)
+		}
+	}
+	if !strings.HasPrefix(string(c1), "time_s,") {
+		t.Errorf("-metrics CSV header malformed: %q", strings.SplitN(string(c1), "\n", 2)[0])
+	}
+}
+
+// TestTracingDoesNotPerturbTheRun pins the observer-effect contract: the
+// fingerprint of an observed run equals the unobserved one.
+func TestTracingDoesNotPerturbTheRun(t *testing.T) {
+	dir := t.TempDir()
+	_, plain, _ := capture(t, "-seed", "7", "-fingerprint")
+	_, traced, _ := capture(t, "-seed", "7", "-fingerprint",
+		"-trace", filepath.Join(dir, "t.json"), "-metrics-interval", "50")
+	cut := func(s string) string {
+		i := strings.Index(s, "--- fingerprint")
+		if i < 0 {
+			t.Fatalf("no fingerprint section:\n%s", s)
+		}
+		return s[i:]
+	}
+	if cut(plain) != cut(traced) {
+		t.Fatal("tracing changed the run's fingerprint")
 	}
 }
 

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"composable/internal/fabric"
+	"composable/internal/obs"
+)
+
+// Fleet observability wiring: AttachObs hands the fabric its collector
+// and registers the per-tier link-utilization gauges the paper's port
+// monitors correspond to — slot links (chassis drawer ports), host
+// adapter links, and pod spine uplinks.
+
+// linkTier classifies a fleet's links for the utilization gauges.
+const (
+	tierNone = iota
+	tierSlot
+	tierAdapter
+	tierSpine
+	numTiers
+)
+
+// AttachObs wires an observability collector into the fleet: the fabric
+// allocator starts tracing flows and recomputes, and three gauges report
+// the mean utilization (allocated/capacity over carrying directions) of
+// each link tier. Call after composing, before the environment runs; a
+// nil collector is a no-op.
+func (f *FleetSystem) AttachObs(c *obs.Collector) {
+	if c == nil {
+		return
+	}
+	f.Net.SetObs(c)
+	tier := make([]uint8, len(f.Net.Links()))
+	for _, s := range f.Slots {
+		tier[s.Link] = tierSlot
+	}
+	for _, h := range f.Hosts {
+		tier[h.AdapterLink] = tierAdapter
+	}
+	for _, id := range f.PodUplinks {
+		tier[id] = tierSpine
+	}
+	reg := c.Registry()
+	names := [numTiers]string{"", "fabric.util.slot", "fabric.util.adapter", "fabric.util.spine"}
+	for t := tierSlot; t < numTiers; t++ {
+		if t == tierSpine && len(f.PodUplinks) == 0 {
+			continue // degenerate shape: no spine tier to report
+		}
+		t := t
+		reg.Gauge(names[t], func() float64 {
+			sum, n := 0.0, 0
+			f.Net.VisitAllocations(func(l *fabric.Link, forward bool, allocated, capacity float64) {
+				if int(tier[l.ID]) != t || capacity <= 0 {
+					return
+				}
+				sum += allocated / capacity
+				n++
+			})
+			if n == 0 {
+				return 0
+			}
+			return sum / float64(n)
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"composable/internal/obs"
 	"composable/internal/sim"
 	"composable/internal/units"
 )
@@ -96,6 +97,13 @@ type Network struct {
 	// (internal/invariant checks capacity and conservation through it);
 	// the nil check keeps the churn path free.
 	auditor func()
+
+	// obs, when set, traces the allocator: every flow's lifetime becomes
+	// one fabric-track span, capacity changes become instants, and
+	// recompute sweeps bump obsRecompute. Nil-checked at every seam so a
+	// disabled collector costs one branch on the hot path.
+	obs          *obs.Collector
+	obsRecompute obs.CounterID
 }
 
 // SetAuditor installs fn to run after every allocation recompute, once the
@@ -103,6 +111,19 @@ type Network struct {
 // must not start or cancel flows; it observes through VisitAllocations,
 // VisitFlows and the link byte counters.
 func (n *Network) SetAuditor(fn func()) { n.auditor = fn }
+
+// SetObs installs an observability collector on the allocator: flow
+// add/remove pairs become spans, SetLinkCapacity emits degrade/repair
+// instants, recompute sweeps are counted, and the active-flow population
+// is registered as a gauge. Pass nil to disable.
+func (n *Network) SetObs(c *obs.Collector) {
+	n.obs = c
+	if c == nil {
+		return
+	}
+	n.obsRecompute = c.Registry().Counter("fabric.recomputes")
+	c.Registry().Gauge("fabric.active_flows", func() float64 { return float64(len(n.flows)) })
+}
 
 // VisitAllocations calls fn for every link direction currently carrying
 // flows, with the total allocated rate and the direction's capacity (both
@@ -213,6 +234,10 @@ type Flow struct {
 	// frozenEpoch marks the allocation epoch the flow was last frozen in,
 	// replacing a per-recompute frozen set.
 	frozenEpoch uint64
+	// obsSpan is the flow's open trace span (0 = untraced); set by addFlow
+	// and closed by removeFlow, surviving pooling because addFlow always
+	// reassigns it.
+	obsSpan obs.SpanID
 }
 
 // Done returns the signal fired when the flow (including its path latency)
@@ -307,6 +332,12 @@ func (n *Network) releaseFlow(f *Flow) {
 //
 //perf:hot
 func (n *Network) addFlow(f *Flow) {
+	f.obsSpan = 0
+	if n.obs != nil {
+		f.obsSpan = n.obs.Begin(obs.CatFabric, "flow")
+		n.obs.SetAttr(f.obsSpan, "src", int64(f.Src))
+		n.obs.SetAttr(f.obsSpan, "dst", int64(f.Dst))
+	}
 	f.idx = len(n.flows)
 	n.flows = append(n.flows, f)
 	if cap(f.cons) < len(f.path)+1 {
@@ -352,6 +383,10 @@ func (n *Network) addFlow(f *Flow) {
 //
 //perf:hot
 func (n *Network) removeFlow(f *Flow) {
+	if n.obs != nil && f.obsSpan != 0 {
+		n.obs.End(f.obsSpan)
+		f.obsSpan = 0
+	}
 	last := len(n.flows) - 1
 	n.flows[f.idx] = n.flows[last]
 	n.flows[f.idx].idx = f.idx
@@ -624,6 +659,9 @@ func (n *Network) ensureAllocated() {
 //
 //perf:hot
 func (n *Network) recomputeNow() {
+	if n.obs != nil {
+		n.obs.Inc(n.obsRecompute)
+	}
 	n.epoch++
 	if len(n.flows) == 0 {
 		if n.auditor != nil {
@@ -873,6 +911,14 @@ func (n *Network) SetLinkCapacity(id LinkID, capAB, capBA units.BytesPerSec) {
 	}
 	n.advance()
 	l := n.links[id]
+	if n.obs != nil {
+		name := "link-repair"
+		if capAB < l.CapAtoB || capBA < l.CapBtoA {
+			name = "link-degrade"
+		}
+		ev := n.obs.Instant(obs.CatFabric, name)
+		n.obs.SetAttr(ev, "link", int64(id))
+	}
 	l.CapAtoB, l.CapBtoA = capAB, capBA
 	n.recomputeSync()
 }

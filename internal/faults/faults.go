@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"time"
 
+	"composable/internal/obs"
 	"composable/internal/sim"
 )
 
@@ -527,6 +528,19 @@ type Injector struct {
 	probe   func(Record)
 	records []Record
 	armed   bool
+	// obs, when set, renders each fault as one faults-track span from
+	// injection to repair (the blast radius's extent in sim time);
+	// obsOpen holds the in-flight spans keyed by (kind, target) —
+	// lookup/insert/delete only, never iterated, so order cannot leak.
+	obs     *obs.Collector
+	obsOpen map[obsSpanKey]obs.SpanID
+}
+
+// obsSpanKey identifies one fault's open span: the injector applies at
+// most one outstanding fault per (kind, target) pair at a time.
+type obsSpanKey struct {
+	kind   Kind
+	target int
 }
 
 // NewInjector binds a (sanitized) plan to an environment and hook set.
@@ -541,6 +555,37 @@ func NewInjector(env *sim.Env, plan Plan, hooks Hooks) *Injector {
 // order. The probe must not mutate simulation state; the invariant set
 // and telemetry tracks attach here.
 func (in *Injector) SetProbe(fn func(Record)) { in.probe = fn }
+
+// SetObs installs an observability collector: every applied fault becomes
+// a span on the faults track, opened when the fault strikes and closed by
+// its repair (a permanent fault's span stays open and is clamped at
+// export). Pass nil to disable.
+func (in *Injector) SetObs(c *obs.Collector) {
+	in.obs = c
+	if c != nil {
+		in.obsOpen = make(map[obsSpanKey]obs.SpanID)
+	}
+}
+
+// obsRecord pairs fault/repair records into spans; kept off the hot apply
+// path behind its nil check.
+func (in *Injector) obsRecord(r Record) {
+	k := obsSpanKey{kind: r.Kind, target: r.Target}
+	if r.Up {
+		if id, ok := in.obsOpen[k]; ok {
+			in.obs.End(id)
+			delete(in.obsOpen, k)
+		}
+		return
+	}
+	id := in.obs.Begin(obs.CatFaults, string(r.Kind))
+	in.obs.SetAttr(id, "target", int64(r.Target))
+	if r.Kind.linkKind() {
+		// Per-mille capacity factor keeps span attributes integer-typed.
+		in.obs.SetAttr(id, "factor_pm", int64(r.Factor*1000+0.5))
+	}
+	in.obsOpen[k] = id
+}
 
 // Arm schedules every event (and its repair) as sim callbacks. It must be
 // called before the environment runs and at most once.
@@ -604,6 +649,9 @@ func (in *Injector) apply(e Event, up bool) {
 	in.records = append(in.records, rec)
 	if in.probe != nil {
 		in.probe(rec)
+	}
+	if in.obs != nil {
+		in.obsRecord(rec)
 	}
 }
 

@@ -17,6 +17,16 @@ func TestHotAllocGolden(t *testing.T) {
 	runTestdata(t, HotAlloc, "hotpath")
 }
 
+// TestHotAllocObsGuardGolden pins the nil-checked collector idiom the
+// observability layer relies on: guarded span emits inside //perf:hot
+// functions are method calls and integer conversions only, so hotalloc
+// has nothing to say (the golden package carries zero want comments).
+func TestHotAllocObsGuardGolden(t *testing.T) {
+	if diags := runTestdata(t, HotAlloc, "obsguard"); len(diags) != 0 {
+		t.Errorf("hotalloc flagged the guarded-collector idiom: %v", diags)
+	}
+}
+
 func TestGoroutineInProcGolden(t *testing.T) {
 	runTestdata(t, GoroutineInProc, "procspawn")
 }

@@ -1,0 +1,60 @@
+// Package obsguard is the hotalloc golden file for the nil-checked
+// collector idiom: a //perf:hot function may emit spans and bump counters
+// through a possibly-nil probe as long as the guarded branch performs
+// only method calls and integer conversions. The package has zero want
+// comments — the whole point is that the pattern is clean.
+package obsguard
+
+// Collector stands in for an observability sink (obs.Collector in the
+// real tree): every emit is a plain method call, nothing that allocates.
+type Collector struct {
+	spans, counts int
+}
+
+// Begin opens a span and returns its handle.
+func (c *Collector) Begin(name string) int {
+	c.spans++
+	return c.spans
+}
+
+// End closes a span.
+func (c *Collector) End(id int) {}
+
+// SetAttr attaches an integer attribute to a span.
+func (c *Collector) SetAttr(id int, key string, v int64) {}
+
+// Inc bumps a counter.
+func (c *Collector) Inc(id int) { c.counts++ }
+
+// Flow is a hot-path object that may carry an open span.
+type Flow struct {
+	Src, Dst int
+	span     int
+}
+
+// AddFlow is the idiom under test: a //perf:hot function whose
+// observability hooks are nil-guarded method calls. When the collector is
+// nil the branch is never taken and the function allocates nothing; when
+// it is set, the calls stay allocation-free. Either way hotalloc must
+// stay silent.
+//
+//perf:hot
+func AddFlow(c *Collector, f *Flow) {
+	f.span = 0
+	if c != nil {
+		f.span = c.Begin("flow")
+		c.SetAttr(f.span, "src", int64(f.Src))
+		c.SetAttr(f.span, "dst", int64(f.Dst))
+	}
+}
+
+// RemoveFlow closes the span the same guarded way.
+//
+//perf:hot
+func RemoveFlow(c *Collector, f *Flow, counter int) {
+	if c != nil && f.span != 0 {
+		c.End(f.span)
+		c.Inc(counter)
+		f.span = 0
+	}
+}

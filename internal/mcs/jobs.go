@@ -11,6 +11,7 @@ import (
 	"composable/internal/falcon"
 	"composable/internal/faults"
 	"composable/internal/gpu"
+	"composable/internal/obs"
 	"composable/internal/orchestrator"
 	"composable/internal/sim"
 	"composable/internal/train"
@@ -124,6 +125,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request, u *User
 		rec.Epochs = 1
 	}
 	s.jobs = append(s.jobs, rec)
+	s.metrics.Inc(s.cJobsSubmitted)
 	s.record(u, "job-submit", fmt.Sprintf("job %d: %s ×%d", rec.ID, rec.Workload, rec.GPUs), "queued")
 	w.WriteHeader(http.StatusCreated)
 	writeJSON(w, rec)
@@ -219,9 +221,9 @@ func (s *Server) handleJobRun(w http.ResponseWriter, r *http.Request, u *User) {
 	for order, i := range queued {
 		rec := &s.jobs[i]
 		spec := orchestrator.JobSpec{
-			Arrival: time.Duration(order) * 100 * time.Millisecond,
-			Tenant:  tenantOf[rec.Owner],
-			GPUs:    rec.GPUs,
+			Arrival:  time.Duration(order) * 100 * time.Millisecond,
+			Tenant:   tenantOf[rec.Owner],
+			GPUs:     rec.GPUs,
 			Workload: rec.Workload,
 			Strategy: train.Strategy(rec.Strategy),
 			Sharded:  rec.Sharded,
@@ -237,7 +239,7 @@ func (s *Server) handleJobRun(w http.ResponseWriter, r *http.Request, u *User) {
 	s.draining = true
 	s.mu.Unlock()
 
-	res, errStatus, runErr := runFleetQueue(req, pol, specs)
+	res, col, errStatus, runErr := runFleetQueue(req, pol, specs)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -246,6 +248,13 @@ func (s *Server) handleJobRun(w http.ResponseWriter, r *http.Request, u *User) {
 		s.record(u, "job-run", req.Policy, "error: "+runErr.Error())
 		http.Error(w, fmt.Sprintf(`{"error":%q}`, runErr.Error()), errStatus)
 		return
+	}
+	s.metrics.Inc(s.cDrains)
+	s.metrics.Add(s.cJobsRun, int64(len(queued)))
+	for order, i := range queued {
+		// The orchestrator numbers jobs by stream position, so `order` is
+		// the job attribute its spans carry.
+		s.traces[i] = tenantTrace(col, order)
 	}
 	for order, i := range queued {
 		rec := &s.jobs[i]
@@ -278,17 +287,22 @@ func (s *Server) handleJobRun(w http.ResponseWriter, r *http.Request, u *User) {
 }
 
 // runFleetQueue composes a fresh fleet and drains the snapshot through
-// the orchestrator. It holds no server state and takes no lock. On
-// failure the returned status distinguishes a bad fleet description
-// (400) from a scheduling failure (409).
-func runFleetQueue(req jobRunRequest, pol orchestrator.Policy, specs []orchestrator.JobSpec) (*orchestrator.FleetResult, int, error) {
+// the orchestrator with a span collector attached (every drain is traced;
+// the per-job slices are what GET /api/jobs/{id}/trace serves). It holds
+// no server state and takes no lock. On failure the returned status
+// distinguishes a bad fleet description (400) from a scheduling failure
+// (409).
+func runFleetQueue(req jobRunRequest, pol orchestrator.Policy, specs []orchestrator.JobSpec) (*orchestrator.FleetResult, *obs.Collector, int, error) {
 	env := sim.NewEnv()
+	col := obs.NewCollector()
+	col.Attach(env)
 	fleet, err := cluster.ComposeFleet(env, cluster.FleetOptions{
 		Hosts: req.Hosts, GPUs: req.GPUs, Preattach: pol.Name() == "static",
 	})
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, nil, http.StatusBadRequest, err
 	}
+	fleet.AttachObs(col)
 	latency := time.Duration(req.AttachMS) * time.Millisecond
 	if req.AttachMS == 0 {
 		latency = orchestrator.DefaultAttachLatency
@@ -304,9 +318,11 @@ func runFleetQueue(req jobRunRequest, pol orchestrator.Policy, specs []orchestra
 		})
 		plan = &p
 	}
-	res, err := orchestrator.Run(fleet, specs, orchestrator.Options{Policy: pol, AttachLatency: latency, Faults: plan})
+	res, err := orchestrator.Run(fleet, specs, orchestrator.Options{
+		Policy: pol, AttachLatency: latency, Faults: plan, Obs: col,
+	})
 	if err != nil {
-		return nil, http.StatusConflict, err
+		return nil, nil, http.StatusConflict, err
 	}
-	return res, 0, nil
+	return res, col, 0, nil
 }

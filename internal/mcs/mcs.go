@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"composable/internal/falcon"
+	"composable/internal/obs"
 )
 
 // Role grades a user's privileges.
@@ -69,6 +70,12 @@ type Server struct {
 	// in-flight queue drain so the records cannot be raced.
 	jobs     []JobRecord
 	draining bool
+	// Observability (see obs.go): API counters and queue gauges served by
+	// GET /metrics, and the per-job sim-time traces captured by the most
+	// recent queue drain, keyed by job record ID. All guarded by mu.
+	metrics                                          obs.Registry
+	cJobsSubmitted, cJobsRun, cDrains, cAuthFailures obs.CounterID
+	traces                                           map[int][]byte
 }
 
 // NewServer wraps a chassis. Pass the tenant set up front; the admin role
@@ -78,11 +85,13 @@ func NewServer(ch *falcon.Chassis, users []User) *Server {
 	// use; tests swap the clock for a fixed one, and this default is the
 	// single annotated read.
 	//lint:allow nowallclock(default audit-log clock; injected everywhere determinism matters)
-	s := &Server{chassis: ch, users: make(map[string]*User), clock: time.Now}
+	s := &Server{chassis: ch, users: make(map[string]*User), clock: time.Now,
+		traces: make(map[int][]byte)}
 	for i := range users {
 		u := users[i]
 		s.users[u.Token] = &u
 	}
+	s.initMetrics()
 	return s
 }
 
@@ -117,7 +126,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/jobs", s.auth(s.handleJobSubmit))
 	mux.HandleFunc("GET /api/jobs", s.auth(s.handleJobList))
 	mux.HandleFunc("GET /api/jobs/{id}", s.auth(s.handleJobGet))
+	mux.HandleFunc("GET /api/jobs/{id}/trace", s.auth(s.handleJobTrace))
 	mux.HandleFunc("POST /api/jobs/run", s.auth(s.adminOnly(s.handleJobRun)))
+	mux.HandleFunc("GET /metrics", s.auth(s.handleMetrics))
 	return mux
 }
 
@@ -129,6 +140,9 @@ func (s *Server) auth(next handlerFunc) http.HandlerFunc {
 		tok := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
 		s.mu.Lock()
 		u := s.users[tok]
+		if tok == "" || u == nil {
+			s.metrics.Inc(s.cAuthFailures)
+		}
 		s.mu.Unlock()
 		if tok == "" || u == nil {
 			http.Error(w, `{"error":"unauthorized"}`, http.StatusUnauthorized)

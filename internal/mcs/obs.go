@@ -1,0 +1,87 @@
+package mcs
+
+import (
+	"net/http"
+	"strconv"
+
+	"composable/internal/obs"
+)
+
+// Control-plane observability: the server carries an obs.Registry of API
+// counters and queue gauges, served as a plain-text admin endpoint, and
+// every queue drain captures a per-job sim-time trace that tenants can
+// fetch for their own jobs.
+
+// initMetrics registers the server's counters and gauges. Gauge samplers
+// read server state directly; they are only invoked under s.mu (from
+// handleMetrics).
+func (s *Server) initMetrics() {
+	s.cJobsSubmitted = s.metrics.Counter("mcs_jobs_submitted_total")
+	s.cJobsRun = s.metrics.Counter("mcs_jobs_run_total")
+	s.cDrains = s.metrics.Counter("mcs_queue_drains_total")
+	s.cAuthFailures = s.metrics.Counter("mcs_auth_failures_total")
+	s.metrics.Gauge("mcs_jobs_queued", func() float64 {
+		n := 0
+		for i := range s.jobs {
+			if s.jobs[i].Status == "queued" {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	s.metrics.Gauge("mcs_audit_entries", func() float64 {
+		return float64(len(s.audit))
+	})
+}
+
+// handleMetrics serves the registry in registration order as "name value"
+// text lines. Admin-only, but a tenant gets a plain 404 rather than the
+// adminOnly 403: the endpoint's existence is itself operational surface.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request, u *User) {
+	if u.Role != RoleAdmin {
+		http.NotFound(w, nil)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.metrics.WriteText(w)
+}
+
+// handleJobTrace serves the Chrome trace_event JSON captured for one job
+// by the last queue drain that ran it. Tenancy matches handleJobGet: a
+// job that is not yours does not exist (404, never 403), and a job that
+// has not been drained under tracing has no trace (404).
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request, u *User) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil || id < 0 || id >= len(s.jobs) || !visibleTo(u, &s.jobs[id]) {
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+		return
+	}
+	trace, ok := s.traces[id]
+	if !ok {
+		http.Error(w, `{"error":"no trace for job"}`, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(trace)
+}
+
+// tenantTrace renders the slice of a drain's trace that belongs to one
+// orchestrator job: every span carrying a matching "job" attribute.
+func tenantTrace(col *obs.Collector, jobID int) []byte {
+	var b writerBuffer
+	_ = col.WriteTraceFiltered(&b, "job", int64(jobID))
+	return b.buf
+}
+
+// writerBuffer is a minimal io.Writer over an owned byte slice (avoids
+// pulling bytes.Buffer into the handler path just to snapshot a trace).
+type writerBuffer struct{ buf []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}

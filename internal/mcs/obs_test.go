@@ -1,0 +1,157 @@
+package mcs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"composable/internal/falcon"
+)
+
+func obsTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	ch := falcon.New("obs-test")
+	srv := NewServer(ch, []User{
+		{Name: "root", Role: RoleAdmin, Token: "tok-root"},
+		{Name: "alice", Role: RoleUser, Token: "tok-alice", Hosts: []string{"host1"}},
+		{Name: "bob", Role: RoleUser, Token: "tok-bob", Hosts: []string{"host2"}},
+	})
+	// Freeze the audit clock so nothing in the server depends on wall time.
+	fixed := time.Date(2021, 5, 17, 12, 0, 0, 0, time.UTC)
+	srv.clock = func() time.Time { return fixed }
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func get(t *testing.T, ts *httptest.Server, path, token string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest("GET", ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestMetricsEndpoint pins the admin metrics surface: 401 without a
+// token, a plain 404 (never 403) for tenants, and for admins a
+// deterministic text body in registration order that tracks API activity.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := obsTestServer(t)
+
+	if resp, _ := get(t, ts, "/metrics", ""); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated /metrics: %d, want 401", resp.StatusCode)
+	}
+	resp, body := get(t, ts, "/metrics", "tok-alice")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("tenant /metrics: %d, want 404 (not 403)", resp.StatusCode)
+	}
+	if strings.Contains(body, "admin") {
+		t.Errorf("tenant 404 leaks the admin gate: %q", body)
+	}
+
+	resp, body = get(t, ts, "/metrics", "tok-root")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	// One failed auth above; the counter must have seen it.
+	if !strings.Contains(body, "mcs_auth_failures_total 1\n") {
+		t.Errorf("auth-failure counter wrong:\n%s", body)
+	}
+
+	// Submit two jobs and re-read: submissions and queue depth move.
+	doJSON(t, ts, "POST", "/api/jobs", "tok-alice", map[string]any{"gpus": 2, "iters": 2}, nil)
+	doJSON(t, ts, "POST", "/api/jobs", "tok-bob", map[string]any{"gpus": 2, "iters": 2}, nil)
+	_, body = get(t, ts, "/metrics", "tok-root")
+	for _, want := range []string{"mcs_jobs_submitted_total 2\n", "mcs_jobs_queued 2\n"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Under the frozen clock the body is deterministic read over read.
+	_, again := get(t, ts, "/metrics", "tok-root")
+	if body != again {
+		t.Errorf("metrics body changed between idle reads:\n--- first\n%s--- second\n%s", body, again)
+	}
+}
+
+// TestJobTraceTenancy pins the per-job trace endpoint: before a drain no
+// trace exists (404); after an admin drain each tenant can fetch exactly
+// their own job's trace, other tenants' traces 404 (never 403), and the
+// served slice carries only that job's spans.
+func TestJobTraceTenancy(t *testing.T) {
+	_, ts := obsTestServer(t)
+
+	var a, b JobRecord
+	doJSON(t, ts, "POST", "/api/jobs", "tok-alice", map[string]any{"gpus": 2, "iters": 2}, &a)
+	doJSON(t, ts, "POST", "/api/jobs", "tok-bob", map[string]any{"gpus": 2, "iters": 2}, &b)
+
+	if resp, _ := get(t, ts, "/api/jobs/0/trace", "tok-alice"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace before drain: %d, want 404", resp.StatusCode)
+	}
+
+	if resp := doJSON(t, ts, "POST", "/api/jobs/run", "tok-root", map[string]any{}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: %d", resp.StatusCode)
+	}
+
+	resp, body := get(t, ts, "/api/jobs/0/trace", "tok-alice")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alice's own trace: %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" && e.Ph != "i" {
+			continue
+		}
+		spans++
+		if v, ok := e.Args["job"].(float64); !ok || int(v) != 0 {
+			t.Fatalf("alice's trace leaked a span with job attr %v", e.Args["job"])
+		}
+	}
+	if spans == 0 {
+		t.Fatal("alice's trace is empty")
+	}
+
+	// Bob's job is record 1; alice must get a 404, bob a 200, admin a 200.
+	if resp, _ := get(t, ts, "/api/jobs/1/trace", "tok-alice"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cross-tenant trace: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/api/jobs/1/trace", "tok-bob"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bob's own trace: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/api/jobs/1/trace", "tok-root"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin read of a tenant trace: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/api/jobs/99/trace", "tok-root"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job trace: %d, want 404", resp.StatusCode)
+	}
+}

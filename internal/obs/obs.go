@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"time"
+
+	"composable/internal/sim"
+)
+
+// Cat is the category (Perfetto track) a span or instant belongs to. One
+// fixed track per instrumented layer keeps trace output stable and lets a
+// reader fold whole subsystems in the viewer.
+type Cat uint8
+
+// The instrumented layers, in track order.
+const (
+	CatSim Cat = iota
+	CatFabric
+	CatTrain
+	CatOrchestrator
+	CatFaults
+	numCats
+)
+
+// catNames indexes Cat → track name; the order is the tid order in the
+// exported trace.
+var catNames = [numCats]string{"sim", "fabric", "train", "orchestrator", "faults"}
+
+// Name returns the category's track name.
+func (c Cat) Name() string {
+	if c < numCats {
+		return catNames[c]
+	}
+	return "unknown"
+}
+
+// SpanID identifies a span (or instant) held by a Collector. The zero
+// SpanID is "none": End and SetAttr on it are no-ops, so instrumented
+// code can store it unconditionally in pooled structs.
+type SpanID uint32
+
+// attrVal is one typed span attribute: either an int64 or a string.
+type attrVal struct {
+	key   string
+	i     int64
+	s     string
+	isStr bool
+}
+
+// span is one recorded span or instant. Spans are stored (and exported)
+// in begin order, which is deterministic because the simulation is.
+type span struct {
+	name    string
+	cat     Cat
+	start   sim.Time
+	end     sim.Time
+	open    bool
+	instant bool
+	attrs   []attrVal
+}
+
+// DefaultInterval is the sampling interval used when none is set, chosen
+// to match telemetry.NewRecorder's default.
+const DefaultInterval = 100 * time.Millisecond
+
+// Collector gathers spans, instants and metric samples from one
+// simulation run. A nil *Collector means "tracing off": every
+// instrumented seam nil-checks before emitting, so the disabled cost is
+// one branch. Collectors are not safe for concurrent use; the simulator
+// is single-threaded, which is what makes the output deterministic.
+type Collector struct {
+	env      *sim.Env
+	reg      Registry
+	interval time.Duration
+
+	spans   []span
+	maxTime sim.Time // latest sim time seen; closes still-open spans at export
+
+	// Sampling state: a telemetry.Recorder-style stepper with the
+	// primed-first-tick convention, writing one columnar row per tick.
+	times   []sim.Time
+	cols    [][]float64
+	sp      *sim.Proc
+	primed  bool
+	stopped bool
+}
+
+// NewCollector returns an empty collector sampling every DefaultInterval
+// of sim time once StartSampling runs.
+func NewCollector() *Collector {
+	return &Collector{interval: DefaultInterval}
+}
+
+// SetInterval sets the metric sampling interval. Non-positive values keep
+// the default. Must be called before StartSampling.
+func (c *Collector) SetInterval(d time.Duration) {
+	if d > 0 {
+		c.interval = d
+	}
+}
+
+// Interval returns the metric sampling interval.
+func (c *Collector) Interval() time.Duration { return c.interval }
+
+// Registry returns the collector's metric registry, shared by every
+// instrumented layer of the run.
+func (c *Collector) Registry() *Registry { return &c.reg }
+
+// Attach binds the collector to a simulation environment: spans get their
+// timestamps from env.Now, proc lifetimes become spans on the sim track,
+// and the engine's cumulative event count is registered as a gauge. Call
+// once, before the environment runs.
+func (c *Collector) Attach(env *sim.Env) {
+	c.env = env
+	env.SetProcProbe(
+		func(name string, at sim.Time) uint64 {
+			return uint64(c.beginAt(CatSim, name, at, false))
+		},
+		func(token uint64, at sim.Time) {
+			c.EndAt(SpanID(token), at)
+		},
+	)
+	c.reg.Gauge("sim.events", func() float64 { return float64(env.EventCount()) })
+	c.reg.Gauge("sim.procs", func() float64 { return float64(env.LiveProcs()) })
+}
+
+// Env returns the attached environment (nil before Attach).
+func (c *Collector) Env() *sim.Env { return c.env }
+
+func (c *Collector) note(at sim.Time) {
+	if at > c.maxTime {
+		c.maxTime = at
+	}
+}
+
+func (c *Collector) beginAt(cat Cat, name string, at sim.Time, instant bool) SpanID {
+	c.note(at)
+	c.spans = append(c.spans, span{
+		name:    name,
+		cat:     cat,
+		start:   at,
+		end:     at,
+		open:    !instant,
+		instant: instant,
+	})
+	return SpanID(len(c.spans))
+}
+
+// Begin opens a span on the given track at the current sim time and
+// returns its id. The returned id stays valid for SetAttr/End for the
+// life of the collector.
+func (c *Collector) Begin(cat Cat, name string) SpanID {
+	return c.beginAt(cat, name, c.env.Now(), false)
+}
+
+// BeginAt opens a span with an explicit start time (used for spans whose
+// start was only known in retrospect, e.g. epoch boundaries).
+func (c *Collector) BeginAt(cat Cat, name string, at sim.Time) SpanID {
+	c.note(c.env.Now())
+	return c.beginAt(cat, name, at, false)
+}
+
+// End closes the span at the current sim time. A zero id is a no-op.
+func (c *Collector) End(id SpanID) {
+	c.EndAt(id, c.env.Now())
+}
+
+// EndAt closes the span at an explicit time. A zero id is a no-op.
+func (c *Collector) EndAt(id SpanID, at sim.Time) {
+	if id == 0 {
+		return
+	}
+	s := &c.spans[id-1]
+	if !s.open {
+		return
+	}
+	s.open = false
+	s.end = at
+	c.note(at)
+}
+
+// Emit records an already-complete span with explicit start and end.
+func (c *Collector) Emit(cat Cat, name string, start, end sim.Time) SpanID {
+	id := c.beginAt(cat, name, start, false)
+	c.EndAt(id, end)
+	return id
+}
+
+// Instant records a zero-duration mark at the current sim time. The
+// returned id accepts SetAttr like any span.
+func (c *Collector) Instant(cat Cat, name string) SpanID {
+	return c.beginAt(cat, name, c.env.Now(), true)
+}
+
+// SetAttr attaches an integer attribute to a span. A zero id is a no-op.
+func (c *Collector) SetAttr(id SpanID, key string, v int64) {
+	if id == 0 {
+		return
+	}
+	s := &c.spans[id-1]
+	s.attrs = append(s.attrs, attrVal{key: key, i: v})
+}
+
+// SetAttrStr attaches a string attribute to a span. A zero id is a no-op.
+func (c *Collector) SetAttrStr(id SpanID, key, v string) {
+	if id == 0 {
+		return
+	}
+	s := &c.spans[id-1]
+	s.attrs = append(s.attrs, attrVal{key: key, s: v, isStr: true})
+}
+
+// Inc bumps a registered counter by one.
+func (c *Collector) Inc(id CounterID) { c.reg.Add(id, 1) }
+
+// Add bumps a registered counter by delta.
+func (c *Collector) Add(id CounterID, delta int64) { c.reg.Add(id, delta) }
+
+// attrInt returns the span's integer attribute named key, if present.
+func (s *span) attrInt(key string) (int64, bool) {
+	for _, a := range s.attrs {
+		if !a.isStr && a.key == key {
+			return a.i, true
+		}
+	}
+	return 0, false
+}
+
+// StartSampling spawns the sampling stepper: every Interval of sim time
+// it snapshots every registered metric into one columnar row. Metrics
+// registered after the first tick are ignored for the rest of the run, so
+// wire all layers before the environment runs. Requires Attach.
+func (c *Collector) StartSampling() {
+	if c.env == nil || c.sp != nil {
+		return
+	}
+	c.cols = make([][]float64, c.reg.Len())
+	c.sp = c.env.NewStepper("obs-sampler", c.step)
+	c.primed = false
+	c.stopped = false
+	c.env.Ready(c.sp)
+}
+
+// StopSampling ends sampling after the currently armed tick fires; the
+// orchestrator calls it when the last job settles so the event queue can
+// drain.
+func (c *Collector) StopSampling() { c.stopped = true }
+
+//perf:hot
+func (c *Collector) step() {
+	if c.stopped {
+		return
+	}
+	if !c.primed {
+		// Spawn position: sample only after the first interval elapses,
+		// mirroring telemetry.Recorder's primed-first-tick convention.
+		c.primed = true
+		c.env.ReadyAfter(c.sp, c.interval)
+		return
+	}
+	now := c.env.Now()
+	c.note(now)
+	c.times = append(c.times, now)
+	for i := range c.cols {
+		c.cols[i] = append(c.cols[i], c.reg.value(i))
+	}
+	c.env.ReadyAfter(c.sp, c.interval)
+}
+
+// SpanCount returns the number of recorded spans and instants.
+func (c *Collector) SpanCount() int { return len(c.spans) }
+
+// SampleCount returns the number of sampling ticks taken.
+func (c *Collector) SampleCount() int { return len(c.times) }

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"time"
+
+	"composable/internal/sim"
+	"composable/internal/telemetry"
+)
+
+// This file folds internal/telemetry's event-series API into obs, so one
+// import covers spans, sampled metrics and annotated event tracks. The
+// aliases are the originals — same types, same CSV/ASCII bytes, still
+// pinned by telemetry's determinism tests.
+
+// Series is one sampled metric series (alias of telemetry.Series).
+type Series = telemetry.Series
+
+// Track is an annotated event series (alias of telemetry.Track).
+type Track = telemetry.Track
+
+// TrackEvent is one annotated observation (alias of telemetry.TrackEvent).
+type TrackEvent = telemetry.TrackEvent
+
+// Recorder periodically sweeps probes inside a simulation (alias of
+// telemetry.Recorder).
+type Recorder = telemetry.Recorder
+
+// Probe is one metric source sampled each interval (alias of
+// telemetry.Probe).
+type Probe = telemetry.Probe
+
+// NewTrack creates an empty event track.
+func NewTrack(name string) *Track { return telemetry.NewTrack(name) }
+
+// NewRecorder creates a recorder sampling every interval of virtual time.
+func NewRecorder(env *sim.Env, interval time.Duration) *Recorder {
+	return telemetry.NewRecorder(env, interval)
+}

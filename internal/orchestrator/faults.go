@@ -7,6 +7,7 @@ import (
 
 	"composable/internal/falcon"
 	"composable/internal/faults"
+	"composable/internal/obs"
 	"composable/internal/units"
 )
 
@@ -309,11 +310,25 @@ func (s *scheduler) kill(js *jobState, cause string) {
 	js.cause = cause
 	s.kills++
 	s.track.Record(s.now(), "kill", "job "+strconv.Itoa(js.spec.ID)+": "+cause)
+	if s.obs != nil {
+		s.obs.Inc(s.obsKills)
+		ev := s.obs.Instant(obs.CatOrchestrator, "kill")
+		s.obs.SetAttr(ev, "job", int64(js.spec.ID))
+		s.obs.SetAttrStr(ev, "cause", cause)
+	}
 }
 
 // reschedule finishes a kill once the attempt has drained: accounts the
 // lost work, releases the GPUs, and requeues (or fails) the job.
 func (s *scheduler) reschedule(js *jobState, now time.Duration) {
+	if s.obs != nil {
+		// Whatever phase the attempt died in ends here: a launched job
+		// closes its run span, one killed in the hot-plug window its
+		// compose span.
+		s.obs.End(js.runSpan)
+		s.obs.End(js.composeSpan)
+		js.runSpan, js.composeSpan = 0, 0
+	}
 	// Checkpointed progress carries over; work past the last epoch
 	// boundary of this attempt is lost.
 	usefulEnd := js.launched
@@ -339,14 +354,28 @@ func (s *scheduler) reschedule(js *jobState, now time.Duration) {
 	js.killed = false
 	js.retries++
 	s.probe(Event{Kind: EventKill, At: now, Job: js.spec.ID, Host: host, Slots: refs, Indices: indices})
+	if s.obs != nil {
+		s.obs.Inc(s.obsRetries)
+	}
 	if js.retries > s.maxRetries {
 		js.failed = true
 		// "abandon", not "fail": the timeline marks kinds by first rune,
 		// and 'f' already means an injected fault.
 		s.track.Record(now, "abandon", "job "+strconv.Itoa(js.spec.ID)+" abandoned after "+strconv.Itoa(js.retries)+" kills")
 		s.probe(Event{Kind: EventFail, At: now, Job: js.spec.ID, Host: -1})
+		if s.obs != nil {
+			ev := s.obs.Instant(obs.CatOrchestrator, "fail")
+			s.obs.SetAttr(ev, "job", int64(js.spec.ID))
+			s.obs.SetAttrStr(ev, "cause", js.cause)
+		}
+		s.settle()
 	} else {
 		s.enqueue(js)
+		if s.obs != nil {
+			js.waitSpan = s.obs.Begin(obs.CatOrchestrator, "wait")
+			s.obs.SetAttr(js.waitSpan, "job", int64(js.spec.ID))
+			s.obs.SetAttr(js.waitSpan, "attempt", int64(js.retries))
+		}
 	}
 	s.trySchedule()
 }

@@ -44,6 +44,7 @@ import (
 	"composable/internal/falcon"
 	"composable/internal/faults"
 	"composable/internal/gpu"
+	"composable/internal/obs"
 	"composable/internal/sim"
 	"composable/internal/telemetry"
 	"composable/internal/train"
@@ -234,6 +235,13 @@ type Options struct {
 	// MaxRetries caps fault-kill reschedules per job (0 = default 3;
 	// negative = no retries). A job over budget is marked Failed.
 	MaxRetries int
+	// Obs, when non-nil, traces the run: per-job wait/compose/run spans
+	// with kill/fail/recompose instants on the orchestrator track, queue
+	// and capacity gauges sampled on the collector's interval, and the
+	// training engine's own spans threaded through per launch. The
+	// collector must already be attached to the fleet's environment. Like
+	// Probe it must not change outcomes.
+	Obs *obs.Collector
 }
 
 // jobState tracks one job through the queue.
@@ -263,6 +271,12 @@ type jobState struct {
 	// accounting only counted the final attempt, understating delivered
 	// work (and goodput) for every retried job.
 	deliveredSec float64
+
+	// Open trace spans for the job's current lifecycle phase (0 = none);
+	// wait reopens on every requeue, compose and run restart per attempt.
+	waitSpan    obs.SpanID
+	composeSpan obs.SpanID
+	runSpan     obs.SpanID
 }
 
 // scheduler is the event-driven core. Everything runs inside sim callbacks
@@ -326,6 +340,14 @@ type scheduler struct {
 	pscratch        policyScratch
 	seenSlot        []uint64
 	seenGen         uint64
+
+	// Observability (nil obs = off; every emit below is nil-checked so
+	// the disabled hot path costs one branch and zero allocations).
+	obs           *obs.Collector
+	obsPlacements obs.CounterID
+	obsRetries    obs.CounterID
+	obsKills      obs.CounterID
+	settled       int // done or failed jobs; the last one stops the sampler
 }
 
 // Run executes the job stream on the fleet to completion and returns the
@@ -385,6 +407,9 @@ func Run(f *cluster.FleetSystem, specs []JobSpec, opts Options) (*FleetResult, e
 	if opts.Faults != nil && !opts.Faults.Empty() {
 		s.armFaults(*opts.Faults)
 	}
+	if opts.Obs != nil {
+		s.obsSetup(opts.Obs)
+	}
 
 	if err := f.Env.Run(); err != nil {
 		return nil, fmt.Errorf("orchestrator: %w", err)
@@ -406,6 +431,47 @@ func Run(f *cluster.FleetSystem, specs []JobSpec, opts Options) (*FleetResult, e
 }
 
 func (s *scheduler) now() time.Duration { return s.fleet.Env.Now() }
+
+// obsSetup wires the collector in: scheduler counters and gauges join the
+// registry (the fabric and fault layers register theirs at their own
+// seams), the fault injector learns to emit blast-radius spans, and the
+// sampler starts. Runs once, before the environment does.
+func (s *scheduler) obsSetup(c *obs.Collector) {
+	s.obs = c
+	reg := c.Registry()
+	s.obsPlacements = reg.Counter("orchestrator.placements")
+	s.obsRetries = reg.Counter("orchestrator.retries")
+	s.obsKills = reg.Counter("orchestrator.kills")
+	reg.Gauge("orchestrator.queue_depth", func() float64 { return float64(len(s.queue)) })
+	reg.Gauge("orchestrator.live_gpus", func() float64 {
+		if s.capTracking {
+			return float64(s.liveSlots)
+		}
+		return float64(len(s.fleet.Slots))
+	})
+	reg.Gauge("orchestrator.stranded_gpus", func() float64 {
+		free := 0
+		for i, j := range s.slotJob {
+			if j == -1 && s.slotAvailable(i) {
+				free++
+			}
+		}
+		return float64(free)
+	})
+	if s.injector != nil {
+		s.injector.SetObs(c)
+	}
+	c.StartSampling()
+}
+
+// settle records one job reaching a terminal state (done or failed); the
+// last one stops the metric sampler so the event queue can drain.
+func (s *scheduler) settle() {
+	s.settled++
+	if s.obs != nil && s.settled == len(s.jobs) {
+		s.obs.StopSampling()
+	}
+}
 
 func (s *scheduler) probe(ev Event) {
 	if s.opts.Probe != nil {
@@ -440,6 +506,10 @@ func (s *scheduler) arrive(js *jobState) {
 	js.arrived = now
 	s.queue = append(s.queue, js)
 	s.probe(Event{Kind: EventArrive, At: now, Job: js.spec.ID, Host: -1})
+	if s.obs != nil {
+		js.waitSpan = s.obs.Begin(obs.CatOrchestrator, "wait")
+		s.obs.SetAttr(js.waitSpan, "job", int64(js.spec.ID))
+	}
 	s.trySchedule()
 }
 
@@ -540,12 +610,27 @@ func (s *scheduler) place(js *jobState, host int, picks []int) {
 		}
 		s.slotHost[i] = host
 		moves++
+		if s.obs != nil {
+			ev := s.obs.Instant(obs.CatOrchestrator, "recompose")
+			s.obs.SetAttr(ev, "job", int64(js.spec.ID))
+			s.obs.SetAttr(ev, "slot", int64(i))
+			s.obs.SetAttr(ev, "host", int64(host))
+		}
 	}
 	js.moves += moves
 	s.recomps += moves
 	s.hostGPUs[host] += js.spec.GPUs
 	s.hostJobs[host]++
 	s.probe(Event{Kind: EventPlace, At: now, Job: js.spec.ID, Host: host, Slots: js.refs, Indices: js.indices, Moves: moves})
+	if s.obs != nil {
+		s.obs.Inc(s.obsPlacements)
+		s.obs.End(js.waitSpan)
+		js.waitSpan = 0
+		js.composeSpan = s.obs.Begin(obs.CatOrchestrator, "compose")
+		s.obs.SetAttr(js.composeSpan, "job", int64(js.spec.ID))
+		s.obs.SetAttr(js.composeSpan, "host", int64(host))
+		s.obs.SetAttr(js.composeSpan, "moves", int64(moves))
+	}
 
 	if delay := s.opts.AttachLatency * time.Duration(moves); delay > 0 {
 		s.fleet.Env.After(delay, func() { s.launch(js) })
@@ -589,6 +674,8 @@ func (s *scheduler) launch(js *jobState) {
 		ItersPerEpoch:       js.spec.ItersPerEpoch,
 		CheckpointsPerEpoch: js.spec.CheckpointsPerEpoch,
 		ResumeEpochs:        js.epochsDone,
+		Obs:                 s.obs,
+		ObsJob:              js.spec.ID,
 	})
 	if err != nil {
 		s.err = fmt.Errorf("orchestrator: starting job %d (%s ×%d on host%d): %w",
@@ -597,6 +684,14 @@ func (s *scheduler) launch(js *jobState) {
 	}
 	js.job = job
 	s.probe(Event{Kind: EventLaunch, At: now, Job: js.spec.ID, Host: js.host, Slots: js.refs, Indices: js.indices})
+	if s.obs != nil {
+		s.obs.End(js.composeSpan)
+		js.composeSpan = 0
+		js.runSpan = s.obs.Begin(obs.CatOrchestrator, "run")
+		s.obs.SetAttr(js.runSpan, "job", int64(js.spec.ID))
+		s.obs.SetAttr(js.runSpan, "host", int64(js.host))
+		s.obs.SetAttr(js.runSpan, "attempt", int64(js.retries))
+	}
 	s.fleet.Env.Go("fleet.watch.j"+strconv.Itoa(js.spec.ID)+"r"+strconv.Itoa(js.retries), func(p *sim.Proc) {
 		job.Done().Wait(p)
 		s.finish(js, p.Now())
@@ -627,6 +722,11 @@ func (s *scheduler) finish(js *jobState, now time.Duration) {
 	s.hostGPUs[js.host] -= js.spec.GPUs
 	s.hostJobs[js.host]--
 	js.done = true
+	if s.obs != nil {
+		s.obs.End(js.runSpan)
+		js.runSpan = 0
+	}
+	s.settle()
 	if s.capTracking {
 		// Snapshot the capacity integral at every finish; the last one wins
 		// and is exactly ∫ live GPUs dt over [0, makespan].

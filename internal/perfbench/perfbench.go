@@ -13,6 +13,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"runtime"
@@ -24,6 +25,7 @@ import (
 	"composable/internal/fabric"
 	"composable/internal/faults"
 	"composable/internal/lint"
+	"composable/internal/obs"
 	"composable/internal/orchestrator"
 	"composable/internal/sim"
 	"composable/internal/units"
@@ -93,6 +95,7 @@ func Suite() []Benchmark {
 		{"orchestrator/fleet-schedule", BenchOrchestratorFleetSchedule},
 		{"orchestrator/pod-schedule", BenchOrchestratorPodSchedule},
 		{"faults/recover-reschedule", BenchFaultsRecoverReschedule},
+		{"obs/trace-fleet-schedule", BenchObsTraceFleetSchedule},
 		{"suite/run-all-sequential", BenchSuiteRunAllSequential},
 		{"lint/simlint-full-repo", BenchSimlintFullRepo},
 	}
@@ -508,6 +511,55 @@ func BenchFaultsRecoverReschedule(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "recoveries/s")
+}
+
+// TraceFleetSchedule runs one fleet-schedule op with the observability
+// layer fully armed — a collector attached to the sim, fabric, train and
+// orchestrator seams, metrics sampled on the default interval — and
+// streams the resulting Chrome trace into w. It is the op body behind
+// both `benchrunner -trace` and the obs/trace-fleet-schedule suite entry.
+func TraceFleetSchedule(w io.Writer) error {
+	stream := []orchestrator.JobSpec{
+		{Arrival: 0, Tenant: 0, GPUs: 4, Workload: "ResNet-50", Epochs: 1, ItersPerEpoch: 2},
+		{Arrival: 0, Tenant: 1, GPUs: 2, Workload: "BERT", Epochs: 1, ItersPerEpoch: 2},
+		{Arrival: time.Second, Tenant: 2, GPUs: 2, Workload: "MobileNetV2", Epochs: 1, ItersPerEpoch: 2},
+		{Arrival: 2 * time.Second, Tenant: 0, GPUs: 4, Workload: "MobileNetV2", Epochs: 1, ItersPerEpoch: 2},
+		{Arrival: 2 * time.Second, Tenant: 1, GPUs: 2, Workload: "ResNet-50", Epochs: 1, ItersPerEpoch: 2},
+		{Arrival: 3 * time.Second, Tenant: 2, GPUs: 4, Workload: "BERT", Epochs: 1, ItersPerEpoch: 2},
+	}
+	col := obs.NewCollector()
+	env := sim.NewEnv()
+	col.Attach(env)
+	fleet, err := cluster.ComposeFleet(env, cluster.FleetOptions{Hosts: 3, GPUs: 8})
+	if err != nil {
+		return err
+	}
+	fleet.AttachObs(col)
+	res, err := orchestrator.Run(fleet, stream, orchestrator.Options{
+		Policy: orchestrator.DrawerLocal{}, Obs: col,
+	})
+	if err != nil {
+		return err
+	}
+	if len(res.Jobs) != len(stream) {
+		return fmt.Errorf("perfbench: incomplete observed fleet run: %d jobs", len(res.Jobs))
+	}
+	return col.WriteTrace(w)
+}
+
+// BenchObsTraceFleetSchedule measures the fully-observed fleet-schedule
+// op: the same work as orchestrator/fleet-schedule plus span collection,
+// metric sampling, and trace export (into io.Discard). The gap between
+// the two entries prices the observability layer when it is ON; the
+// alloc gates separately pin that the disabled path costs nothing.
+func BenchObsTraceFleetSchedule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := TraceFleetSchedule(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "traces/s")
 }
 
 // BenchSuiteRunAllSequential regenerates every registered experiment on a

@@ -8,6 +8,7 @@ import (
 	"composable/internal/falcon"
 	"composable/internal/faults"
 	"composable/internal/invariant"
+	"composable/internal/obs"
 	"composable/internal/orchestrator"
 	"composable/internal/sim"
 )
@@ -110,10 +111,24 @@ func SanitizeFaults(sc FaultScenario) FaultScenario {
 // outcome's fingerprint covers the applied-fault ledger, so the run-twice
 // determinism tier extends to faulty runs.
 func RunFaultyFleet(sc FaultScenario) (*FleetOutcome, error) {
+	return RunFaultyFleetObserved(sc, nil)
+}
+
+// RunFaultyFleetObserved is RunFaultyFleet with an observability
+// collector attached across the stack; fault injections additionally
+// open blast-radius spans that close on repair. A nil collector
+// degrades to the plain RunFaultyFleet.
+func RunFaultyFleetObserved(sc FaultScenario, c *obs.Collector) (*FleetOutcome, error) {
 	env := sim.NewEnv()
+	if c != nil {
+		c.Attach(env)
+	}
 	f, err := cluster.ComposeFleet(env, sc.Fleet.fleetOptions())
 	if err != nil {
 		return nil, fmt.Errorf("scengen: compose %s: %w", sc.ID(), err)
+	}
+	if c != nil {
+		f.AttachObs(c)
 	}
 	pol, err := orchestrator.PolicyByName(sc.Fleet.Policy)
 	if err != nil {
@@ -129,6 +144,7 @@ func RunFaultyFleet(sc FaultScenario) (*FleetOutcome, error) {
 		Probe:         inv.OrchestratorProbe(),
 		Faults:        &sc.Plan,
 		MaxRetries:    sc.MaxRetries,
+		Obs:           c,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scengen: faulty fleet %s: %w", sc.ID(), err)

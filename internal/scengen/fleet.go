@@ -10,6 +10,7 @@ import (
 	"composable/internal/dlmodel"
 	"composable/internal/gpu"
 	"composable/internal/invariant"
+	"composable/internal/obs"
 	"composable/internal/orchestrator"
 	"composable/internal/sim"
 	"composable/internal/train"
@@ -100,9 +101,9 @@ func FleetFromSeed(seed int64) FleetScenario {
 			arrival += time.Duration(rng.Intn(4000)) * time.Millisecond
 		}
 		j := orchestrator.JobSpec{
-			Arrival: arrival,
-			Tenant:  rng.Intn(sc.Hosts),
-			GPUs:    2 + rng.Intn(5),
+			Arrival:  arrival,
+			Tenant:   rng.Intn(sc.Hosts),
+			GPUs:     2 + rng.Intn(5),
 			Workload: bench[rng.Intn(len(bench))].Name,
 		}
 		if rng.Intn(5) == 0 {
@@ -284,10 +285,26 @@ func (o *FleetOutcome) Err() error { return o.Inv.Err() }
 // failed to compose or schedule; invariant violations are reported on the
 // FleetOutcome.
 func RunFleet(sc FleetScenario) (*FleetOutcome, error) {
+	return RunFleetObserved(sc, nil)
+}
+
+// RunFleetObserved is RunFleet with an observability collector attached
+// to every layer of the run: sim proc lifetimes, fabric flow spans and
+// per-tier utilization gauges, train epoch/checkpoint spans, and the
+// orchestrator's queue/placement metrics. A nil collector degrades to
+// the plain, probe-free RunFleet. The fingerprint is unaffected either
+// way — observation never perturbs the simulation.
+func RunFleetObserved(sc FleetScenario, c *obs.Collector) (*FleetOutcome, error) {
 	env := sim.NewEnv()
+	if c != nil {
+		c.Attach(env)
+	}
 	f, err := cluster.ComposeFleet(env, sc.fleetOptions())
 	if err != nil {
 		return nil, fmt.Errorf("scengen: compose %s: %w", sc.ID(), err)
+	}
+	if c != nil {
+		f.AttachObs(c)
 	}
 	pol, err := orchestrator.PolicyByName(sc.Policy)
 	if err != nil {
@@ -301,6 +318,7 @@ func RunFleet(sc FleetScenario) (*FleetOutcome, error) {
 		Policy:        pol,
 		AttachLatency: sc.AttachLatency, // same 0=default/negative=free convention
 		Probe:         inv.OrchestratorProbe(),
+		Obs:           c,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scengen: fleet %s: %w", sc.ID(), err)

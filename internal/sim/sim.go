@@ -112,6 +112,17 @@ type Env struct {
 	// the engine's invariant probe point (internal/invariant watches it for
 	// event-time monotonicity); the nil check keeps the hot loop free.
 	onEvent func(at Time)
+	// nEvents counts dispatched events for the whole run — a free-running
+	// engine odometer the observability layer samples as a gauge.
+	nEvents uint64
+	// procStart/procEnd, when set, observe goroutine-backed process
+	// lifetimes (spawn in Go, completion in runOne). procStart returns an
+	// opaque token carried on the Proc and handed back to procEnd, which
+	// is how internal/obs turns each process into one trace span without
+	// the engine knowing what a span is. Steppers are not reported: they
+	// live for the whole run and would only add noise.
+	procStart func(name string, at Time) uint64
+	procEnd   func(token uint64, at Time)
 }
 
 // SetEventProbe installs fn to be called with the timestamp of every event
@@ -119,6 +130,24 @@ type Env struct {
 // probe must not mutate simulation state; it exists for invariant checking
 // and tracing.
 func (e *Env) SetEventProbe(fn func(at Time)) { e.onEvent = fn }
+
+// SetProcProbe installs lifetime observers for goroutine-backed processes:
+// start is called at spawn and returns a token, end receives that token
+// when the process completes. Zero tokens are never handed to end, so an
+// observer can use 0 as "not traced". Pass nils to remove the probes. Like
+// the event probe, the observers must not mutate simulation state.
+func (e *Env) SetProcProbe(start func(name string, at Time) uint64, end func(token uint64, at Time)) {
+	e.procStart = start
+	e.procEnd = end
+}
+
+// EventCount returns the number of events dispatched so far across the
+// environment's lifetime.
+func (e *Env) EventCount() uint64 { return e.nEvents }
+
+// LiveProcs returns the number of currently live processes (including
+// steppers).
+func (e *Env) LiveProcs() int { return len(e.procs) }
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
@@ -305,6 +334,9 @@ type Proc struct {
 	waitKind waitKind
 	waitDur  time.Duration // waitSleep
 	waitName string        // waitResource, waitQueue
+	// obsTok is the opaque lifetime-probe token from Env.procStart (0 =
+	// untraced); runOne hands it back to Env.procEnd on completion.
+	obsTok uint64
 }
 
 // Name returns the name the process was spawned with.
@@ -353,6 +385,10 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	}
 	p.fn = fn
 	e.addProc(p)
+	p.obsTok = 0
+	if e.procStart != nil {
+		p.obsTok = e.procStart(name, e.now)
+	}
 	// The start is an ordinary wake event: the loop goroutine is already
 	// blocked on resume and runs fn on its first wake, exactly where the
 	// pre-pooling implementation scheduled its spawn closure.
@@ -403,6 +439,10 @@ func (p *Proc) runOne() {
 		}
 		p.fn = nil
 		p.done = true
+		if e.procEnd != nil && p.obsTok != 0 {
+			e.procEnd(p.obsTok, e.now)
+			p.obsTok = 0
+		}
 		e.dropProc(p)
 		if completed || r != nil {
 			e.freeProcs = append(e.freeProcs, p)
@@ -473,6 +513,7 @@ func (e *Env) dispatch() {
 		} else {
 			break
 		}
+		e.nEvents++
 		if e.onEvent != nil {
 			e.onEvent(ev.at)
 		}

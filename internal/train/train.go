@@ -19,6 +19,7 @@ import (
 	"composable/internal/dlmodel"
 	"composable/internal/fabric"
 	"composable/internal/gpu"
+	"composable/internal/obs"
 	"composable/internal/sim"
 	"composable/internal/telemetry"
 	"composable/internal/units"
@@ -83,6 +84,14 @@ type Options struct {
 	// from Fingerprint; internal/invariant hangs its training-side checks
 	// here.
 	Probe func(event string, at time.Duration)
+	// Obs, when non-nil, records the run's lifecycle on the train trace
+	// track: epoch and checkpoint/restore spans, a done/abort instant.
+	// Like Probe it must not change outcomes, so it is excluded from
+	// Fingerprint. ObsJob tags every emitted span with the owning fleet
+	// job id (the orchestrator threads it through) so per-job traces can
+	// be cut from a shared run.
+	Obs    *obs.Collector
+	ObsJob int
 }
 
 // Probe event names passed to Options.Probe.
@@ -397,6 +406,7 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 	resuming := opts.ResumeEpochs > 0
 	if resuming {
 		env.Go("restore", func(p *sim.Proc) {
+			restoreT0 := p.Now()
 			if err := sys.Store.Read(p, sys.Mem, ckptBytes, false); err != nil {
 				panic(err)
 			}
@@ -410,6 +420,10 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 			rec.event(p.Now(), ProbeRestore, w.Name)
 			if opts.Probe != nil {
 				opts.Probe(ProbeRestore, p.Now())
+			}
+			if opts.Obs != nil {
+				id := opts.Obs.Emit(obs.CatTrain, "restore", restoreT0, p.Now())
+				opts.Obs.SetAttr(id, "job", int64(opts.ObsJob))
 			}
 			restored.Fire(env)
 		})
@@ -482,6 +496,9 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 	var ranksDone sim.WaitGroup
 	ranksDone.Add(nGPU)
 
+	// obsEpochStart tracks the last epoch boundary for the epoch spans;
+	// only rank 0 reads or writes it.
+	obsEpochStart := env.Now()
 	for rank := 0; rank < nGPU; rank++ {
 		dev := sys.GPUs[rank]
 		env.Go("rank"+rankStr[rank], func(p *sim.Proc) {
@@ -555,6 +572,7 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 
 				// Checkpoint barrier (Figure 9's periodic dips).
 				if cp := ckptAt[it]; cp != nil {
+					ckptT0 := p.Now()
 					cp.arrive(env, p, rank, func(cb *sim.Proc) {
 						if err := sys.Net.Transfer(cb, sys.GPUs[0].Node, sys.Mem, ckptBytes); err != nil {
 							panic(err)
@@ -568,6 +586,10 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 						if opts.Probe != nil {
 							opts.Probe(ProbeCheckpoint, p.Now())
 						}
+						if opts.Obs != nil {
+							id := opts.Obs.Emit(obs.CatTrain, "checkpoint", ckptT0, p.Now())
+							opts.Obs.SetAttr(id, "job", int64(opts.ObsJob))
+						}
 					}
 				}
 				if rank == 0 && (it+1)%opts.ItersPerEpoch == 0 {
@@ -575,6 +597,12 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 					rec.event(p.Now(), ProbeEpoch, w.Name)
 					if opts.Probe != nil {
 						opts.Probe(ProbeEpoch, p.Now())
+					}
+					if opts.Obs != nil {
+						id := opts.Obs.Emit(obs.CatTrain, "epoch", obsEpochStart, p.Now())
+						opts.Obs.SetAttr(id, "job", int64(opts.ObsJob))
+						opts.Obs.SetAttr(id, "epoch", int64(len(job.epochEnds)+opts.ResumeEpochs))
+						obsEpochStart = p.Now()
 					}
 				}
 			}
@@ -609,6 +637,10 @@ func Start(sys *cluster.System, opts Options) (*Job, error) {
 		rec.event(p.Now(), final, w.Name)
 		if opts.Probe != nil {
 			opts.Probe(final, p.Now())
+		}
+		if opts.Obs != nil {
+			id := opts.Obs.Instant(obs.CatTrain, final)
+			opts.Obs.SetAttr(id, "job", int64(opts.ObsJob))
 		}
 		job.done.Fire(env)
 	})
