@@ -43,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		gpus      = fs.Int("gpus", 12, "with -fleet: chassis GPU inventory")
 		mtbf      = fs.Duration("mtbf", 0, "with -fleet: replay the mix under a seeded fault profile with this mean time between failures (0 = fault-free)")
 		faultSeed = fs.Int64("fault-seed", 1, "with -fleet -mtbf: fault schedule seed")
+		sloSpec   = fs.String("slo", "", `with -fleet: score every policy against this SLO, e.g. "p99-wait<=500ms max-failed<=0"`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mix.Hosts, mix.GPUs = *hosts, *gpus
 		mix.ItersPerEpoch = *iters
 		mix.MTBF, mix.FaultSeed = *mtbf, *faultSeed
+		mix.SLO = *sloSpec
 		rec, err := advisor.RecommendPolicy(mix)
 		if err != nil {
 			fmt.Fprintln(stderr, "advisor:", err)

@@ -14,6 +14,8 @@
 //	chaossim -seed 1 -retries 1           # tighter retry budget
 //	chaossim -seed 1 -pod                 # pod-shaped fleet, pod/spine faults in play
 //	chaossim -seed 1 -fingerprint         # canonical fingerprint (faults included)
+//	chaossim -seed 1 -report              # trace-analytics report (attribution, percentiles)
+//	chaossim -seed 1 -slo "p99-wait<=1m max-failed<=0"   # exit 3 on violation
 //
 // The simulation is deterministic: the same flags always print the same
 // report, byte for byte — the chaossim-smoke CI job diffs two runs.
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"composable/internal/obs"
+	"composable/internal/obs/analyze"
 	"composable/internal/orchestrator"
 	"composable/internal/scengen"
 )
@@ -53,8 +56,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut    = fs.String("trace", "", "write a Chrome trace_event JSON of the run to this file (load in Perfetto)")
 		metricsOut  = fs.String("metrics", "", "write the sampled metrics series as CSV to this file")
 		metricsIvMS = fs.Int("metrics-interval", 0, "metrics sampling interval in sim-time ms (default 100)")
+		report      = fs.Bool("report", false, "print the trace-analytics report (attribution, percentiles) after the run")
+		sloSpec     = fs.String("slo", "", `evaluate this SLO against the run and exit 3 on violation, e.g. "p99-wait<=1m max-failed<=0"`)
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	slo, err := analyze.ParseSLO(*sloSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "chaossim:", err)
 		return 2
 	}
 
@@ -116,7 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var col *obs.Collector
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *report || !slo.Empty() {
 		col = obs.NewCollector()
 		col.SetInterval(time.Duration(*metricsIvMS) * time.Millisecond)
 	}
@@ -169,8 +179,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if col != nil {
 		fmt.Fprintf(stdout, "\n%s", col.Summary())
 	}
+
+	var health *analyze.HealthReport
+	if *report || !slo.Empty() {
+		a := analyze.FromCollector(col).Analyze()
+		stats := out.Stats()
+		if !slo.Empty() {
+			health = analyze.Evaluate(slo, a, stats)
+		}
+		fmt.Fprintln(stdout)
+		if err := analyze.WriteText(stdout, a, &stats, health, 5); err != nil {
+			fmt.Fprintln(stderr, "chaossim:", err)
+			return 1
+		}
+	}
 	if *fingerprint {
 		fmt.Fprintf(stdout, "\n--- fingerprint\n%s", out.Fingerprint)
+	}
+	if health != nil && !health.Healthy {
+		return 3
 	}
 	return 0
 }

@@ -12,6 +12,8 @@
 //	fleetsim -seed 1 -pod                     # seeded multi-pod spine/leaf fleet
 //	fleetsim -seed 1 -pods 4 -chassis-per-pod 3 -oversub 8
 //	fleetsim -seed 1 -fingerprint             # print the telemetry fingerprint
+//	fleetsim -seed 1 -report                  # trace-analytics report (attribution, percentiles)
+//	fleetsim -seed 1 -slo "p99-wait<=1m util>=0.2"   # exit 3 on violation
 //	fleetsim -list-policies
 //
 // The simulation is deterministic: the same flags always print the same
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"composable/internal/obs"
+	"composable/internal/obs/analyze"
 	"composable/internal/orchestrator"
 	"composable/internal/scengen"
 )
@@ -55,8 +58,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut    = fs.String("trace", "", "write a Chrome trace_event JSON of the run to this file (load in Perfetto)")
 		metricsOut  = fs.String("metrics", "", "write the sampled metrics series as CSV to this file")
 		metricsIvMS = fs.Int("metrics-interval", 0, "metrics sampling interval in sim-time ms (default 100)")
+		report      = fs.Bool("report", false, "print the trace-analytics report (attribution, percentiles) after the run")
+		sloSpec     = fs.String("slo", "", `evaluate this SLO against the run and exit 3 on violation, e.g. "p99-wait<=1m util>=0.2"`)
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	slo, err := analyze.ParseSLO(*sloSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "fleetsim:", err)
 		return 2
 	}
 	if *listPol {
@@ -113,13 +123,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sc = scengen.SanitizeFleet(sc)
 
 	var col *obs.Collector
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *report || !slo.Empty() {
 		col = obs.NewCollector()
 		col.SetInterval(time.Duration(*metricsIvMS) * time.Millisecond)
 	}
 
 	var out *scengen.FleetOutcome
-	var err error
 	if *faultSeed != 0 {
 		fc := scengen.SanitizeFaults(scengen.FaultScenario{
 			Fleet: sc, Plan: scengen.PlanForFleet(*faultSeed, sc),
@@ -166,8 +175,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if col != nil {
 		fmt.Fprintf(stdout, "\n%s", col.Summary())
 	}
+
+	var health *analyze.HealthReport
+	if *report || !slo.Empty() {
+		a := analyze.FromCollector(col).Analyze()
+		stats := out.Stats()
+		if !slo.Empty() {
+			health = analyze.Evaluate(slo, a, stats)
+		}
+		fmt.Fprintln(stdout)
+		if err := analyze.WriteText(stdout, a, &stats, health, 5); err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 1
+		}
+	}
 	if *fingerprint {
 		fmt.Fprintf(stdout, "\n--- fingerprint\n%s", out.Fingerprint)
+	}
+	if health != nil && !health.Healthy {
+		return 3
 	}
 	return 0
 }

@@ -36,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer, serve func(addr string, h http
 	var (
 		addr      = fs.String("addr", ":8080", "listen address")
 		usersFile = fs.String("users", "", "JSON file with the tenant list")
+		sloSpec   = fs.String("slo", "", `SLO every queue drain is scored against, e.g. "p99-wait<=1m max-failed<=0" (admin GET /api/health reports the verdict)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,6 +63,13 @@ func run(args []string, stdout, stderr io.Writer, serve func(addr string, h http
 	}
 
 	srv := mcs.NewServer(ch, users)
+	if err := srv.SetSLO(*sloSpec); err != nil {
+		fmt.Fprintln(stderr, "mcsd:", err)
+		return 2
+	}
+	if *sloSpec != "" {
+		fmt.Fprintf(stdout, "mcsd: scoring queue drains against SLO %q\n", *sloSpec)
+	}
 	fmt.Fprintf(stdout, "mcsd: serving Falcon management API on %s\n", *addr)
 	if err := serve(*addr, srv.Handler()); err != nil {
 		fmt.Fprintln(stderr, "mcsd:", err)

@@ -1,0 +1,162 @@
+// Command tracectl is the trace-analytics front end: it analyzes an
+// exported Chrome trace (obs.WriteTrace output) or runs a seeded
+// scenario itself, then prints per-job time attribution, critical
+// paths, fleet blame totals, exact-percentile histograms, and an SLO
+// health verdict.
+//
+// Usage:
+//
+//	tracectl -file trace.json                 # analyze an exported trace
+//	tracectl -seed 1                          # run + analyze a seeded fleet scenario
+//	tracectl -seed 1 -fault-seed 3            # ... with a seeded fault schedule
+//	tracectl -seed 1 -pod                     # ... pod-shaped spine/leaf fleet
+//	tracectl -seed 1 -slo "p99-wait<=1m util>=0.2"
+//	tracectl -file trace.json -json -top 10
+//
+// Output is deterministic: the same input always prints the same
+// bytes. Exit codes: 0 healthy/no SLO, 1 run or I/O error, 2 bad
+// flags, 3 SLO violated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"composable/internal/obs"
+	"composable/internal/obs/analyze"
+	"composable/internal/scengen"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable main: parse flags, obtain a trace (file or
+// fresh scenario run), analyze, render, and score the SLO.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracectl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		file      = fs.String("file", "", "analyze this exported Chrome trace instead of running a scenario")
+		seed      = fs.Int64("seed", 1, "scenario seed when running (ignored with -file)")
+		pod       = fs.Bool("pod", false, "draw a pod-shaped (multi-chassis spine/leaf) scenario from the seed")
+		faultSeed = fs.Int64("fault-seed", 0, "arm a seeded fault schedule (0 = fault-free)")
+		jobs      = fs.Int("jobs", 0, "trim the scenario stream to this many jobs")
+		topN      = fs.Int("top", 5, "show the N slowest jobs")
+		sloSpec   = fs.String("slo", "", `declarative SLO, e.g. "p99-wait<=800ms goodput>=2.5 util>=0.4 max-failed<=0"`)
+		jsonOut   = fs.Bool("json", false, "emit the machine-readable JSON report instead of text")
+		outPath   = fs.String("o", "", "write the report to this file instead of stdout")
+		emitTrace = fs.String("emit-trace", "", "in run mode, also write the raw Chrome trace to this file (re-analyzable via -file)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	slo, err := analyze.ParseSLO(*sloSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracectl:", err)
+		return 2
+	}
+
+	var tr *analyze.Trace
+	var stats *analyze.FleetStats
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracectl:", err)
+			return 1
+		}
+		tr, err = analyze.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "tracectl:", err)
+			return 1
+		}
+		// Run-level metrics (goodput, utilization) are not recoverable
+		// from a bare trace; SLO clauses on them will report skipped.
+	} else {
+		sc := scengen.FleetFromSeed(*seed)
+		if *pod {
+			sc = scengen.PodFleetFromSeed(*seed)
+		}
+		if *jobs > 0 && *jobs < len(sc.Jobs) {
+			sc.Jobs = sc.Jobs[:*jobs]
+		}
+		sc = scengen.SanitizeFleet(sc)
+		col := obs.NewCollector()
+		var out *scengen.FleetOutcome
+		if *faultSeed != 0 {
+			fc := scengen.SanitizeFaults(scengen.FaultScenario{
+				Fleet: sc, Plan: scengen.PlanForFleet(*faultSeed, sc),
+			})
+			out, err = scengen.RunFaultyFleetObserved(fc, col)
+		} else {
+			out, err = scengen.RunFleetObserved(sc, col)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "tracectl:", err)
+			return 1
+		}
+		if err := out.Err(); err != nil {
+			fmt.Fprintln(stderr, "tracectl: INVARIANT VIOLATIONS:", err)
+			return 1
+		}
+		tr = analyze.FromCollector(col)
+		s := out.Stats()
+		stats = &s
+		if *emitTrace != "" {
+			f, err := os.Create(*emitTrace)
+			if err != nil {
+				fmt.Fprintln(stderr, "tracectl:", err)
+				return 1
+			}
+			if err := col.WriteTrace(f); err != nil {
+				f.Close()
+				fmt.Fprintln(stderr, "tracectl:", err)
+				return 1
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "tracectl:", err)
+				return 1
+			}
+		}
+	}
+
+	a := tr.Analyze()
+	var health *analyze.HealthReport
+	if !slo.Empty() {
+		st := analyze.FleetStats{}
+		if stats != nil {
+			st = *stats
+		}
+		health = analyze.Evaluate(slo, a, st)
+	}
+
+	w := io.Writer(stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracectl:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if *jsonOut {
+		b, err := analyze.JSONReport(a, stats, health, *topN)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracectl:", err)
+			return 1
+		}
+		if _, err := w.Write(b); err != nil {
+			fmt.Fprintln(stderr, "tracectl:", err)
+			return 1
+		}
+	} else if err := analyze.WriteText(w, a, stats, health, *topN); err != nil {
+		fmt.Fprintln(stderr, "tracectl:", err)
+		return 1
+	}
+	if health != nil && !health.Healthy {
+		return 3
+	}
+	return 0
+}

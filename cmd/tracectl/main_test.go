@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestRunTwiceByteIdentical pins the CLI's determinism contract: the
+// same flags produce the same bytes, in both text and JSON modes,
+// for fault-free and faulty scenarios.
+func TestRunTwiceByteIdentical(t *testing.T) {
+	for _, args := range [][]string{
+		{"-seed", "1"},
+		{"-seed", "1", "-fault-seed", "3", "-slo", "p99-wait<=24h max-failed<=100"},
+		{"-seed", "2", "-json", "-top", "3"},
+	} {
+		c1, o1, e1 := runCLI(t, args...)
+		c2, o2, e2 := runCLI(t, args...)
+		if c1 != c2 || o1 != o2 || e1 != e2 {
+			t.Errorf("args %v: two runs diverge (codes %d/%d)", args, c1, c2)
+		}
+		if c1 != 0 {
+			t.Errorf("args %v: exit %d, stderr: %s", args, c1, e1)
+		}
+	}
+}
+
+// TestFileModeMatchesRunMode pins the two input paths end to end: a
+// trace written by one run, re-analyzed via -file, must yield the
+// same JSON report as the live run (minus the run-level stats block,
+// which a bare trace cannot carry).
+func TestFileModeMatchesRunMode(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+
+	// Produce the trace with the obs exporter via a scenario run.
+	writeScenarioTrace(t, trace)
+
+	code, fromFile, stderr := runCLI(t, "-file", trace, "-json", "-top", "4")
+	if code != 0 {
+		t.Fatalf("file mode exit %d: %s", code, stderr)
+	}
+	code, live, stderr := runCLI(t, "-seed", "1", "-fault-seed", "3", "-json", "-top", "4")
+	if code != 0 {
+		t.Fatalf("run mode exit %d: %s", code, stderr)
+	}
+
+	var fileDoc, liveDoc map[string]any
+	if err := json.Unmarshal([]byte(fromFile), &fileDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(live), &liveDoc); err != nil {
+		t.Fatal(err)
+	}
+	// Run mode additionally knows goodput/utilization.
+	if _, ok := liveDoc["stats"]; !ok {
+		t.Error("run mode report lacks fleet stats")
+	}
+	delete(liveDoc, "stats")
+	fb, _ := json.Marshal(fileDoc)
+	lb, _ := json.Marshal(liveDoc)
+	if !bytes.Equal(fb, lb) {
+		t.Errorf("file-mode analysis diverges from run mode:\nfile: %s\nlive: %s", fb, lb)
+	}
+}
+
+// TestSLOVerdictExitCodes pins the CI-facing contract: a violated SLO
+// exits 3 and prints FAIL; an unparsable SLO exits 2.
+func TestSLOVerdictExitCodes(t *testing.T) {
+	code, out, _ := runCLI(t, "-seed", "1", "-slo", "p99-latency<=1ns")
+	if code != 3 {
+		t.Errorf("violated SLO: exit %d, want 3", code)
+	}
+	if !strings.Contains(out, "slo: FAIL") {
+		t.Errorf("report lacks FAIL verdict:\n%s", out)
+	}
+
+	code, _, stderr := runCLI(t, "-seed", "1", "-slo", "nonsense<=1")
+	if code != 2 || !strings.Contains(stderr, "unknown metric") {
+		t.Errorf("bad SLO: exit %d, stderr %q, want 2 + parse error", code, stderr)
+	}
+
+	// Trace-file mode: goodput clause skips, doesn't fail.
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	writeScenarioTrace(t, trace)
+	code, out, stderr = runCLI(t, "-file", trace, "-slo", "goodput>=1e9")
+	if code != 0 {
+		t.Errorf("skipped-only SLO should exit 0, got %d (%s)", code, stderr)
+	}
+	if !strings.Contains(out, "skip") {
+		t.Errorf("report should mark the clause skipped:\n%s", out)
+	}
+}
+
+// TestTextReportShape spot-checks the human rendering.
+func TestTextReportShape(t *testing.T) {
+	code, out, stderr := runCLI(t, "-seed", "1", "-fault-seed", "3", "-top", "2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"trace analytics:", "time attribution (fleet blame):",
+		"winddown", "histograms (exact percentiles):",
+		"slowest 2 jobs:", "critical paths:", "fleet: goodput",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// writeScenarioTrace runs the seed-1/fault-seed-3 scenario and dumps
+// its raw Chrome trace via -emit-trace, for -file round trips.
+func writeScenarioTrace(t *testing.T, path string) {
+	t.Helper()
+	code, _, stderr := runCLI(t, "-seed", "1", "-fault-seed", "3", "-emit-trace", path)
+	if code != 0 {
+		t.Fatalf("emit-trace exit %d: %s", code, stderr)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

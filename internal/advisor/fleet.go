@@ -9,6 +9,8 @@ import (
 	"composable/internal/cluster"
 	"composable/internal/falcon"
 	"composable/internal/faults"
+	"composable/internal/obs"
+	"composable/internal/obs/analyze"
 	"composable/internal/orchestrator"
 	"composable/internal/sim"
 )
@@ -44,6 +46,12 @@ type FleetMix struct {
 	MTBF time.Duration
 	// FaultSeed selects the fault schedule (0 = 1).
 	FaultSeed int64
+
+	// SLO, when set, is a declarative service objective (analyze.ParseSLO
+	// syntax, e.g. "p99-wait<=500ms max-failed<=0") every policy run is
+	// scored against. Policies meeting the SLO rank above those violating
+	// it regardless of raw speed.
+	SLO string
 }
 
 // stream synthesizes the deterministic job stream the description
@@ -71,9 +79,20 @@ func (m FleetMix) stream() []orchestrator.JobSpec {
 type PolicyEvaluation struct {
 	Policy string
 	Result *orchestrator.FleetResult
+	// P99Wait is the exact nearest-rank 99th-percentile queue wait from
+	// the run's trace analysis — the tail a tenant actually feels, which
+	// the ranking weighs ahead of fleet-wide makespan.
+	P99Wait time.Duration
+	// Health is the SLO verdict when the mix declares one.
+	Health *analyze.HealthReport
 	// Skipped explains why a policy was not evaluated (e.g. the static
 	// partition cannot hold the mix's largest job).
 	Skipped string
+}
+
+// meetsSLO reports the verdict (true when no SLO is declared).
+func (e *PolicyEvaluation) meetsSLO() bool {
+	return e.Health == nil || e.Health.Healthy
 }
 
 // PolicyRecommendation is the advisor's fleet-side output.
@@ -85,9 +104,13 @@ type PolicyRecommendation struct {
 }
 
 // RecommendPolicy replays the described mix under every placement policy
-// and ranks them by makespan (ties broken by mean wait). Policies that
-// cannot serve the mix at all — static partitioning when a job outgrows a
-// tenant's share — are reported as skipped rather than ranked.
+// with a trace collector attached and ranks them tenant-first: SLO
+// verdict (when the mix declares one), then exact p99 queue wait from
+// the trace analysis, then makespan and mean wait. Under a fault
+// profile survival still leads (failed jobs, then goodput) before the
+// wait tail. Policies that cannot serve the mix at all — static
+// partitioning when a job outgrows a tenant's share — are reported as
+// skipped rather than ranked.
 func RecommendPolicy(mix FleetMix) (*PolicyRecommendation, error) {
 	if mix.Hosts == 0 {
 		mix.Hosts = 3
@@ -110,6 +133,10 @@ func RecommendPolicy(mix FleetMix) (*PolicyRecommendation, error) {
 		}
 	}
 	stream := mix.stream()
+	slo, err := analyze.ParseSLO(mix.SLO)
+	if err != nil {
+		return nil, fmt.Errorf("advisor: %w", err)
+	}
 
 	// Optional fault profile: one schedule, replayed against every
 	// policy. Everything must heal (MaxPermanentGPUs 0) so the static
@@ -135,18 +162,36 @@ func RecommendPolicy(mix FleetMix) (*PolicyRecommendation, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := orchestrator.Run(fleet, stream, orchestrator.Options{Policy: pol, Faults: plan})
+		col := obs.NewCollector()
+		// Spans only: an armed metrics sampler would keep the event queue
+		// alive forever on policies that strand jobs (the skip path).
+		col.DisableSampling()
+		col.Attach(env)
+		res, err := orchestrator.Run(fleet, stream, orchestrator.Options{Policy: pol, Faults: plan, Obs: col})
 		if err != nil {
 			skipped = append(skipped, PolicyEvaluation{Policy: pol.Name(), Skipped: err.Error()})
 			continue
 		}
-		evaluated = append(evaluated, PolicyEvaluation{Policy: pol.Name(), Result: res})
+		an := analyze.FromCollector(col).Analyze()
+		ev := PolicyEvaluation{Policy: pol.Name(), Result: res, P99Wait: an.Wait.P99()}
+		if !slo.Empty() {
+			ev.Health = analyze.Evaluate(slo, an, analyze.FleetStats{
+				Goodput: res.Goodput, Utilization: res.Utilization, Known: true,
+			})
+		}
+		evaluated = append(evaluated, ev)
 	}
 	if len(evaluated) == 0 {
 		return nil, fmt.Errorf("advisor: no policy can serve the mix")
 	}
 	sort.SliceStable(evaluated, func(i, j int) bool {
-		a, b := evaluated[i].Result, evaluated[j].Result
+		x, y := &evaluated[i], &evaluated[j]
+		a, b := x.Result, y.Result
+		// A policy meeting the declared SLO beats one violating it,
+		// whatever the raw numbers say.
+		if x.meetsSLO() != y.meetsSLO() {
+			return x.meetsSLO()
+		}
 		if mix.MTBF > 0 {
 			// Under faults the metric is recovery: first don't abandon
 			// jobs, then deliver useful work fastest.
@@ -156,6 +201,11 @@ func RecommendPolicy(mix FleetMix) (*PolicyRecommendation, error) {
 			if a.Goodput != b.Goodput {
 				return a.Goodput > b.Goodput
 			}
+		}
+		// Tenant experience before fleet throughput: the p99 wait tail,
+		// then makespan, then mean wait.
+		if x.P99Wait != y.P99Wait {
+			return x.P99Wait < y.P99Wait
 		}
 		if a.Makespan != b.Makespan {
 			return a.Makespan < b.Makespan
@@ -172,6 +222,16 @@ func RecommendPolicy(mix FleetMix) (*PolicyRecommendation, error) {
 		rec.Rationale = faultyRationale(mix, evaluated)
 	} else {
 		rec.Rationale = policyRationale(evaluated)
+	}
+	if mix.SLO != "" {
+		healthy := 0
+		for i := range evaluated {
+			if evaluated[i].meetsSLO() {
+				healthy++
+			}
+		}
+		rec.Rationale += fmt.Sprintf(" SLO %q: %d of %d evaluated policies healthy.",
+			mix.SLO, healthy, len(evaluated))
 	}
 	return rec, nil
 }
@@ -195,6 +255,21 @@ func policyRationale(evaluated []PolicyEvaluation) string {
 	if len(evaluated) == 1 {
 		return fmt.Sprintf("Only %s can serve this mix on the described fleet.", best.Policy)
 	}
+	// When the wait-tail winner is not the makespan winner, the tail is
+	// the story: name the faster-finishing policy the ranking passed over.
+	fastest := &evaluated[0]
+	for i := range evaluated {
+		if evaluated[i].Result.Makespan < fastest.Result.Makespan {
+			fastest = &evaluated[i]
+		}
+	}
+	if fastest.Policy != best.Policy {
+		return fmt.Sprintf("%s finishes the whole queue sooner (%v vs %v), but %s holds the p99 "+
+			"queue wait to %v against %s's %v — the tail, not the makespan, is what a tenant feels.",
+			fastest.Policy, fastest.Result.Makespan.Round(time.Millisecond),
+			best.Result.Makespan.Round(time.Millisecond), best.Policy,
+			best.P99Wait.Round(time.Millisecond), fastest.Policy, fastest.P99Wait.Round(time.Millisecond))
+	}
 	worst := evaluated[len(evaluated)-1]
 	gap := worst.Result.Makespan.Seconds()/best.Result.Makespan.Seconds() - 1
 	if gap < 0.05 {
@@ -217,28 +292,48 @@ func (r *PolicyRecommendation) Report() string {
 	}
 	if r.Mix.MTBF > 0 {
 		fmt.Fprintf(&b, "  fault profile: MTBF %v (seeded, repairable GPU/drawer/link failures)\n", r.Mix.MTBF)
-		fmt.Fprintf(&b, "\n%-10s %14s %9s %6s %7s %10s\n", "policy", "makespan", "goodput", "kills", "failed", "lost")
+		fmt.Fprintf(&b, "\n%-10s %14s %9s %6s %7s %10s%s\n", "policy", "makespan", "goodput", "kills", "failed", "lost", sloHeader(r.Mix.SLO))
 		for _, e := range r.Ranked {
 			if e.Skipped != "" {
 				fmt.Fprintf(&b, "%-10s skipped: %s\n", e.Policy, e.Skipped)
 				continue
 			}
-			fmt.Fprintf(&b, "%-10s %14v %7.2f/s %6d %7d %8.1fGs\n", e.Policy,
+			fmt.Fprintf(&b, "%-10s %14v %7.2f/s %6d %7d %8.1fGs%s\n", e.Policy,
 				e.Result.Makespan.Round(time.Millisecond), e.Result.Goodput,
-				e.Result.Kills, e.Result.FailedJobs, e.Result.LostGPUSeconds)
+				e.Result.Kills, e.Result.FailedJobs, e.Result.LostGPUSeconds, sloCell(r.Mix.SLO, &e))
 		}
 	} else {
-		fmt.Fprintf(&b, "\n%-10s %14s %14s %8s %8s\n", "policy", "makespan", "mean wait", "moves", "util")
+		fmt.Fprintf(&b, "\n%-10s %14s %14s %14s %8s %8s%s\n", "policy", "makespan", "p99 wait", "mean wait", "moves", "util", sloHeader(r.Mix.SLO))
 		for _, e := range r.Ranked {
 			if e.Skipped != "" {
 				fmt.Fprintf(&b, "%-10s skipped: %s\n", e.Policy, e.Skipped)
 				continue
 			}
-			fmt.Fprintf(&b, "%-10s %14v %14v %8d %7.1f%%\n", e.Policy,
-				e.Result.Makespan.Round(time.Millisecond), e.Result.MeanWait.Round(time.Millisecond),
-				e.Result.Recompositions, e.Result.Utilization*100)
+			fmt.Fprintf(&b, "%-10s %14v %14v %14v %8d %7.1f%%%s\n", e.Policy,
+				e.Result.Makespan.Round(time.Millisecond), e.P99Wait.Round(time.Millisecond),
+				e.Result.MeanWait.Round(time.Millisecond),
+				e.Result.Recompositions, e.Result.Utilization*100, sloCell(r.Mix.SLO, &e))
 		}
 	}
 	fmt.Fprintf(&b, "\n→ %s\n\n%s\n", r.Best.Policy, r.Rationale)
 	return b.String()
+}
+
+// sloHeader and sloCell render the optional SLO verdict column.
+func sloHeader(spec string) string {
+	if spec == "" {
+		return ""
+	}
+	return "  slo"
+}
+
+func sloCell(spec string, e *PolicyEvaluation) string {
+	switch {
+	case spec == "":
+		return ""
+	case e.meetsSLO():
+		return "   ok"
+	default:
+		return " FAIL"
+	}
 }

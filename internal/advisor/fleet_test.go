@@ -21,16 +21,23 @@ func TestRecommendPolicyRanksAndExplains(t *testing.T) {
 	if rec.Best.Policy == "" || rec.Best.Result == nil {
 		t.Fatalf("no best policy: %+v", rec.Best)
 	}
-	// Ranked evaluations are sorted by makespan.
+	// Ranked evaluations are sorted tenant-first: p99 queue wait from the
+	// trace analysis, makespan as the tie-break.
 	var prev *PolicyEvaluation
 	for i := range rec.Ranked {
 		e := &rec.Ranked[i]
 		if e.Skipped != "" {
 			continue
 		}
-		if prev != nil && e.Result.Makespan < prev.Result.Makespan {
-			t.Errorf("ranking out of order: %s (%v) after %s (%v)",
-				e.Policy, e.Result.Makespan, prev.Policy, prev.Result.Makespan)
+		if prev != nil {
+			if e.P99Wait < prev.P99Wait {
+				t.Errorf("ranking out of order: %s (p99 wait %v) after %s (%v)",
+					e.Policy, e.P99Wait, prev.Policy, prev.P99Wait)
+			}
+			if e.P99Wait == prev.P99Wait && e.Result.Makespan < prev.Result.Makespan {
+				t.Errorf("tie-break out of order: %s (%v) after %s (%v)",
+					e.Policy, e.Result.Makespan, prev.Policy, prev.Result.Makespan)
+			}
 		}
 		prev = e
 	}
@@ -84,6 +91,94 @@ func TestRecommendPolicyRejectsEmptyMix(t *testing.T) {
 	if _, err := RecommendPolicy(FleetMix{Classes: []FleetJobClass{{Count: 0, GPUs: 2}}}); err == nil {
 		t.Error("zero-count class accepted")
 	}
+}
+
+// TestRecommendPolicyWaitTailBeatsMakespan pins the tenant-first
+// ranking on a mix where it matters: static partitioning finishes the
+// whole queue fastest, but its fixed shares queue the small-job burst
+// behind earlier arrivals, while the bandwidth policy places every job
+// the instant it lands. The p99-wait ranking must pick the zero-tail
+// policy over the makespan winner — the two orders genuinely differ.
+func TestRecommendPolicyWaitTailBeatsMakespan(t *testing.T) {
+	rec, err := RecommendPolicy(FleetMix{
+		Classes: []FleetJobClass{
+			{Count: 4, GPUs: 2, Workload: "ResNet-50"},
+			{Count: 2, GPUs: 3, Workload: "ResNet-50"},
+		},
+		BurstGap:      time.Second,
+		ItersPerEpoch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best.Policy != "bandwidth" {
+		t.Fatalf("best = %s, want bandwidth (zero p99 wait):\n%s", rec.Best.Policy, rec.Report())
+	}
+	if rec.Best.P99Wait != 0 {
+		t.Errorf("bandwidth p99 wait = %v, want 0", rec.Best.P99Wait)
+	}
+	// The makespan winner is a different policy — static — with a faster
+	// fleet-wide finish but a worse wait tail; the rankings diverge.
+	var static *PolicyEvaluation
+	for i := range rec.Ranked {
+		if rec.Ranked[i].Policy == "static" && rec.Ranked[i].Skipped == "" {
+			static = &rec.Ranked[i]
+		}
+	}
+	if static == nil {
+		t.Fatalf("static not evaluated:\n%s", rec.Report())
+	}
+	if static.Result.Makespan >= rec.Best.Result.Makespan {
+		t.Errorf("mix no longer divergent: static makespan %v vs best %v",
+			static.Result.Makespan, rec.Best.Result.Makespan)
+	}
+	if static.P99Wait <= rec.Best.P99Wait {
+		t.Errorf("static p99 wait %v should exceed best's %v", static.P99Wait, rec.Best.P99Wait)
+	}
+	// The rationale explains the divergence in tail terms.
+	if !strings.Contains(rec.Rationale, "p99") {
+		t.Errorf("rationale should explain via the wait tail: %q", rec.Rationale)
+	}
+
+	// With an SLO only static violates, the verdict column flips ranks:
+	// a policy meeting the objective beats any raw numbers.
+	withSLO, err := RecommendPolicy(FleetMix{
+		Classes: []FleetJobClass{
+			{Count: 4, GPUs: 2, Workload: "ResNet-50"},
+			{Count: 2, GPUs: 3, Workload: "ResNet-50"},
+		},
+		BurstGap:      time.Second,
+		ItersPerEpoch: 2,
+		SLO:           "p99-wait<=10ms max-failed<=0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withSLO.Best.Health == nil || !withSLO.Best.Health.Healthy {
+		t.Errorf("best policy should meet the SLO:\n%s", withSLO.Report())
+	}
+	if static := findEval(withSLO, "static"); static != nil && static.Health.Healthy {
+		t.Errorf("static should violate p99-wait<=10ms (p99 %v)", static.P99Wait)
+	}
+	if !strings.Contains(withSLO.Report(), "slo") {
+		t.Errorf("report lacks the SLO column:\n%s", withSLO.Report())
+	}
+	if _, err := RecommendPolicy(FleetMix{
+		Classes: []FleetJobClass{{Count: 1, GPUs: 2, Workload: "BERT"}},
+		SLO:     "bogus<=1",
+	}); err == nil {
+		t.Error("bad SLO spec accepted")
+	}
+}
+
+// findEval returns the named evaluated (non-skipped) policy, or nil.
+func findEval(rec *PolicyRecommendation, policy string) *PolicyEvaluation {
+	for i := range rec.Ranked {
+		if rec.Ranked[i].Policy == policy && rec.Ranked[i].Skipped == "" {
+			return &rec.Ranked[i]
+		}
+	}
+	return nil
 }
 
 // TestRecommendPolicyFlipsUnderFaults pins the fault profile's headline

@@ -222,7 +222,7 @@ func ByID(id string) (Experiment, error) {
 	if e, ok := catalog().byID[id]; ok {
 		return e, nil
 	}
-	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have T1-T4, F9-F16, A1-A4, X1-X2, S1-S4, R1-R3)", id)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have T1-T4, F9-F16, A1-A4, X1-X2, S1-S5, R1-R3)", id)
 }
 
 // IDs lists the paper-artifact experiment IDs in paper order.

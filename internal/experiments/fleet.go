@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"composable/internal/obs/analyze"
 	"composable/internal/orchestrator"
 	"composable/internal/scengen"
 )
@@ -20,6 +21,7 @@ func FleetExperiments() []Experiment {
 		{"S2", "Fleet: placement-policy shoot-out", FleetPolicyShootout},
 		{"S3", "Fleet: arrival-rate saturation sweep", FleetSaturation},
 		{"S4", "Fleet: pod locality under an oversubscribed spine", FleetPodLocality},
+		{"S5", "Fleet: time attribution and SLO verdicts", FleetAttributionSLO},
 	}
 }
 
@@ -268,4 +270,97 @@ func FleetPodLocality(s *Session) (string, error) {
 	fmt.Fprintf(&b, "the gap is the cross-pod traffic each policy's placements put on the\n")
 	fmt.Fprintf(&b, "oversubscribed tier — locality discipline, measured end to end.\n")
 	return b.String(), nil
+}
+
+// FleetAttributionSLO (S5) turns the S1 bursty stream into an SLO
+// story: the same stream runs under the static partition and under
+// dynamic recomposition with a trace collector attached, the analyzer
+// attributes every job's wall time (wait / compose / compute /
+// checkpoint), and both runs are scored against a declarative queue-wait
+// SLO. The attribution table shows *why* a verdict comes out the way it
+// does — the failing composition's wall time is queue wait, not compute.
+// Both runs are also asserted against "max-failed<=0": an S experiment
+// must never publish numbers from a run that abandoned jobs.
+func FleetAttributionSLO(s *Session) (string, error) {
+	stream := burstyStream(s.Scale.ItersPerEpoch)
+	const slo = "p99-wait<=15s max-failed<=0"
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bursty stream (%d jobs) on 3 hosts × 12 GPUs, scored against SLO %q\n",
+		len(stream), slo)
+	fmt.Fprintf(&b, "%-22s %14s %14s %7s %9s %9s %6s\n",
+		"composition", "makespan", "p99 wait", "wait%", "compose%", "compute%", "slo")
+
+	type row struct {
+		label   string
+		p99Wait time.Duration
+		waitPct float64
+		healthy bool
+	}
+	var rows []row
+	for _, policy := range []string{"static", "drawer"} {
+		sc := scengen.FleetScenario{
+			Hosts: 3, GPUs: 12, Preattach: true, Policy: policy,
+			AttachLatency: orchestrator.DefaultAttachLatency, Jobs: stream,
+		}
+		out, a, err := scengen.AnalyzeFleet(sc)
+		if err != nil {
+			return "", err
+		}
+		if err := out.Err(); err != nil {
+			return "", err
+		}
+		if err := scengen.CheckSLO("max-failed<=0", a, out.Stats()); err != nil {
+			return "", fmt.Errorf("S5 %s run is broken: %w", policy, err)
+		}
+		var total time.Duration
+		for _, d := range a.Blame {
+			total += d
+		}
+		pct := func(bk analyze.Bucket) float64 {
+			if total == 0 {
+				return 0
+			}
+			return 100 * float64(a.Blame[bk]) / float64(total)
+		}
+		health := analyze.Evaluate(mustSLO(slo), a, out.Stats())
+		verdict := "FAIL"
+		if health.Healthy {
+			verdict = "ok"
+		}
+		label := "static partition"
+		if policy != "static" {
+			label = "dynamic (" + policy + ")"
+		}
+		fmt.Fprintf(&b, "%-22s %14v %14v %6.1f%% %8.1f%% %8.1f%% %6s\n", label,
+			out.Result.Makespan.Round(time.Millisecond), a.Wait.P99().Round(time.Millisecond),
+			pct(analyze.BucketWait), pct(analyze.BucketCompose), pct(analyze.BucketCompute), verdict)
+		rows = append(rows, row{label, a.Wait.P99(), pct(analyze.BucketWait), health.Healthy})
+	}
+
+	// The verdict sentence is derived from the measured attribution.
+	worst, best := rows[0], rows[0]
+	for _, r := range rows[1:] {
+		if r.p99Wait > worst.p99Wait {
+			worst = r
+		}
+		if r.p99Wait < best.p99Wait {
+			best = r
+		}
+	}
+	fmt.Fprintf(&b, "\nAttribution explains the verdicts: %s spends %.1f%% of the fleet's\n",
+		worst.label, worst.waitPct)
+	fmt.Fprintf(&b, "attributed time queueing (p99 wait %v) where %s holds the tail to %v\n",
+		worst.p99Wait.Round(time.Millisecond), best.label, best.p99Wait.Round(time.Millisecond))
+	fmt.Fprintf(&b, "(%.1f%% waiting) — the SLO column is the same physics, scored.\n", best.waitPct)
+	return b.String(), nil
+}
+
+// mustSLO parses a compile-time-constant SLO spec.
+func mustSLO(spec string) analyze.SLO {
+	slo, err := analyze.ParseSLO(spec)
+	if err != nil {
+		panic(err)
+	}
+	return slo
 }

@@ -83,6 +83,38 @@ func TestS1ReportSpeedupLine(t *testing.T) {
 	}
 }
 
+// TestS5VerdictSplit pins S5's defining shape at Quick scale: the
+// static partition must fail the queue-wait SLO the dynamic composition
+// meets — if both verdicts agree, the experiment's SLO threshold no
+// longer separates the compositions and the story collapses.
+func TestS5VerdictSplit(t *testing.T) {
+	out, err := FleetAttributionSLO(NewSession(Quick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var staticLine, dynamicLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "static partition") {
+			staticLine = line
+		}
+		if strings.HasPrefix(line, "dynamic (") {
+			dynamicLine = line
+		}
+	}
+	if staticLine == "" || dynamicLine == "" {
+		t.Fatalf("report lacks per-composition rows:\n%s", out)
+	}
+	if !strings.HasSuffix(staticLine, "FAIL") {
+		t.Errorf("static row should fail the SLO: %q", staticLine)
+	}
+	if !strings.HasSuffix(dynamicLine, "ok") {
+		t.Errorf("dynamic row should meet the SLO: %q", dynamicLine)
+	}
+	if !strings.Contains(out, "Attribution explains the verdicts") {
+		t.Errorf("report lacks the derived verdict paragraph:\n%s", out)
+	}
+}
+
 // TestS4SpineOversubscriptionCosts checks S4's defining shape: on a fleet
 // where every cross-chassis byte crosses the spine, starving the spine
 // 16x must slow the pod-spanning stream down — if it doesn't, the

@@ -1,0 +1,127 @@
+package mcs
+
+import (
+	"net/http"
+
+	"composable/internal/falcon"
+	"composable/internal/obs"
+	"composable/internal/obs/analyze"
+	"composable/internal/orchestrator"
+)
+
+// SLO health (§II-D extended): the server carries a declarative SLO
+// (see internal/obs/analyze) that every queue drain is scored against,
+// and the admin view of GET /api/health reports the verdict alongside
+// per-tenant latency percentiles computed from the drain's trace.
+// Tenants keep the plain chassis link-health body — fleet-wide SLO
+// state and other tenants' latency figures are operator surface.
+
+// tenantHealth is one tenant's latency digest from the last drain.
+// Percentiles are exact nearest-rank values over that tenant's jobs.
+type tenantHealth struct {
+	Tenant       string `json:"tenant"`
+	Jobs         int    `json:"jobs"`
+	Failed       int    `json:"failed"`
+	P50LatencyMS int64  `json:"p50LatencyMs"`
+	P90LatencyMS int64  `json:"p90LatencyMs"`
+	P99LatencyMS int64  `json:"p99LatencyMs"`
+	P99WaitMS    int64  `json:"p99WaitMs"`
+}
+
+// drainAnalytics is the analytics snapshot of the most recent queue
+// drain. Tenants appear in first-submission order, so the body is
+// deterministic read over read.
+type drainAnalytics struct {
+	Jobs    int                   `json:"jobs"`
+	Failed  int                   `json:"failed"`
+	Kills   int                   `json:"kills"`
+	SLO     *analyze.HealthReport `json:"slo,omitempty"`
+	Tenants []tenantHealth        `json:"tenants"`
+}
+
+// adminHealth is the admin body of GET /api/health: the tenant-visible
+// link health plus the last drain's SLO verdict and tenant digests.
+type adminHealth struct {
+	Ports     []falcon.LinkHealth `json:"ports"`
+	SLO       string              `json:"slo,omitempty"`
+	LastDrain *drainAnalytics     `json:"lastDrain,omitempty"`
+}
+
+// SetSLO installs the declarative SLO spec (analyze.ParseSLO syntax,
+// e.g. "p99-wait<=1m max-failed<=0 util>=0.2") that every subsequent
+// queue drain is evaluated against. An empty spec clears it.
+func (s *Server) SetSLO(spec string) error {
+	slo, err := analyze.ParseSLO(spec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slo = slo
+	s.sloSpec = spec
+	return nil
+}
+
+// handleHealth serves link health to everyone; admins additionally get
+// the last drain's SLO verdict and per-tenant latency percentiles.
+// The tenant body is exactly the chassis view — tenancy tests pin it.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request, u *User) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if u.Role != RoleAdmin {
+		writeJSON(w, s.chassis.PortHealth())
+		return
+	}
+	writeJSON(w, adminHealth{
+		Ports: s.chassis.PortHealth(), SLO: s.sloSpec, LastDrain: s.drain,
+	})
+}
+
+// drainSnapshot digests one drained queue: the run's trace is analyzed
+// once, scored against the server SLO (if any), and bucketed into
+// per-tenant latency histograms. owners lists each distinct owner in
+// first-submission order; ownerOf maps orchestrator job order to the
+// owning tenant.
+func drainSnapshot(col *obs.Collector, res *orchestrator.FleetResult,
+	owners []string, ownerOf map[int]string, slo analyze.SLO) *drainAnalytics {
+	a := analyze.FromCollector(col).Analyze()
+	snap := &drainAnalytics{Jobs: len(a.Jobs), Failed: a.FailedJobs(), Kills: res.Kills}
+	if !slo.Empty() {
+		snap.SLO = analyze.Evaluate(slo, a, analyze.FleetStats{
+			Goodput: res.Goodput, Utilization: res.Utilization, Known: true,
+		})
+	}
+	type acc struct {
+		lat, wait *analyze.Histogram
+		jobs      int
+		failed    int
+	}
+	byOwner := make(map[string]*acc, len(owners))
+	for _, o := range owners {
+		byOwner[o] = &acc{lat: analyze.NewHistogram("latency"), wait: analyze.NewHistogram("wait")}
+	}
+	for i := range a.Jobs {
+		ja := &a.Jobs[i]
+		t := byOwner[ownerOf[int(ja.Job)]]
+		if t == nil {
+			continue
+		}
+		t.jobs++
+		if ja.Failed {
+			t.failed++
+		}
+		t.lat.Add(ja.Wall)
+		t.wait.Add(ja.Buckets[analyze.BucketWait])
+	}
+	for _, o := range owners {
+		t := byOwner[o]
+		snap.Tenants = append(snap.Tenants, tenantHealth{
+			Tenant: o, Jobs: t.jobs, Failed: t.failed,
+			P50LatencyMS: t.lat.P50().Milliseconds(),
+			P90LatencyMS: t.lat.P90().Milliseconds(),
+			P99LatencyMS: t.lat.P99().Milliseconds(),
+			P99WaitMS:    t.wait.P99().Milliseconds(),
+		})
+	}
+	return snap
+}

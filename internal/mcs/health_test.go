@@ -1,0 +1,125 @@
+package mcs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// decode unmarshals a response body or fails the test.
+func decode(t *testing.T, body string, v any) {
+	t.Helper()
+	if err := json.Unmarshal([]byte(body), v); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+}
+
+// TestAdminHealthSLO pins the extended health surface: tenants keep the
+// plain chassis link-health body, admins get the installed SLO and —
+// after a drain — the verdict plus per-tenant latency percentiles, and
+// the admin body is byte-identical read over read.
+func TestAdminHealthSLO(t *testing.T) {
+	srv, ts := obsTestServer(t)
+	if err := srv.SetSLO("p99-wait<=24h max-failed<=0 util>=0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetSLO("bogus<=1"); err == nil {
+		t.Fatal("bad SLO spec installed without error")
+	}
+
+	// The tenant body is exactly the chassis view: no SLO, no drain state.
+	_, tenantBody := get(t, ts, "/api/health", "tok-alice")
+	for _, leak := range []string{"lastDrain", "slo", "tenants"} {
+		if strings.Contains(tenantBody, leak) {
+			t.Errorf("tenant health body leaks %q:\n%s", leak, tenantBody)
+		}
+	}
+
+	// Admin before any drain: ports + installed SLO, no lastDrain yet.
+	resp, body := get(t, ts, "/api/health", "tok-root")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin health: %d", resp.StatusCode)
+	}
+	var pre struct {
+		SLO string `json:"slo"`
+	}
+	decode(t, body, &pre)
+	if pre.SLO != "p99-wait<=24h max-failed<=0 util>=0" {
+		t.Errorf("admin health SLO spec = %q:\n%s", pre.SLO, body)
+	}
+	if strings.Contains(body, "lastDrain") {
+		t.Errorf("lastDrain present before any drain:\n%s", body)
+	}
+
+	// Two tenants submit, the admin drains; the snapshot appears.
+	doJSON(t, ts, "POST", "/api/jobs", "tok-alice", map[string]any{"gpus": 2, "iters": 2}, nil)
+	doJSON(t, ts, "POST", "/api/jobs", "tok-bob", map[string]any{"gpus": 2, "iters": 2}, nil)
+	if resp := doJSON(t, ts, "POST", "/api/jobs/run", "tok-root", map[string]any{}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: %d", resp.StatusCode)
+	}
+
+	_, body = get(t, ts, "/api/health", "tok-root")
+	var doc struct {
+		Ports []any  `json:"ports"`
+		SLO   string `json:"slo"`
+		Last  *struct {
+			Jobs   int `json:"jobs"`
+			Failed int `json:"failed"`
+			SLO    *struct {
+				Healthy bool `json:"healthy"`
+			} `json:"slo"`
+			Tenants []struct {
+				Tenant       string `json:"tenant"`
+				Jobs         int    `json:"jobs"`
+				P99LatencyMS int64  `json:"p99LatencyMs"`
+			} `json:"tenants"`
+		} `json:"lastDrain"`
+	}
+	decode(t, body, &doc)
+	if doc.Last == nil {
+		t.Fatalf("no lastDrain after a drain:\n%s", body)
+	}
+	if doc.Last.Jobs != 2 || doc.Last.Failed != 0 {
+		t.Errorf("lastDrain jobs/failed = %d/%d, want 2/0", doc.Last.Jobs, doc.Last.Failed)
+	}
+	if doc.Last.SLO == nil || !doc.Last.SLO.Healthy {
+		t.Errorf("generous SLO should verdict healthy:\n%s", body)
+	}
+	// Tenants in first-submission order, each with a positive latency.
+	if len(doc.Last.Tenants) != 2 ||
+		doc.Last.Tenants[0].Tenant != "alice" || doc.Last.Tenants[1].Tenant != "bob" {
+		t.Fatalf("tenant digests wrong:\n%s", body)
+	}
+	for _, tn := range doc.Last.Tenants {
+		if tn.Jobs != 1 || tn.P99LatencyMS <= 0 {
+			t.Errorf("tenant %s digest jobs=%d p99=%dms", tn.Tenant, tn.Jobs, tn.P99LatencyMS)
+		}
+	}
+
+	// Determinism: the admin body is byte-identical read over read.
+	_, again := get(t, ts, "/api/health", "tok-root")
+	if body != again {
+		t.Errorf("admin health body changed between idle reads:\n--- first\n%s--- second\n%s", body, again)
+	}
+}
+
+// TestDrainSLOViolationReported pins the failing verdict: an SLO the
+// drain cannot meet reports Healthy=false with the failed clause.
+func TestDrainSLOViolationReported(t *testing.T) {
+	srv, ts := obsTestServer(t)
+	if err := srv.SetSLO("p99-latency<=1ns"); err != nil {
+		t.Fatal(err)
+	}
+	doJSON(t, ts, "POST", "/api/jobs", "tok-alice", map[string]any{"gpus": 2, "iters": 2}, nil)
+	if resp := doJSON(t, ts, "POST", "/api/jobs/run", "tok-root", map[string]any{}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: %d", resp.StatusCode)
+	}
+	_, body := get(t, ts, "/api/health", "tok-root")
+	if !strings.Contains(body, `"healthy":false`) {
+		t.Errorf("violated SLO not reported unhealthy:\n%s", body)
+	}
+	if !strings.Contains(body, "p99-latency") {
+		t.Errorf("failing clause missing from report:\n%s", body)
+	}
+}

@@ -202,6 +202,7 @@ func (s *Server) handleJobRun(w http.ResponseWriter, r *http.Request, u *User) {
 	// Queued jobs in submission order; each distinct owner becomes a
 	// tenant host (round-robin beyond the host count).
 	var queued []int
+	var owners []string // distinct owners, first-submission order
 	tenantOf := map[string]int{}
 	for i := range s.jobs {
 		if s.jobs[i].Status != "queued" {
@@ -209,6 +210,7 @@ func (s *Server) handleJobRun(w http.ResponseWriter, r *http.Request, u *User) {
 		}
 		if _, ok := tenantOf[s.jobs[i].Owner]; !ok {
 			tenantOf[s.jobs[i].Owner] = len(tenantOf) % req.Hosts
+			owners = append(owners, s.jobs[i].Owner)
 		}
 		queued = append(queued, i)
 	}
@@ -251,11 +253,14 @@ func (s *Server) handleJobRun(w http.ResponseWriter, r *http.Request, u *User) {
 	}
 	s.metrics.Inc(s.cDrains)
 	s.metrics.Add(s.cJobsRun, int64(len(queued)))
+	ownerOf := make(map[int]string, len(queued))
 	for order, i := range queued {
 		// The orchestrator numbers jobs by stream position, so `order` is
 		// the job attribute its spans carry.
 		s.traces[i] = tenantTrace(col, order)
+		ownerOf[order] = s.jobs[i].Owner
 	}
+	s.drain = drainSnapshot(col, res, owners, ownerOf, s.slo)
 	for order, i := range queued {
 		rec := &s.jobs[i]
 		j := res.Jobs[order]
@@ -324,5 +329,9 @@ func runFleetQueue(req jobRunRequest, pol orchestrator.Policy, specs []orchestra
 	if err != nil {
 		return nil, nil, http.StatusConflict, err
 	}
+	// Mark the drain itself on the control-plane track. No "job" attr, so
+	// tenant-filtered traces are unchanged by it.
+	id := col.Emit(obs.CatMCS, "drain", 0, sim.Time(res.Makespan))
+	col.SetAttrStr(id, "policy", res.Policy)
 	return res, col, 0, nil
 }

@@ -20,6 +20,7 @@ import (
 
 	"composable/internal/falcon"
 	"composable/internal/obs"
+	"composable/internal/obs/analyze"
 )
 
 // Role grades a user's privileges.
@@ -76,6 +77,11 @@ type Server struct {
 	metrics                                          obs.Registry
 	cJobsSubmitted, cJobsRun, cDrains, cAuthFailures obs.CounterID
 	traces                                           map[int][]byte
+	// SLO health (see health.go): the declarative SLO each drain is
+	// scored against and the last drain's analytics snapshot.
+	slo     analyze.SLO
+	sloSpec string
+	drain   *drainAnalytics
 }
 
 // NewServer wraps a chassis. Pass the tenant set up front; the admin role
@@ -184,12 +190,6 @@ func (s *Server) handleSensors(w http.ResponseWriter, _ *http.Request, _ *User) 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	writeJSON(w, s.chassis.Sensors())
-}
-
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request, _ *User) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	writeJSON(w, s.chassis.PortHealth())
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request, _ *User) {

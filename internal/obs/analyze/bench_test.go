@@ -1,0 +1,15 @@
+// The trace-analytics micro-benchmark. The harness body lives in
+// internal/perfbench so that `go test -bench` here and `benchrunner
+// -bench-json` measure the exact same code.
+package analyze_test
+
+import (
+	"testing"
+
+	"composable/internal/perfbench"
+)
+
+// BenchmarkAnalyzeFleetTrace measures the full analytics pipeline —
+// span extraction, time attribution, percentile histograms, SLO
+// evaluation and the text report — over one observed fleet run.
+func BenchmarkAnalyzeFleetTrace(b *testing.B) { perfbench.BenchObsAnalyzeFleetTrace(b) }

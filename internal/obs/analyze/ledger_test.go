@@ -1,0 +1,130 @@
+package analyze_test
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+
+	"composable/internal/obs"
+	"composable/internal/obs/analyze"
+	"composable/internal/orchestrator"
+	"composable/internal/scengen"
+)
+
+// sweepParams reads a sweep shape from the same environment variables
+// the scengen sweeps use, so CI drives both from one knob.
+func sweepParams(t *testing.T, seedVar, nVar string) (base int64, n int) {
+	base, n = 1, 100
+	if s := os.Getenv(seedVar); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", seedVar, err)
+		}
+		base = v
+	}
+	if s := os.Getenv(nVar); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			t.Fatalf("%s: bad value %q", nVar, s)
+		}
+		n = v
+	}
+	return base, n
+}
+
+// sweepLedger fans seeds over workers, running one observed scenario
+// per seed and checking the full attribution ledger on each.
+func sweepLedger(t *testing.T, base int64, n int, run func(seed int64) (*obs.Collector, *orchestrator.FleetResult, error)) {
+	t.Helper()
+	seeds := make(chan int64)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seeds {
+				c, res, err := run(seed)
+				if err != nil {
+					mu.Lock()
+					t.Errorf("seed %d: %v", seed, err)
+					mu.Unlock()
+					continue
+				}
+				tr := analyze.FromCollector(c)
+				a := tr.Analyze()
+				sub := &recordingT{}
+				checkLedger(sub, tr, a, res)
+				if len(sub.errs) > 0 {
+					mu.Lock()
+					for _, e := range sub.errs {
+						t.Errorf("seed %d: %s", seed, e)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		seeds <- base + int64(i)
+	}
+	close(seeds)
+	wg.Wait()
+}
+
+// recordingT captures checkLedger failures so the sweep can prefix
+// them with the offending seed.
+type recordingT struct {
+	testing.TB
+	errs []string
+}
+
+func (r *recordingT) Helper() {}
+func (r *recordingT) Errorf(format string, args ...any) {
+	r.errs = append(r.errs, fmt.Sprintf(format, args...))
+}
+
+// TestLedgerBalanceFleetSweep is the satellite property test: across
+// the 100-seed fleet sweep (FLEET_SWEEP_SEED / FLEET_SWEEP_N), every
+// job's attribution buckets sum to its wall span exactly, the critical
+// path tiles it gaplessly, and the fleet totals reconcile with
+// FleetResult's wait/runtime/GPU-second/goodput accounting.
+func TestLedgerBalanceFleetSweep(t *testing.T) {
+	base, n := sweepParams(t, "FLEET_SWEEP_SEED", "FLEET_SWEEP_N")
+	sweepLedger(t, base, n, func(seed int64) (*obs.Collector, *orchestrator.FleetResult, error) {
+		c := obs.NewCollector()
+		out, err := scengen.RunFleetObserved(scengen.FleetFromSeed(seed), c)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := out.Err(); err != nil {
+			return nil, nil, err
+		}
+		return c, out.Result, nil
+	})
+}
+
+// TestLedgerBalanceFaultSweep runs the same ledger property across the
+// 100-seed fault sweep (FAULT_SWEEP_SEED / FAULT_SWEEP_N): kills,
+// requeues and abandonments must still balance to the nanosecond.
+func TestLedgerBalanceFaultSweep(t *testing.T) {
+	base, n := sweepParams(t, "FAULT_SWEEP_SEED", "FAULT_SWEEP_N")
+	sweepLedger(t, base, n, func(seed int64) (*obs.Collector, *orchestrator.FleetResult, error) {
+		c := obs.NewCollector()
+		out, err := scengen.RunFaultyFleetObserved(scengen.FaultsFromSeed(seed), c)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := out.Err(); err != nil {
+			return nil, nil, err
+		}
+		return c, out.Result, nil
+	})
+}

@@ -1,0 +1,209 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// bucketsJSON renders a [NumBuckets]time.Duration with fixed field
+// order; int64 nanoseconds keep the bytes exact.
+type bucketsJSON struct {
+	WaitNs       int64 `json:"waitNs"`
+	ComposeNs    int64 `json:"composeNs"`
+	ComputeNs    int64 `json:"computeNs"`
+	CheckpointNs int64 `json:"checkpointNs"`
+	RestoreNs    int64 `json:"restoreNs"`
+	WinddownNs   int64 `json:"winddownNs"`
+}
+
+func toBucketsJSON(b [NumBuckets]time.Duration) bucketsJSON {
+	return bucketsJSON{
+		WaitNs:       int64(b[BucketWait]),
+		ComposeNs:    int64(b[BucketCompose]),
+		ComputeNs:    int64(b[BucketCompute]),
+		CheckpointNs: int64(b[BucketCheckpoint]),
+		RestoreNs:    int64(b[BucketRestore]),
+		WinddownNs:   int64(b[BucketWinddown]),
+	}
+}
+
+type histJSON struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+	P50Ns int64  `json:"p50Ns"`
+	P90Ns int64  `json:"p90Ns"`
+	P99Ns int64  `json:"p99Ns"`
+	MinNs int64  `json:"minNs"`
+	MaxNs int64  `json:"maxNs"`
+}
+
+func toHistJSON(h *Histogram) histJSON {
+	return histJSON{
+		Name:  h.Name,
+		Count: h.Count(),
+		P50Ns: int64(h.P50()),
+		P90Ns: int64(h.P90()),
+		P99Ns: int64(h.P99()),
+		MinNs: int64(h.Min()),
+		MaxNs: int64(h.Max()),
+	}
+}
+
+type jobJSON struct {
+	Job      int64       `json:"job"`
+	WallNs   int64       `json:"wallNs"`
+	Attempts int         `json:"attempts"`
+	Kills    int         `json:"kills,omitempty"`
+	Failed   bool        `json:"failed,omitempty"`
+	Buckets  bucketsJSON `json:"buckets"`
+}
+
+type reportJSON struct {
+	Jobs       int           `json:"jobs"`
+	FailedJobs int           `json:"failedJobs"`
+	HorizonNs  int64         `json:"horizonNs"`
+	Blame      bucketsJSON   `json:"blame"`
+	Histograms []histJSON    `json:"histograms"`
+	Slowest    []jobJSON     `json:"slowest"`
+	Stats      *FleetStats   `json:"stats,omitempty"`
+	SLO        *HealthReport `json:"slo,omitempty"`
+}
+
+// JSONReport renders the analysis (plus optional run stats and SLO
+// verdict) as deterministic indented JSON: struct field order is
+// fixed, durations are int64 nanoseconds, and identical runs yield
+// identical bytes. stats and health may be nil.
+func JSONReport(a *Analysis, stats *FleetStats, health *HealthReport, topN int) ([]byte, error) {
+	rep := reportJSON{
+		Jobs:       len(a.Jobs),
+		FailedJobs: a.FailedJobs(),
+		HorizonNs:  int64(a.Horizon),
+		Blame:      toBucketsJSON(a.Blame),
+		Histograms: []histJSON{toHistJSON(a.Latency), toHistJSON(a.Wait), toHistJSON(a.Compose)},
+	}
+	for _, ja := range a.Slowest(topN) {
+		rep.Slowest = append(rep.Slowest, jobJSON{
+			Job:      ja.Job,
+			WallNs:   int64(ja.Wall),
+			Attempts: ja.Attempts,
+			Kills:    ja.Kills,
+			Failed:   ja.Failed,
+			Buckets:  toBucketsJSON(ja.Buckets),
+		})
+	}
+	if stats != nil && stats.Known {
+		rep.Stats = stats
+	}
+	rep.SLO = health
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteText renders the human report: fleet blame totals, histogram
+// summaries with exact percentiles, the top-N slowest jobs with their
+// per-bucket split and compressed critical paths, and the SLO verdict
+// when one was evaluated. Output is deterministic.
+func WriteText(w io.Writer, a *Analysis, stats *FleetStats, health *HealthReport, topN int) error {
+	var sb strings.Builder
+	failed := a.FailedJobs()
+	fmt.Fprintf(&sb, "trace analytics: %d jobs over %s", len(a.Jobs), a.Horizon)
+	if failed > 0 {
+		fmt.Fprintf(&sb, " (%d failed)", failed)
+	}
+	sb.WriteByte('\n')
+	if stats != nil && stats.Known {
+		fmt.Fprintf(&sb, "fleet: goodput %.3f GPU·s/s, utilization %.3f\n", stats.Goodput, stats.Utilization)
+	}
+
+	sb.WriteString("\ntime attribution (fleet blame):\n")
+	var total time.Duration
+	for b := Bucket(0); b < NumBuckets; b++ {
+		total += a.Blame[b]
+	}
+	for b := Bucket(0); b < NumBuckets; b++ {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(a.Blame[b]) / float64(total)
+		}
+		fmt.Fprintf(&sb, "  %-11s %14s %6.1f%%\n", b.String(), a.Blame[b], pct)
+	}
+	fmt.Fprintf(&sb, "  %-11s %14s\n", "total", total)
+
+	sb.WriteString("\nhistograms (exact percentiles):\n")
+	fmt.Fprintf(&sb, "  %-9s %6s %12s %12s %12s %12s\n", "metric", "count", "p50", "p90", "p99", "max")
+	for _, h := range []*Histogram{a.Latency, a.Wait, a.Compose} {
+		fmt.Fprintf(&sb, "  %-9s %6d %12s %12s %12s %12s\n",
+			h.Name, h.Count(), h.P50(), h.P90(), h.P99(), h.Max())
+	}
+
+	slowest := a.Slowest(topN)
+	if len(slowest) > 0 {
+		fmt.Fprintf(&sb, "\nslowest %d jobs:\n", len(slowest))
+		fmt.Fprintf(&sb, "  %4s %12s %3s %12s %12s %12s %10s %10s %10s %s\n",
+			"job", "wall", "att", "wait", "compose", "compute", "ckpt", "restore", "winddown", "")
+		for _, ja := range slowest {
+			mark := ""
+			if ja.Failed {
+				mark = "FAILED"
+			}
+			fmt.Fprintf(&sb, "  %4d %12s %3d %12s %12s %12s %10s %10s %10s %s\n",
+				ja.Job, ja.Wall, ja.Attempts,
+				ja.Buckets[BucketWait], ja.Buckets[BucketCompose], ja.Buckets[BucketCompute],
+				ja.Buckets[BucketCheckpoint], ja.Buckets[BucketRestore], ja.Buckets[BucketWinddown],
+				mark)
+		}
+		sb.WriteString("\ncritical paths:\n")
+		for _, ja := range slowest {
+			fmt.Fprintf(&sb, "  job %-3d %s\n", ja.Job, PathString(ja.Path))
+		}
+	}
+
+	if health != nil {
+		verdict := "PASS"
+		if !health.Healthy {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&sb, "\nslo: %s (%d passed, %d failed, %d skipped)\n",
+			verdict, health.Passed, health.Failed, health.Skipped)
+		for _, c := range health.Checks {
+			tag := "pass"
+			if c.Skipped {
+				tag = "skip"
+			} else if !c.Pass {
+				tag = "FAIL"
+			}
+			fmt.Fprintf(&sb, "  [%s] %-24s actual %s\n", tag, c.Clause, c.Actual)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// PathString compresses a critical path for one-line display: runs of
+// consecutive same-bucket segments merge, rendered as
+// "wait 1.2s → compose 80ms → compute 3.4s".
+func PathString(path []Segment) string {
+	var sb strings.Builder
+	i := 0
+	for i < len(path) {
+		b := path[i].Bucket
+		var d time.Duration
+		for i < len(path) && path[i].Bucket == b {
+			d += path[i].Dur()
+			i++
+		}
+		if sb.Len() > 0 {
+			sb.WriteString(" → ")
+		}
+		sb.WriteString(b.String())
+		sb.WriteByte(' ')
+		sb.WriteString(d.String())
+	}
+	return sb.String()
+}

@@ -79,10 +79,26 @@ func (c *Collector) writeTrace(w io.Writer, keep func(*span) bool) error {
 	b := make([]byte, 0, 1<<14)
 	b = append(b, "{\"traceEvents\":[\n"...)
 	// Track metadata first: one named thread per category, tid = Cat.
+	// The five legacy tracks are always present — the PR 9 golden trace
+	// pins those bytes — while newer tracks (mcs, analyze) are emitted
+	// only when a kept span actually lands on them, so traces from runs
+	// that never touch the new layers stay byte-identical.
+	var used [numCats]bool
+	for i := range c.spans {
+		s := &c.spans[i]
+		if keep == nil || keep(s) {
+			used[s.cat] = true
+		}
+	}
+	first := true
 	for i := 0; i < int(numCats); i++ {
-		if i > 0 {
+		if Cat(i) >= numLegacyCats && !used[i] {
+			continue
+		}
+		if !first {
 			b = append(b, ",\n"...)
 		}
+		first = false
 		b = append(b, `{"ph":"M","pid":1,"tid":`...)
 		b = strconv.AppendInt(b, int64(i), 10)
 		b = append(b, `,"name":"thread_name","args":{"name":`...)

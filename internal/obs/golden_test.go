@@ -45,6 +45,11 @@ func runGolden(t *testing.T) *obs.Collector {
 // JSON, and contain spans from all five instrumented layers. Regenerate
 // with `go test ./internal/obs -run TestGoldenTrace -update` after an
 // intentional format or instrumentation change.
+//
+// Adding a category (CatMCS, CatAnalyze) does NOT require a regen: the
+// exporter emits a track's process metadata on demand, the first time a
+// span lands on it, so categories unused by this scenario leave the
+// golden bytes untouched.
 func TestGoldenTrace(t *testing.T) {
 	var buf bytes.Buffer
 	if err := runGolden(t).WriteTrace(&buf); err != nil {

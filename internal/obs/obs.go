@@ -11,19 +11,28 @@ import (
 // reader fold whole subsystems in the viewer.
 type Cat uint8
 
-// The instrumented layers, in track order.
+// The instrumented layers, in track order. The first five are the
+// legacy tracks pinned by the PR 9 golden trace; tracks added after
+// (mcs, analyze) only appear in exported traces when a span actually
+// uses them, so appending here never disturbs existing trace bytes.
 const (
 	CatSim Cat = iota
 	CatFabric
 	CatTrain
 	CatOrchestrator
 	CatFaults
+	CatMCS
+	CatAnalyze
 	numCats
+
+	// numLegacyCats bounds the tracks whose thread_name metadata is
+	// emitted unconditionally (the golden-trace format).
+	numLegacyCats = CatMCS
 )
 
 // catNames indexes Cat → track name; the order is the tid order in the
 // exported trace.
-var catNames = [numCats]string{"sim", "fabric", "train", "orchestrator", "faults"}
+var catNames = [numCats]string{"sim", "fabric", "train", "orchestrator", "faults", "mcs", "analyze"}
 
 // Name returns the category's track name.
 func (c Cat) Name() string {
@@ -77,11 +86,12 @@ type Collector struct {
 
 	// Sampling state: a telemetry.Recorder-style stepper with the
 	// primed-first-tick convention, writing one columnar row per tick.
-	times   []sim.Time
-	cols    [][]float64
-	sp      *sim.Proc
-	primed  bool
-	stopped bool
+	times     []sim.Time
+	cols      [][]float64
+	sp        *sim.Proc
+	primed    bool
+	stopped   bool
+	sampleOff bool
 }
 
 // NewCollector returns an empty collector sampling every DefaultInterval
@@ -225,12 +235,19 @@ func (s *span) attrInt(key string) (int64, bool) {
 	return 0, false
 }
 
+// DisableSampling makes StartSampling a no-op: the collector captures
+// spans but never spawns the periodic metrics stepper. Consumers that
+// replay policies which may legitimately strand jobs (the advisor's
+// feasibility probing) need this — an armed sampler would keep the
+// otherwise-drained event queue alive forever.
+func (c *Collector) DisableSampling() { c.sampleOff = true }
+
 // StartSampling spawns the sampling stepper: every Interval of sim time
 // it snapshots every registered metric into one columnar row. Metrics
 // registered after the first tick are ignored for the rest of the run, so
 // wire all layers before the environment runs. Requires Attach.
 func (c *Collector) StartSampling() {
-	if c.env == nil || c.sp != nil {
+	if c.sampleOff || c.env == nil || c.sp != nil {
 		return
 	}
 	c.cols = make([][]float64, c.reg.Len())
@@ -268,6 +285,65 @@ func (c *Collector) step() {
 
 // SpanCount returns the number of recorded spans and instants.
 func (c *Collector) SpanCount() int { return len(c.spans) }
+
+// MaxTime returns the latest sim time the collector observed; exporters
+// and the analyzer close still-open spans at this time.
+func (c *Collector) MaxTime() sim.Time { return c.maxTime }
+
+// SpanView is a read-only view of one recorded span or instant, handed
+// to VisitSpans callbacks. Open spans (a permanent fault, a proc alive
+// at exit) are presented with End clamped to MaxTime, matching how the
+// trace exporter renders them.
+type SpanView struct {
+	Name    string
+	Cat     Cat
+	Start   sim.Time
+	End     sim.Time
+	Instant bool
+	attrs   []attrVal
+}
+
+// AttrInt returns the span's integer attribute named key, if present.
+func (v SpanView) AttrInt(key string) (int64, bool) {
+	for _, a := range v.attrs {
+		if !a.isStr && a.key == key {
+			return a.i, true
+		}
+	}
+	return 0, false
+}
+
+// AttrStr returns the span's string attribute named key, if present.
+func (v SpanView) AttrStr(key string) (string, bool) {
+	for _, a := range v.attrs {
+		if a.isStr && a.key == key {
+			return a.s, true
+		}
+	}
+	return "", false
+}
+
+// VisitSpans calls f for every recorded span and instant in begin
+// order — the deterministic order the trace exporter uses. It is the
+// read path for post-hoc analysis (obs/analyze): no copy of the span
+// table, no mutation.
+func (c *Collector) VisitSpans(f func(SpanView)) {
+	for i := range c.spans {
+		s := &c.spans[i]
+		end := s.end
+		if s.open {
+			end = c.maxTime
+		}
+		f(SpanView{
+			Name:    s.name,
+			Cat:     s.cat,
+			Start:   s.start,
+			End:     end,
+			Instant: s.instant,
+			attrs:   s.attrs,
+		})
+	}
+}
 
 // SampleCount returns the number of sampling ticks taken.
 func (c *Collector) SampleCount() int { return len(c.times) }

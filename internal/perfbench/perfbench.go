@@ -26,6 +26,7 @@ import (
 	"composable/internal/faults"
 	"composable/internal/lint"
 	"composable/internal/obs"
+	"composable/internal/obs/analyze"
 	"composable/internal/orchestrator"
 	"composable/internal/sim"
 	"composable/internal/units"
@@ -96,6 +97,7 @@ func Suite() []Benchmark {
 		{"orchestrator/pod-schedule", BenchOrchestratorPodSchedule},
 		{"faults/recover-reschedule", BenchFaultsRecoverReschedule},
 		{"obs/trace-fleet-schedule", BenchObsTraceFleetSchedule},
+		{"obs/analyze-fleet-trace", BenchObsAnalyzeFleetTrace},
 		{"suite/run-all-sequential", BenchSuiteRunAllSequential},
 		{"lint/simlint-full-repo", BenchSimlintFullRepo},
 	}
@@ -519,6 +521,18 @@ func BenchFaultsRecoverReschedule(b *testing.B) {
 // streams the resulting Chrome trace into w. It is the op body behind
 // both `benchrunner -trace` and the obs/trace-fleet-schedule suite entry.
 func TraceFleetSchedule(w io.Writer) error {
+	col, _, err := observedFleetRun()
+	if err != nil {
+		return err
+	}
+	return col.WriteTrace(w)
+}
+
+// observedFleetRun executes the canonical observed fleet-schedule op —
+// 6 jobs over 3 hosts × 8 GPUs with the collector attached at every
+// seam — and returns the loaded collector plus the run result. It is
+// the shared setup behind TraceFleetSchedule and the analyze benchmark.
+func observedFleetRun() (*obs.Collector, *orchestrator.FleetResult, error) {
 	stream := []orchestrator.JobSpec{
 		{Arrival: 0, Tenant: 0, GPUs: 4, Workload: "ResNet-50", Epochs: 1, ItersPerEpoch: 2},
 		{Arrival: 0, Tenant: 1, GPUs: 2, Workload: "BERT", Epochs: 1, ItersPerEpoch: 2},
@@ -532,19 +546,19 @@ func TraceFleetSchedule(w io.Writer) error {
 	col.Attach(env)
 	fleet, err := cluster.ComposeFleet(env, cluster.FleetOptions{Hosts: 3, GPUs: 8})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	fleet.AttachObs(col)
 	res, err := orchestrator.Run(fleet, stream, orchestrator.Options{
 		Policy: orchestrator.DrawerLocal{}, Obs: col,
 	})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	if len(res.Jobs) != len(stream) {
-		return fmt.Errorf("perfbench: incomplete observed fleet run: %d jobs", len(res.Jobs))
+		return nil, nil, fmt.Errorf("perfbench: incomplete observed fleet run: %d jobs", len(res.Jobs))
 	}
-	return col.WriteTrace(w)
+	return col, res, nil
 }
 
 // BenchObsTraceFleetSchedule measures the fully-observed fleet-schedule
@@ -560,6 +574,37 @@ func BenchObsTraceFleetSchedule(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "traces/s")
+}
+
+// BenchObsAnalyzeFleetTrace measures the trace-analytics pipeline —
+// span extraction, per-job time attribution with critical paths, the
+// percentile histograms, an SLO evaluation and the text report — over
+// the observed fleet-schedule run. The run itself happens once, untimed:
+// this entry prices what `tracectl` / `-report` cost on top of a trace
+// the simulator already produced.
+func BenchObsAnalyzeFleetTrace(b *testing.B) {
+	col, res, err := observedFleetRun()
+	if err != nil {
+		b.Fatal(err)
+	}
+	slo, err := analyze.ParseSLO("p99-wait<=60s max-failed<=0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats := analyze.FleetStats{Goodput: res.Goodput, Utilization: res.Utilization, Known: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := analyze.FromCollector(col).Analyze()
+		health := analyze.Evaluate(slo, a, stats)
+		if !health.Healthy {
+			b.Fatal("benchmark SLO unexpectedly violated: not measuring the healthy path")
+		}
+		if err := analyze.WriteText(io.Discard, a, &stats, health, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "analyses/s")
 }
 
 // BenchSuiteRunAllSequential regenerates every registered experiment on a
